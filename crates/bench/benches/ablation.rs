@@ -1,0 +1,118 @@
+//! Ablations of the Colloid design choices DESIGN.md calls out:
+//!
+//! 1. **watermark reset on/off** — without the reset, a moved equilibrium
+//!    is never re-acquired (printed toy-model comparison);
+//! 2. **ε / δ sensitivity** — detection speed vs steady-state optimality
+//!    (the paper's extended-version analysis);
+//! 3. **dynamic migration limit on/off** — oscillation around the
+//!    equilibrium on the real simulator (printed steady-state comparison);
+//! 4. the benchmarked kernel: one quantum with/without the dynamic limit.
+
+use colloid::ShiftController;
+use colloid_bench::one_quantum;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::runner::{run, RunConfig};
+use experiments::scenario::{build_gups_with_colloid, GupsScenario};
+use std::time::Duration;
+use tiersys::{ColloidParams, SystemKind};
+
+/// Toy model latencies crossing at `p_star`.
+fn latencies(p_star: f64, p: f64) -> (f64, f64) {
+    (
+        (150.0 + 250.0 * (p - p_star)).max(1.0),
+        (150.0 - 120.0 * (p - p_star)).max(1.0),
+    )
+}
+
+fn drive(ctl: &mut ShiftController, p_star: f64, p: &mut f64, quanta: usize) {
+    for _ in 0..quanta {
+        let (l_d, l_a) = latencies(p_star, *p);
+        let dp = ctl.compute_shift(*p, l_d, l_a);
+        *p = if l_d < l_a {
+            (*p + dp).min(1.0)
+        } else {
+            (*p - dp).max(0.0)
+        };
+    }
+}
+
+fn print_reset_ablation() {
+    println!("\n== ablation: watermark reset (equilibrium moves 0.3 -> 0.8) ==");
+    for (label, mut ctl) in [
+        ("reset ON ", ShiftController::new(0.01, 0.02)),
+        ("reset OFF", ShiftController::without_reset(0.01, 0.02)),
+    ] {
+        let mut p = 0.9;
+        drive(&mut ctl, 0.3, &mut p, 80);
+        drive(&mut ctl, 0.8, &mut p, 150);
+        println!("  {label}: final p = {p:.3} (target 0.8), resets = {}", ctl.resets());
+    }
+}
+
+fn print_sensitivity() {
+    println!("\n== ablation: epsilon/delta sensitivity (toy model, p* = 0.6) ==");
+    for (eps, delta) in [(0.005, 0.02), (0.01, 0.02), (0.05, 0.02), (0.01, 0.005), (0.01, 0.1)] {
+        let mut ctl = ShiftController::new(eps, delta);
+        let mut p: f64 = 1.0;
+        let mut quanta = 0;
+        for q in 0..300 {
+            let (l_d, l_a) = latencies(0.6, p);
+            if (l_d - l_a).abs() <= 0.05 * l_d && quanta == 0 {
+                quanta = q;
+            }
+            let dp = ctl.compute_shift(p, l_d, l_a);
+            p = if l_d < l_a { (p + dp).min(1.0) } else { (p - dp).max(0.0) };
+        }
+        let (l_d, l_a) = latencies(0.6, p);
+        println!(
+            "  eps={eps:<6} delta={delta:<6}: converged-in={quanta:>3} quanta, final |L_D-L_A|/L_D = {:.3}",
+            (l_d - l_a).abs() / l_d
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reset_ablation();
+    print_sensitivity();
+
+    // Dynamic migration limit on/off: compare steady-state migration
+    // traffic (the limit's purpose is damping oscillation near the
+    // equilibrium, §3.2), then benchmark the quantum for both variants.
+    println!("\n== ablation: dynamic migration limit (HeMem+Colloid @ 1x) ==");
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for (label, dynamic_limit) in [("dynamic-limit-on", true), ("dynamic-limit-off", false)] {
+        let sc = GupsScenario::intensity(1);
+        let params = ColloidParams {
+            dynamic_limit,
+            ..ColloidParams::default()
+        };
+        let mut exp = build_gups_with_colloid(&sc, SystemKind::Hemem, params);
+        // Warm to steady state, then observe migration churn.
+        let rc = RunConfig {
+            min_warmup_ticks: 40,
+            max_warmup_ticks: 150,
+            measure_ticks: 50,
+            window: 30,
+            tolerance: 0.03,
+            collect_series: false,
+        };
+        let r = run(&mut exp, &rc);
+        let mig = memsim::TrafficClass::Migration.index();
+        let mig_bytes: u64 = (0..2).map(|t| r.bytes_by_tier_class[t][mig]).sum();
+        println!(
+            "  {label}: steady-state migration traffic = {:.2} MB over the window, {:.1} Mops/s",
+            mig_bytes as f64 / 1e6,
+            r.ops_per_sec / 1e6
+        );
+        g.bench_function(format!("{label}/quantum"), |b| {
+            b.iter(|| one_quantum(&mut exp))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Substrate micro-benchmarks: the hot paths every figure's simulation
+//! rests on — DRAM controller scheduling, CHA accounting, event queue,
+//! samplers, and the page-list structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use memsim::controller::MemoryController;
+use memsim::{AccessKind, Cha, DramConfig, TierId, TrafficClass};
+use simkit::rng::{seed_from, ScrambledZipf, Zipf};
+use simkit::{EventQueue, SimTime};
+use tierctl::{FreqTracker, TierBins};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("kernels/controller-schedule", |b| {
+        let mut mc = MemoryController::new(DramConfig::ddr4_3200_8ch());
+        let mut t = SimTime::ZERO;
+        let mut addr = 0u64;
+        b.iter(|| {
+            t += SimTime::from_ns(2.0);
+            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+            mc.schedule(t, addr >> 32, AccessKind::Read).done
+        })
+    });
+
+    c.bench_function("kernels/cha-arrival-departure", |b| {
+        let mut cha = Cha::new(2);
+        let mut t = SimTime::ZERO;
+        b.iter(|| {
+            t += SimTime::from_ns(5.0);
+            cha.on_read_arrival(TierId::DEFAULT, t, TrafficClass::App);
+            cha.on_read_departure(TierId::DEFAULT, t + SimTime::from_ns(100.0));
+        })
+    });
+
+    c.bench_function("kernels/event-queue-push-pop", |b| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..256u64 {
+            q.push(SimTime::from_ns(i as f64), i);
+        }
+        let mut t = SimTime::from_ns(256.0);
+        b.iter(|| {
+            let (_, e) = q.pop().expect("non-empty");
+            t += SimTime::from_ns(1.0);
+            q.push(t, e);
+            e
+        })
+    });
+
+    c.bench_function("kernels/zipf-sample", |b| {
+        let z = Zipf::new(400_000, 0.99);
+        let mut rng = seed_from(1, 0);
+        b.iter(|| z.sample(&mut rng))
+    });
+
+    c.bench_function("kernels/scrambled-zipf-sample", |b| {
+        let z = ScrambledZipf::new(400_000, 0.99);
+        let mut rng = seed_from(2, 0);
+        b.iter(|| z.sample(&mut rng))
+    });
+
+    c.bench_function("kernels/freq-tracker-record", |b| {
+        let mut t = FreqTracker::new(16);
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 18_432;
+            t.record(black_box(vpn))
+        })
+    });
+
+    c.bench_function("kernels/tierbins-update", |b| {
+        let mut bins = TierBins::new(2, 5, 16);
+        for vpn in 0..18_432 {
+            bins.insert(vpn, TierId::DEFAULT, 0);
+        }
+        let mut vpn = 0u64;
+        let mut count = 0u32;
+        b.iter(|| {
+            vpn = (vpn + 1) % 18_432;
+            count = (count + 1) % 16;
+            bins.update_count(black_box(vpn), count);
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Per-tier access-latency measurement (paper §3.1).
+//!
+//! "CHA hardware counters enable low-overhead measurements of queue
+//! occupancy and request arrival rates [...] Colloid uses Little's Law to
+//! measure the access latency of each tier: `L_D = O_D/R_D`,
+//! `L_A = O_A/R_A`. [...] We apply Exponentially Weighted Moving Averaging
+//! (EWMA) on both the occupancy and rate measurements to smooth noise in
+//! the signals."
+//!
+//! [`LatencyMonitor`] consumes one raw `(occupancy, rate)` pair per tier
+//! per quantum — exactly what the CHA counter block (simulated in `memsim`,
+//! or real uncore PMUs) produces — and exposes smoothed latencies plus the
+//! default-tier access-probability share `p = R_D / (R_D + R_A)`.
+
+use simkit::stats::Ewma;
+
+/// One tier's raw counter window: average queue occupancy and arrival rate
+/// over the previous quantum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierMeasurement {
+    /// Average read-queue occupancy `O` (requests).
+    pub occupancy: f64,
+    /// Average read arrival rate `R` (requests per nanosecond).
+    pub rate_per_ns: f64,
+}
+
+impl TierMeasurement {
+    /// An idle window (no traffic).
+    pub const IDLE: TierMeasurement = TierMeasurement {
+        occupancy: 0.0,
+        rate_per_ns: 0.0,
+    };
+}
+
+/// Rates below this (requests/ns) are treated as "tier idle": Little's Law
+/// is undefined without arrivals, so the monitor reports the unloaded
+/// latency instead.
+const IDLE_RATE: f64 = 1e-6;
+
+/// Smoothed per-tier latency estimation.
+///
+/// # Examples
+///
+/// ```
+/// use colloid::{LatencyMonitor, TierMeasurement};
+///
+/// // Two tiers with unloaded latencies 70 ns and 135 ns.
+/// let mut mon = LatencyMonitor::new(vec![70.0, 135.0], 0.3);
+/// mon.update(&[
+///     TierMeasurement { occupancy: 30.0, rate_per_ns: 0.2 },
+///     TierMeasurement { occupancy: 13.5, rate_per_ns: 0.1 },
+/// ]);
+/// assert!((mon.latency_ns(0) - 150.0).abs() < 1e-9);
+/// assert!((mon.latency_ns(1) - 135.0).abs() < 1e-9);
+/// assert!((mon.default_share() - 2.0 / 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyMonitor {
+    unloaded_ns: Vec<f64>,
+    occupancy: Vec<Ewma>,
+    rate: Vec<Ewma>,
+}
+
+impl LatencyMonitor {
+    /// Creates a monitor for `unloaded_ns.len()` tiers; `unloaded_ns` gives
+    /// each tier's unloaded latency (reported while the tier is idle), and
+    /// `alpha` the EWMA smoothing factor.
+    pub fn new(unloaded_ns: Vec<f64>, alpha: f64) -> Self {
+        assert!(!unloaded_ns.is_empty());
+        let n = unloaded_ns.len();
+        LatencyMonitor {
+            unloaded_ns,
+            occupancy: vec![Ewma::new(alpha); n],
+            rate: vec![Ewma::new(alpha); n],
+        }
+    }
+
+    /// Number of tiers.
+    pub fn tiers(&self) -> usize {
+        self.unloaded_ns.len()
+    }
+
+    /// Feeds one quantum of raw measurements (one entry per tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len()` differs from the tier count.
+    pub fn update(&mut self, window: &[TierMeasurement]) {
+        assert_eq!(window.len(), self.tiers(), "one measurement per tier");
+        for (i, w) in window.iter().enumerate() {
+            self.occupancy[i].update(w.occupancy);
+            self.rate[i].update(w.rate_per_ns);
+        }
+    }
+
+    /// Smoothed arrival rate of tier `i` (requests/ns).
+    pub fn rate_per_ns(&self, i: usize) -> f64 {
+        self.rate[i].get()
+    }
+
+    /// Smoothed Little's-Law latency of tier `i` in nanoseconds; the
+    /// unloaded latency while the tier is (nearly) idle.
+    pub fn latency_ns(&self, i: usize) -> f64 {
+        let r = self.rate[i].get();
+        if r < IDLE_RATE {
+            self.unloaded_ns[i]
+        } else {
+            // Guard against start-up transients with a loose floor: genuine
+            // measurements can undercut the nominal unloaded latency (open
+            // row-buffer hits), but not by more than ~2x.
+            (self.occupancy[i].get() / r).max(self.unloaded_ns[i] * 0.5)
+        }
+    }
+
+    /// The sum of access probabilities of pages in tier 0 (the default
+    /// tier): `p = R_D / ΣR`. Returns 0.0 before any traffic.
+    pub fn default_share(&self) -> f64 {
+        let total: f64 = (0..self.tiers()).map(|i| self.rate[i].get()).sum();
+        if total < IDLE_RATE {
+            0.0
+        } else {
+            self.rate[0].get() / total
+        }
+    }
+
+    /// Total smoothed arrival rate across tiers (requests/ns).
+    pub fn total_rate_per_ns(&self) -> f64 {
+        (0..self.tiers()).map(|i| self.rate[i].get()).sum()
+    }
+
+    /// True once at least one update has been fed.
+    pub fn is_warm(&self) -> bool {
+        self.rate[0].is_initialized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(o: f64, r: f64) -> TierMeasurement {
+        TierMeasurement {
+            occupancy: o,
+            rate_per_ns: r,
+        }
+    }
+
+    #[test]
+    fn littles_law_single_update() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 1.0);
+        m.update(&[meas(20.0, 0.2), meas(1.35, 0.01)]);
+        assert!((m.latency_ns(0) - 100.0).abs() < 1e-9);
+        assert!((m.latency_ns(1) - 135.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_tier_reports_unloaded() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 0.5);
+        m.update(&[meas(10.0, 0.1), TierMeasurement::IDLE]);
+        assert_eq!(m.latency_ns(1), 135.0);
+        assert_eq!(m.default_share(), 1.0);
+    }
+
+    #[test]
+    fn latency_floor_guards_transients() {
+        let mut m = LatencyMonitor::new(vec![70.0], 1.0);
+        // Occupancy implausibly low for the rate: floor at half unloaded.
+        m.update(&[meas(0.5, 0.1)]);
+        assert_eq!(m.latency_ns(0), 35.0);
+        // Plausible sub-unloaded measurements (row-buffer hits) survive.
+        m.update(&[meas(6.0, 0.1)]);
+        assert_eq!(m.latency_ns(0), 60.0);
+    }
+
+    #[test]
+    fn ewma_smooths_noise() {
+        let mut m = LatencyMonitor::new(vec![70.0], 0.1);
+        for i in 0..200 {
+            // Noisy occupancy around 20, rate fixed at 0.2 -> L ~ 100.
+            let noise = if i % 2 == 0 { 6.0 } else { -6.0 };
+            m.update(&[meas(20.0 + noise, 0.2)]);
+        }
+        assert!((m.latency_ns(0) - 100.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn default_share_tracks_rates() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 1.0);
+        m.update(&[meas(10.0, 0.3), meas(10.0, 0.1)]);
+        assert!((m.default_share() - 0.75).abs() < 1e-9);
+        m.update(&[meas(10.0, 0.0), meas(10.0, 0.1)]);
+        assert_eq!(m.default_share(), 0.0);
+    }
+
+    #[test]
+    fn cold_start_is_sane() {
+        let m = LatencyMonitor::new(vec![70.0, 135.0], 0.3);
+        assert!(!m.is_warm());
+        assert_eq!(m.latency_ns(0), 70.0);
+        assert_eq!(m.latency_ns(1), 135.0);
+        assert_eq!(m.default_share(), 0.0);
+        assert_eq!(m.total_rate_per_ns(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 0.3);
+        m.update(&[meas(1.0, 0.1)]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Colloid: tiered memory management by balancing access latencies.
+//!
+//! This crate is the paper's primary contribution (Vuppalapati & Agarwal,
+//! "Tiered Memory Management: Access Latency is the Key!", SOSP '24),
+//! re-implemented as a pure, substrate-agnostic library:
+//!
+//! - [`latency::LatencyMonitor`] — per-tier access-latency measurement from
+//!   queue-occupancy and arrival-rate counters via Little's Law, smoothed
+//!   with EWMA (paper §3.1).
+//! - [`shift::ShiftController`] — Algorithm 2: the binary-search-style
+//!   watermark controller that computes the desired shift `Δp` in access
+//!   probability, including the watermark reset that tracks dynamic
+//!   equilibrium changes (paper §3.2, Figure 4).
+//! - [`placement`] — Algorithm 1: the end-to-end per-quantum placement
+//!   decision (promotion/demotion mode, `Δp`, and the dynamic migration
+//!   limit `min(Δp·(R_D+R_A), M)`), generic over a [`placement::PageFinder`]
+//!   supplied by the host tiering system (paper §4).
+//! - [`multitier`] — the generalisation to more than two tiers (paper
+//!   §3.1): pairwise balancing between latency-adjacent tiers.
+//!
+//! The crate deliberately depends only on `simkit` (for EWMA): it knows
+//! nothing about the simulator, so the same code would drive real CHA
+//! counters.
+
+pub mod latency;
+pub mod multitier;
+pub mod placement;
+pub mod shift;
+
+pub use latency::{LatencyMonitor, TierMeasurement};
+pub use placement::{ColloidConfig, ColloidController, Mode, PageFinder, PlacementDecision};
+pub use shift::ShiftController;

@@ -1,0 +1,233 @@
+//! Generalisation to more than two tiers (paper §3.1).
+//!
+//! "If the access latencies of all the tiers are not equal, then the
+//! average access latency can be reduced by placing more hot pages in the
+//! tier with the smallest access latency. [...] Similar reasoning can be
+//! applied recursively for the tier with the second smallest access latency
+//! and so on."
+//!
+//! [`MultiTierBalancer`] realises the recursion pairwise: tiers are ordered
+//! by unloaded latency, and one Algorithm 2 watermark controller runs
+//! between each adjacent pair `(i, i+1)`, treating tier `i` as that pair's
+//! "default" side. At equilibrium every pairwise controller is balanced,
+//! hence all tier latencies are equal — the paper's multi-tier equilibrium.
+
+use crate::latency::{LatencyMonitor, TierMeasurement};
+use crate::placement::Mode;
+use crate::shift::ShiftController;
+
+/// One pairwise migration decision between adjacent tiers.
+#[derive(Debug, Clone, Copy)]
+pub struct PairDecision {
+    /// The faster (lower-unloaded-latency) tier of the pair.
+    pub upper: usize,
+    /// The slower tier of the pair.
+    pub lower: usize,
+    /// `Promote` = move hot pages from `lower` into `upper`.
+    pub mode: Mode,
+    /// Desired shift in the pair's access-probability split.
+    pub delta_p: f64,
+    /// Byte budget for this pair's migrations this quantum.
+    pub byte_limit: u64,
+}
+
+/// Pairwise Colloid balancing across `n >= 2` tiers.
+///
+/// # Examples
+///
+/// ```
+/// use colloid::multitier::MultiTierBalancer;
+/// use colloid::TierMeasurement;
+///
+/// let mut b = MultiTierBalancer::new(vec![70.0, 135.0, 150.0], 0.01, 0.05, 0.3, 1 << 20, 1e5);
+/// let ds = b.on_quantum(&[
+///     TierMeasurement { occupancy: 60.0, rate_per_ns: 0.2 }, // 300 ns
+///     TierMeasurement { occupancy: 14.0, rate_per_ns: 0.1 }, // 140 ns
+///     TierMeasurement { occupancy: 1.5, rate_per_ns: 0.01 }, // 150 ns
+/// ]);
+/// // Pair (0,1) is the most imbalanced (300 vs 140 ns): demote.
+/// assert_eq!(ds.len(), 1);
+/// assert_eq!(ds[0].upper, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiTierBalancer {
+    monitor: LatencyMonitor,
+    pairs: Vec<ShiftController>,
+    static_limit_bytes: u64,
+    quantum_ns: f64,
+}
+
+impl MultiTierBalancer {
+    /// Creates a balancer over tiers with the given unloaded latencies
+    /// (must be sorted ascending — tier 0 fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two tiers or the latencies are not ascending.
+    pub fn new(
+        unloaded_ns: Vec<f64>,
+        epsilon: f64,
+        delta: f64,
+        ewma_alpha: f64,
+        static_limit_bytes: u64,
+        quantum_ns: f64,
+    ) -> Self {
+        assert!(unloaded_ns.len() >= 2);
+        assert!(
+            unloaded_ns.windows(2).all(|w| w[0] <= w[1]),
+            "tiers must be ordered by unloaded latency"
+        );
+        let pairs = (0..unloaded_ns.len() - 1)
+            .map(|_| ShiftController::new(epsilon, delta))
+            .collect();
+        MultiTierBalancer {
+            monitor: LatencyMonitor::new(unloaded_ns, ewma_alpha),
+            pairs,
+            static_limit_bytes,
+            quantum_ns,
+        }
+    }
+
+    /// One quantum: returns the decision of the most latency-imbalanced
+    /// adjacent pair (empty when every pair is balanced or idle).
+    pub fn on_quantum(&mut self, window: &[TierMeasurement]) -> Vec<PairDecision> {
+        self.monitor.update(window);
+        // Pick the pair with the largest relative latency imbalance.
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.pairs.len() {
+            let r_u = self.monitor.rate_per_ns(i);
+            let r_l = self.monitor.rate_per_ns(i + 1);
+            if r_u + r_l <= 0.0 {
+                continue;
+            }
+            let l_u = self.monitor.latency_ns(i);
+            let l_l = self.monitor.latency_ns(i + 1);
+            let imbalance = (l_u - l_l).abs() / l_u.max(1e-9);
+            if best.map(|(_, b)| imbalance > b).unwrap_or(true) {
+                best = Some((i, imbalance));
+            }
+        }
+        let Some((i, _)) = best else {
+            return Vec::new();
+        };
+        let (upper, lower) = (i, i + 1);
+        let r_u = self.monitor.rate_per_ns(upper);
+        let r_l = self.monitor.rate_per_ns(lower);
+        let pair_rate = r_u + r_l;
+        let l_u = self.monitor.latency_ns(upper);
+        let l_l = self.monitor.latency_ns(lower);
+        let p = r_u / pair_rate;
+        let delta_p = self.pairs[i].compute_shift(p, l_u, l_l);
+        if delta_p <= 0.0 {
+            return Vec::new();
+        }
+        let mode = if l_u < l_l { Mode::Promote } else { Mode::Demote };
+        let dynamic = delta_p * pair_rate * 64.0 * self.quantum_ns;
+        vec![PairDecision {
+            upper,
+            lower,
+            mode,
+            delta_p,
+            byte_limit: (dynamic as u64).min(self.static_limit_bytes),
+        }]
+    }
+
+    /// Latency monitor (telemetry).
+    pub fn monitor(&self) -> &LatencyMonitor {
+        &self.monitor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(o: f64, r: f64) -> TierMeasurement {
+        TierMeasurement {
+            occupancy: o,
+            rate_per_ns: r,
+        }
+    }
+
+    fn balancer(n: usize) -> MultiTierBalancer {
+        let unloaded: Vec<f64> = (0..n).map(|i| 70.0 + 65.0 * i as f64).collect();
+        MultiTierBalancer::new(unloaded, 0.01, 0.05, 1.0, 1 << 30, 1e5)
+    }
+
+    #[test]
+    fn balanced_three_tiers_no_decisions() {
+        let mut b = balancer(3);
+        // All at 250 ns (above every tier's unloaded latency).
+        let ds = b.on_quantum(&[meas(50.0, 0.2), meas(25.0, 0.1), meas(12.5, 0.05)]);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn hot_default_demotes_towards_middle_tier() {
+        let mut b = balancer(3);
+        let ds = b.on_quantum(&[
+            meas(90.0, 0.3),  // 300 ns
+            meas(14.0, 0.1),  // 140 ns
+            meas(4.0, 0.02),  // 200 ns
+        ]);
+        // Pair 0-1 (300 vs 140 ns) is more imbalanced than 1-2 (140 vs
+        // 200 ns), so it acts this quantum, demoting out of the default.
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].upper, 0);
+        assert_eq!(ds[0].mode, Mode::Demote);
+    }
+
+    #[test]
+    fn idle_tail_tier_is_skipped() {
+        let mut b = balancer(3);
+        let ds = b.on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1), TierMeasurement::IDLE]);
+        // Pair 1-2 has rate > 0 (tier 1), so it may act; pair decisions
+        // must never reference a rate-0 *pair*.
+        for d in &ds {
+            assert!(d.upper < 2);
+        }
+    }
+
+    #[test]
+    fn pairwise_closed_loop_converges_three_tiers() {
+        // Toy model: three tiers whose latency rises linearly in their
+        // share of total traffic; the balancer should equalise latencies.
+        let unloaded = [70.0_f64, 135.0, 170.0];
+        let slope = [400.0_f64, 250.0, 200.0];
+        let mut shares = [0.8_f64, 0.15, 0.05];
+        let mut b = MultiTierBalancer::new(unloaded.to_vec(), 0.01, 0.02, 1.0, 1 << 30, 1e5);
+        let total_rate = 0.3;
+        for _ in 0..400 {
+            let lat: Vec<f64> = (0..3)
+                .map(|i| unloaded[i] + slope[i] * shares[i])
+                .collect();
+            let window: Vec<TierMeasurement> = (0..3)
+                .map(|i| meas(lat[i] * shares[i] * total_rate, shares[i] * total_rate))
+                .collect();
+            for d in b.on_quantum(&window) {
+                let (from, to) = match d.mode {
+                    Mode::Promote => (d.lower, d.upper),
+                    Mode::Demote => (d.upper, d.lower),
+                };
+                let moved = d.delta_p.min(shares[from]);
+                shares[from] -= moved;
+                shares[to] += moved;
+            }
+        }
+        let lat: Vec<f64> = (0..3)
+            .map(|i| unloaded[i] + slope[i] * shares[i])
+            .collect();
+        let max = lat.iter().cloned().fold(f64::MIN, f64::max);
+        let min = lat.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min < 1.15,
+            "latencies should equalise, got {lat:?} (shares {shares:?})"
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unsorted_tiers() {
+        let _ = MultiTierBalancer::new(vec![135.0, 70.0], 0.01, 0.05, 0.3, 1, 1e5);
+    }
+}

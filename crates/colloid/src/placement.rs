@@ -1,0 +1,325 @@
+//! Algorithm 1: the end-to-end Colloid page-placement loop.
+//!
+//! Every quantum the controller:
+//!
+//! 1. reads per-tier `(O, R)` counter windows and derives smoothed
+//!    latencies `L_D`, `L_A` and the default-tier share `p` (§3.1);
+//! 2. picks the migration **mode**: promotion when `L_D < L_A`, demotion
+//!    otherwise;
+//! 3. computes the desired shift `Δp` with the watermark controller
+//!    (Algorithm 2);
+//! 4. computes the **dynamic migration limit**
+//!    `min(Δp · (R_D + R_A), M)` — migrating more traffic-worth of pages
+//!    than the desired rate perturbation would oscillate (§3.2);
+//! 5. asks the host system's [`PageFinder`] for a set of pages whose
+//!    summed access probability is ≤ `Δp` and summed size is within the
+//!    limit, then hands them to the host's migration mechanism.
+//!
+//! Steps 1–4 are substrate-independent and live here; step 5 is
+//! system-specific (paper §4) and is supplied through the [`PageFinder`]
+//! trait.
+
+use crate::latency::{LatencyMonitor, TierMeasurement};
+use crate::shift::ShiftController;
+
+/// Direction of migration this quantum (Algorithm 1, lines 5–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Default tier is faster: move hot pages *into* the default tier.
+    Promote,
+    /// Default tier is slower: move hot pages *out* to the alternate tier.
+    Demote,
+}
+
+/// The per-quantum outcome of Algorithm 1's measurement half.
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementDecision {
+    /// Migration direction.
+    pub mode: Mode,
+    /// Desired shift in summed access probability.
+    pub delta_p: f64,
+    /// Byte budget for this quantum's migrations:
+    /// `min(Δp·(R_D+R_A)·64·quantum, M)`.
+    pub byte_limit: u64,
+    /// Measured (smoothed) default-tier latency, ns.
+    pub l_default_ns: f64,
+    /// Measured (smoothed) alternate-tier latency, ns.
+    pub l_alternate_ns: f64,
+    /// Current default-tier access-probability share.
+    pub p: f64,
+}
+
+/// Supplied by the host tiering system: find pages to migrate under the
+/// Δp and byte constraints, using whatever access-tracking state the system
+/// maintains (frequency bins for HeMem, hot lists for MEMTIS, time-to-fault
+/// for TPP — paper §4.1–4.3).
+pub trait PageFinder {
+    /// Returns pages to migrate in `mode`'s direction. The implementation
+    /// must ensure the pages' summed access probability is ≤ `delta_p` and
+    /// their summed size is ≤ `byte_limit`.
+    fn find_pages(&mut self, mode: Mode, delta_p: f64, byte_limit: u64) -> Vec<u64>;
+}
+
+/// Colloid configuration.
+#[derive(Debug, Clone)]
+pub struct ColloidConfig {
+    /// Watermark collapse threshold ε (paper default 0.01).
+    pub epsilon: f64,
+    /// Latency balance tolerance δ (paper default 0.05).
+    pub delta: f64,
+    /// EWMA smoothing factor for occupancy/rate signals.
+    pub ewma_alpha: f64,
+    /// Static migration limit `M` in bytes per quantum (the underlying
+    /// system's rate limit).
+    pub static_limit_bytes: u64,
+    /// Quantum duration in nanoseconds (to convert the rate-based dynamic
+    /// limit into bytes).
+    pub quantum_ns: f64,
+    /// Unloaded latency of each tier, ns (reported while a tier is idle).
+    pub unloaded_ns: Vec<f64>,
+    /// Apply the dynamic migration limit `Δp·(R_D+R_A)` (§3.2). Disabling
+    /// it (ablation) falls back to the static limit alone.
+    pub dynamic_limit: bool,
+}
+
+impl ColloidConfig {
+    /// Paper defaults (ε = 0.01, δ = 0.05) for a two-tier machine.
+    pub fn paper_default(
+        unloaded_default_ns: f64,
+        unloaded_alternate_ns: f64,
+        static_limit_bytes: u64,
+        quantum_ns: f64,
+    ) -> Self {
+        ColloidConfig {
+            epsilon: 0.01,
+            delta: 0.05,
+            ewma_alpha: 0.3,
+            static_limit_bytes,
+            quantum_ns,
+            unloaded_ns: vec![unloaded_default_ns, unloaded_alternate_ns],
+            dynamic_limit: true,
+        }
+    }
+}
+
+/// The Algorithm 1 controller (measurement + shift + limit).
+///
+/// # Examples
+///
+/// ```
+/// use colloid::{ColloidConfig, ColloidController, Mode, TierMeasurement};
+///
+/// let cfg = ColloidConfig::paper_default(70.0, 135.0, 1 << 20, 100_000.0);
+/// let mut ctl = ColloidController::new(cfg);
+/// // Default tier heavily loaded (L_D = 300 ns) vs alternate at 140 ns.
+/// let d = ctl
+///     .on_quantum(&[
+///         TierMeasurement { occupancy: 60.0, rate_per_ns: 0.2 },
+///         TierMeasurement { occupancy: 14.0, rate_per_ns: 0.1 },
+///     ])
+///     .expect("unbalanced tiers need migration");
+/// assert_eq!(d.mode, Mode::Demote);
+/// assert!(d.delta_p > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ColloidController {
+    monitor: LatencyMonitor,
+    shift: ShiftController,
+    cfg: ColloidConfig,
+    quanta: u64,
+}
+
+impl ColloidController {
+    /// Creates a controller from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two tiers are configured.
+    pub fn new(cfg: ColloidConfig) -> Self {
+        assert!(cfg.unloaded_ns.len() >= 2, "Colloid needs at least 2 tiers");
+        ColloidController {
+            monitor: LatencyMonitor::new(cfg.unloaded_ns.clone(), cfg.ewma_alpha),
+            shift: ShiftController::new(cfg.epsilon, cfg.delta),
+            cfg,
+            quanta: 0,
+        }
+    }
+
+    /// Algorithm 1, lines 1–9: ingest counters, decide mode/Δp/limit.
+    ///
+    /// Returns `None` when no migration is needed this quantum (balanced
+    /// latencies, or no traffic yet).
+    pub fn on_quantum(&mut self, window: &[TierMeasurement]) -> Option<PlacementDecision> {
+        self.monitor.update(window);
+        self.quanta += 1;
+        let total_rate = self.monitor.total_rate_per_ns();
+        if total_rate <= 0.0 {
+            return None;
+        }
+        let l_d = self.monitor.latency_ns(0);
+        let l_a = self.alternate_latency_ns();
+        let p = self.monitor.default_share();
+        let mode = if l_d < l_a { Mode::Promote } else { Mode::Demote };
+        let delta_p = self.shift.compute_shift(p, l_d, l_a);
+        if delta_p <= 0.0 {
+            return None;
+        }
+        // Dynamic migration limit: Δp·(R_D+R_A) requests/ns worth of pages,
+        // 64 B per request, over one quantum — capped by the static limit.
+        let byte_limit = if self.cfg.dynamic_limit {
+            let dynamic = delta_p * total_rate * 64.0 * self.cfg.quantum_ns;
+            (dynamic as u64).min(self.cfg.static_limit_bytes)
+        } else {
+            self.cfg.static_limit_bytes
+        };
+        Some(PlacementDecision {
+            mode,
+            delta_p,
+            byte_limit,
+            l_default_ns: l_d,
+            l_alternate_ns: l_a,
+            p,
+        })
+    }
+
+    /// Effective latency of "the alternate side": for two tiers, tier 1;
+    /// with more tiers, the rate-weighted average of tiers 1.. (the
+    /// pairwise generalisation lives in [`crate::multitier`]).
+    fn alternate_latency_ns(&self) -> f64 {
+        let n = self.monitor.tiers();
+        if n == 2 {
+            return self.monitor.latency_ns(1);
+        }
+        let mut rate_sum = 0.0;
+        let mut weighted = 0.0;
+        for i in 1..n {
+            let r = self.monitor.rate_per_ns(i);
+            rate_sum += r;
+            weighted += r * self.monitor.latency_ns(i);
+        }
+        if rate_sum <= 0.0 {
+            // All alternate tiers idle: the cheapest one is what a migrated
+            // page would see.
+            (1..n)
+                .map(|i| self.monitor.latency_ns(i))
+                .fold(f64::INFINITY, f64::min)
+        } else {
+            weighted / rate_sum
+        }
+    }
+
+    /// The latency monitor (for telemetry).
+    pub fn monitor(&self) -> &LatencyMonitor {
+        &self.monitor
+    }
+
+    /// The watermark controller (for telemetry).
+    pub fn shift(&self) -> &ShiftController {
+        &self.shift
+    }
+
+    /// Quanta processed so far.
+    pub fn quanta(&self) -> u64 {
+        self.quanta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(o: f64, r: f64) -> TierMeasurement {
+        TierMeasurement {
+            occupancy: o,
+            rate_per_ns: r,
+        }
+    }
+
+    fn cfg() -> ColloidConfig {
+        ColloidConfig::paper_default(70.0, 135.0, 1 << 20, 100_000.0)
+    }
+
+    #[test]
+    fn no_decision_without_traffic() {
+        let mut c = ColloidController::new(cfg());
+        assert!(c
+            .on_quantum(&[TierMeasurement::IDLE, TierMeasurement::IDLE])
+            .is_none());
+    }
+
+    #[test]
+    fn promotes_when_default_faster() {
+        let mut c = ColloidController::new(cfg());
+        let d = c
+            .on_quantum(&[meas(7.0, 0.1), meas(30.0, 0.2)])
+            .expect("decision");
+        assert_eq!(d.mode, Mode::Promote);
+        assert!(d.l_default_ns < d.l_alternate_ns);
+    }
+
+    #[test]
+    fn demotes_when_default_slower() {
+        let mut c = ColloidController::new(cfg());
+        let d = c
+            .on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1)])
+            .expect("decision");
+        assert_eq!(d.mode, Mode::Demote);
+        assert!((d.p - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_tiers_need_no_migration() {
+        let mut c = ColloidController::new(cfg());
+        // L_D = 150, L_A = 148: within delta = 5%.
+        let d = c.on_quantum(&[meas(30.0, 0.2), meas(14.8, 0.1)]);
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn dynamic_limit_caps_at_static() {
+        let mut small = cfg();
+        small.static_limit_bytes = 4096;
+        let mut c = ColloidController::new(small);
+        let d = c
+            .on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1)])
+            .expect("decision");
+        assert_eq!(d.byte_limit, 4096);
+    }
+
+    #[test]
+    fn dynamic_limit_scales_with_delta_p() {
+        let mut c = ColloidController::new(cfg());
+        let d = c
+            .on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1)])
+            .expect("decision");
+        let expected = (d.delta_p * 0.4 * 64.0 * 100_000.0) as u64;
+        assert_eq!(d.byte_limit, expected.min(1 << 20));
+    }
+
+    #[test]
+    fn idle_alternate_tier_uses_unloaded_latency() {
+        let mut c = ColloidController::new(cfg());
+        // Default tier at 300 ns, alternate idle (unloaded 135 ns): demote.
+        let d = c
+            .on_quantum(&[meas(60.0, 0.2), TierMeasurement::IDLE])
+            .expect("decision");
+        assert_eq!(d.mode, Mode::Demote);
+        assert_eq!(d.l_alternate_ns, 135.0);
+    }
+
+    #[test]
+    fn three_tier_alternate_latency_is_rate_weighted() {
+        let mut c = ColloidController::new(ColloidConfig {
+            unloaded_ns: vec![70.0, 135.0, 250.0],
+            ..cfg()
+        });
+        let d = c
+            .on_quantum(&[
+                meas(90.0, 0.3),             // L_D = 300
+                meas(13.5, 0.1),             // 135 ns
+                meas(25.0, 0.1),             // 250 ns
+            ])
+            .expect("decision");
+        assert!((d.l_alternate_ns - 192.5).abs() < 1.0);
+    }
+}

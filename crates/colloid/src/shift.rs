@@ -1,0 +1,283 @@
+//! Algorithm 2: computing the desired shift in access probability.
+//!
+//! Faithful implementation of the paper's watermark controller:
+//!
+//! ```text
+//! /* Initialize p_lo <- 0 and p_hi <- 1 */
+//! procedure ComputeShift(p, L_D, L_A)
+//!     if |L_D - L_A| < delta * L_D then return 0
+//!     if L_D < L_A then p_lo <- p else p_hi <- p
+//!     if p_hi < p_lo + epsilon then
+//!         if L_D < L_A then p_hi <- 1 else p_lo <- 0
+//!     return | (p_lo + p_hi)/2 - p |
+//! ```
+//!
+//! `p_hi` upper-bounds the default-tier probability share for which the
+//! default tier *may* still be faster; `p_lo` lower-bounds the share for
+//! which it is *definitely* faster. Each quantum narrows the gap
+//! (binary-search convergence, Figure 4a); when the watermarks collapse
+//! without reaching latency balance, the equilibrium has moved and the
+//! relevant watermark is reset (Figure 4c).
+
+/// The Algorithm 2 watermark controller.
+///
+/// # Examples
+///
+/// ```
+/// let mut c = colloid::ShiftController::new(0.01, 0.05);
+/// // Default tier faster and p = 0.5: shift towards more default traffic.
+/// let dp = c.compute_shift(0.5, 100.0, 200.0);
+/// assert!((dp - 0.25).abs() < 1e-12); // midpoint of [0.5, 1] is 0.75
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShiftController {
+    p_lo: f64,
+    p_hi: f64,
+    epsilon: f64,
+    delta: f64,
+    resets: u64,
+    reset_enabled: bool,
+}
+
+impl ShiftController {
+    /// Creates a controller with watermark-collapse threshold `epsilon` and
+    /// latency-balance tolerance `delta` (paper defaults: 0.01 and 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < epsilon < 1` and `0 < delta < 1`.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta in (0,1)");
+        ShiftController {
+            p_lo: 0.0,
+            p_hi: 1.0,
+            epsilon,
+            delta,
+            resets: 0,
+            reset_enabled: true,
+        }
+    }
+
+    /// Like [`ShiftController::new`] but with the watermark reset disabled
+    /// — an ablation of the dynamic-equilibrium tracking (Figure 4c). With
+    /// the reset off, the controller cannot follow a moved equilibrium.
+    pub fn without_reset(epsilon: f64, delta: f64) -> Self {
+        ShiftController {
+            reset_enabled: false,
+            ..Self::new(epsilon, delta)
+        }
+    }
+
+    /// One quantum of Algorithm 2. `p` is the current default-tier access
+    /// probability share; `l_d`/`l_a` the measured tier latencies (ns).
+    /// Returns the desired |Δp| (0 when balanced within `delta`).
+    pub fn compute_shift(&mut self, p: f64, l_d: f64, l_a: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        if (l_d - l_a).abs() < self.delta * l_d {
+            return 0.0;
+        }
+        if l_d < l_a {
+            self.p_lo = p;
+        } else {
+            self.p_hi = p;
+        }
+        if self.reset_enabled && self.p_hi < self.p_lo + self.epsilon {
+            // Watermarks collapsed but latencies are still unbalanced: the
+            // equilibrium point moved outside [p_lo, p_hi]; reset the
+            // boundary on the side the equilibrium escaped to.
+            if l_d < l_a {
+                self.p_hi = 1.0;
+            } else {
+                self.p_lo = 0.0;
+            }
+            self.resets += 1;
+        }
+        ((self.p_lo + self.p_hi) / 2.0 - p).abs()
+    }
+
+    /// Low watermark.
+    pub fn p_lo(&self) -> f64 {
+        self.p_lo
+    }
+
+    /// High watermark.
+    pub fn p_hi(&self) -> f64 {
+        self.p_hi
+    }
+
+    /// Number of watermark resets performed (equilibrium moves detected).
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+
+    /// The collapse threshold ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The balance tolerance δ.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy two-tier latency model: `L_D` rises and `L_A` falls linearly
+    /// in `p`, crossing at `p_star`.
+    struct ToyTiers {
+        p_star: f64,
+    }
+
+    impl ToyTiers {
+        fn latencies(&self, p: f64) -> (f64, f64) {
+            // At p = p_star both are 150 ns; slopes +/-200 ns per unit p.
+            let l_d = 150.0 + 200.0 * (p - self.p_star);
+            let l_a = 150.0 - 100.0 * (p - self.p_star);
+            (l_d.max(1.0), l_a.max(1.0))
+        }
+    }
+
+    /// Closed-loop helper: apply the computed shift in the indicated
+    /// direction each quantum.
+    fn step(c: &mut ShiftController, toy: &ToyTiers, p: f64) -> f64 {
+        let (l_d, l_a) = toy.latencies(p);
+        let dp = c.compute_shift(p, l_d, l_a);
+        if l_d < l_a {
+            (p + dp).min(1.0)
+        } else {
+            (p - dp).max(0.0)
+        }
+    }
+
+    #[test]
+    fn balanced_latencies_yield_zero_shift() {
+        let mut c = ShiftController::new(0.01, 0.05);
+        assert_eq!(c.compute_shift(0.5, 100.0, 102.0), 0.0);
+        // Watermarks untouched.
+        assert_eq!(c.p_lo(), 0.0);
+        assert_eq!(c.p_hi(), 1.0);
+    }
+
+    #[test]
+    fn first_shift_is_towards_midpoint() {
+        let mut c = ShiftController::new(0.01, 0.05);
+        // Default faster at p=0.3: p_lo=0.3, target midpoint (0.3+1)/2.
+        let dp = c.compute_shift(0.3, 80.0, 160.0);
+        assert!((dp - 0.35).abs() < 1e-12);
+        assert_eq!(c.p_lo(), 0.3);
+        assert_eq!(c.p_hi(), 1.0);
+    }
+
+    #[test]
+    fn converges_to_static_equilibrium() {
+        // Figure 4a: static workload, p converges to p*.
+        for p_star in [0.2, 0.5, 0.8] {
+            let toy = ToyTiers { p_star };
+            let mut c = ShiftController::new(0.01, 0.02);
+            let mut p = 0.9;
+            for _ in 0..60 {
+                p = step(&mut c, &toy, p);
+            }
+            let (l_d, l_a) = toy.latencies(p);
+            assert!(
+                (l_d - l_a).abs() < 0.1 * l_d,
+                "p={p} did not balance {l_d} vs {l_a} (p*={p_star})"
+            );
+            assert!((p - p_star).abs() < 0.05, "p={p} vs p*={p_star}");
+        }
+    }
+
+    #[test]
+    fn converges_to_p_one_when_default_always_faster() {
+        // If L_D < L_A even at p=1, Colloid must converge to p=1 (the
+        // existing systems' placement).
+        let mut c = ShiftController::new(0.01, 0.05);
+        let mut p: f64 = 0.4;
+        for _ in 0..200 {
+            let dp = c.compute_shift(p, 70.0, 135.0);
+            p = (p + dp).min(1.0);
+        }
+        assert!(p > 0.99, "p={p}");
+    }
+
+    #[test]
+    fn watermark_invariant_contains_p() {
+        // p_lo <= p_hi after arbitrary (monotone-consistent) updates.
+        let toy = ToyTiers { p_star: 0.37 };
+        let mut c = ShiftController::new(0.01, 0.02);
+        let mut p = 1.0;
+        for _ in 0..100 {
+            p = step(&mut c, &toy, p);
+            assert!(c.p_lo() <= c.p_hi() + 1e-12, "lo {} hi {}", c.p_lo(), c.p_hi());
+        }
+    }
+
+    #[test]
+    fn abrupt_p_change_is_absorbed() {
+        // Figure 4b: p jumps outside the watermarks; updating the watermark
+        // before computing the shift re-establishes the invariant.
+        let toy = ToyTiers { p_star: 0.5 };
+        let mut c = ShiftController::new(0.01, 0.02);
+        let mut p = 0.9;
+        for _ in 0..30 {
+            p = step(&mut c, &toy, p);
+        }
+        // External event slams p to 0.05 (e.g. the workload moved).
+        p = 0.05;
+        for _ in 0..60 {
+            p = step(&mut c, &toy, p);
+        }
+        assert!((p - 0.5).abs() < 0.05, "p={p} after p-jump");
+    }
+
+    #[test]
+    fn equilibrium_move_triggers_reset_and_reconverges() {
+        // Figure 4c: p* jumps after convergence; the watermark reset lets
+        // the controller escape the collapsed interval.
+        let mut toy = ToyTiers { p_star: 0.3 };
+        let mut c = ShiftController::new(0.01, 0.02);
+        let mut p = 0.9;
+        for _ in 0..80 {
+            p = step(&mut c, &toy, p);
+        }
+        assert!((p - 0.3).abs() < 0.05, "initial convergence, p={p}");
+        let resets_before = c.resets();
+        toy.p_star = 0.8; // contention on the alternate side changed
+        for _ in 0..120 {
+            p = step(&mut c, &toy, p);
+        }
+        assert!((p - 0.8).abs() < 0.05, "re-convergence after p* move, p={p}");
+        assert!(c.resets() > resets_before, "a watermark reset must fire");
+    }
+
+    #[test]
+    fn equilibrium_move_down_also_reconverges() {
+        let mut toy = ToyTiers { p_star: 0.8 };
+        let mut c = ShiftController::new(0.01, 0.02);
+        let mut p = 0.1;
+        for _ in 0..80 {
+            p = step(&mut c, &toy, p);
+        }
+        toy.p_star = 0.2;
+        for _ in 0..120 {
+            p = step(&mut c, &toy, p);
+        }
+        assert!((p - 0.2).abs() < 0.05, "p={p}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_epsilon() {
+        let _ = ShiftController::new(0.0, 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_delta() {
+        let _ = ShiftController::new(0.01, 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the Colloid controller invariants.
+//!
+//! The paper's convergence argument (§3.2) rests on invariants of the
+//! watermark controller; these tests check them over randomly generated
+//! measurement sequences and toy tier models, not just hand-picked cases.
+
+use colloid::{ColloidConfig, ColloidController, Mode, ShiftController, TierMeasurement};
+use proptest::prelude::*;
+
+proptest! {
+    /// p_lo <= p_hi must hold after any sequence of updates, including ones
+    /// with inconsistent (noisy) latency observations.
+    #[test]
+    fn watermarks_stay_ordered(
+        steps in prop::collection::vec((0.0f64..=1.0, 1.0f64..500.0, 1.0f64..500.0), 1..200)
+    ) {
+        let mut c = ShiftController::new(0.01, 0.05);
+        for (p, l_d, l_a) in steps {
+            let _ = c.compute_shift(p, l_d, l_a);
+            prop_assert!(c.p_lo() <= c.p_hi() + 1e-12,
+                "violated: lo={} hi={}", c.p_lo(), c.p_hi());
+        }
+    }
+
+    /// The returned shift is a magnitude within [0, 1].
+    #[test]
+    fn shift_is_bounded(
+        steps in prop::collection::vec((0.0f64..=1.0, 1.0f64..500.0, 1.0f64..500.0), 1..200)
+    ) {
+        let mut c = ShiftController::new(0.01, 0.05);
+        for (p, l_d, l_a) in steps {
+            let dp = c.compute_shift(p, l_d, l_a);
+            prop_assert!((0.0..=1.0).contains(&dp), "dp = {dp}");
+        }
+    }
+
+    /// Balanced latencies (within delta) always yield a zero shift and
+    /// leave the watermarks untouched.
+    #[test]
+    fn balanced_input_is_a_noop(
+        p in 0.0f64..=1.0,
+        l in 50.0f64..400.0,
+        jitter in -0.04f64..0.04,
+    ) {
+        let mut c = ShiftController::new(0.01, 0.05);
+        // Pre-load some state.
+        let _ = c.compute_shift(0.5, 100.0, 200.0);
+        let (lo, hi) = (c.p_lo(), c.p_hi());
+        let dp = c.compute_shift(p, l, l * (1.0 + jitter));
+        prop_assert_eq!(dp, 0.0);
+        prop_assert_eq!((c.p_lo(), c.p_hi()), (lo, hi));
+    }
+
+    /// Closed-loop convergence: for any crossing point p* and any monotone
+    /// linear latency model, the controller converges to a latency-balanced
+    /// share within a bounded number of quanta.
+    #[test]
+    fn converges_for_random_toy_models(
+        p_star in 0.05f64..0.95,
+        slope_d in 50.0f64..500.0,
+        slope_a in 20.0f64..300.0,
+        p0 in 0.0f64..=1.0,
+    ) {
+        let latencies = |p: f64| {
+            let l_d: f64 = 150.0 + slope_d * (p - p_star);
+            let l_a: f64 = 150.0 - slope_a * (p - p_star);
+            (l_d.max(1.0), l_a.max(1.0))
+        };
+        let mut c = ShiftController::new(0.01, 0.02);
+        let mut p = p0;
+        for _ in 0..200 {
+            let (l_d, l_a) = latencies(p);
+            let dp = c.compute_shift(p, l_d, l_a);
+            p = if l_d < l_a { (p + dp).min(1.0) } else { (p - dp).max(0.0) };
+        }
+        let (l_d, l_a) = latencies(p);
+        prop_assert!((l_d - l_a).abs() <= 0.10 * l_d.max(l_a),
+            "did not balance: p={p}, L_D={l_d}, L_A={l_a}, p*={p_star}");
+    }
+
+    /// The dynamic migration limit never exceeds the static limit, and the
+    /// decision's latencies/mode are mutually consistent.
+    #[test]
+    fn decisions_are_internally_consistent(
+        windows in prop::collection::vec(
+            ((0.0f64..200.0, 0.0f64..0.5), (0.0f64..200.0, 0.0f64..0.5)), 1..100),
+        static_limit in 1u64..10_000_000,
+    ) {
+        let cfg = ColloidConfig {
+            static_limit_bytes: static_limit,
+            ..ColloidConfig::paper_default(70.0, 135.0, 0, 100_000.0)
+        };
+        let mut ctl = ColloidController::new(cfg);
+        for ((o_d, r_d), (o_a, r_a)) in windows {
+            let d = ctl.on_quantum(&[
+                TierMeasurement { occupancy: o_d, rate_per_ns: r_d },
+                TierMeasurement { occupancy: o_a, rate_per_ns: r_a },
+            ]);
+            if let Some(d) = d {
+                prop_assert!(d.byte_limit <= static_limit);
+                prop_assert!(d.delta_p > 0.0 && d.delta_p <= 1.0);
+                prop_assert!((0.0..=1.0).contains(&d.p));
+                match d.mode {
+                    Mode::Promote => prop_assert!(d.l_default_ns < d.l_alternate_ns),
+                    Mode::Demote => prop_assert!(d.l_default_ns >= d.l_alternate_ns),
+                }
+                // Measured latencies never undercut the transient floor of
+                // half the unloaded latency.
+                prop_assert!(d.l_default_ns >= 35.0 - 1e-9);
+                prop_assert!(d.l_alternate_ns >= 67.5 - 1e-9);
+            }
+        }
+    }
+
+    /// After convergence, a sudden move of the equilibrium point is always
+    /// re-acquired (the watermark-reset property, Figure 4c), regardless of
+    /// the direction or size of the move.
+    #[test]
+    fn reacquires_moved_equilibrium(
+        p_star_a in 0.1f64..0.9,
+        p_star_b in 0.1f64..0.9,
+    ) {
+        prop_assume!((p_star_a - p_star_b).abs() > 0.1);
+        let model = |p_star: f64, p: f64| {
+            let l_d: f64 = 150.0 + 300.0 * (p - p_star);
+            let l_a: f64 = 150.0 - 150.0 * (p - p_star);
+            (l_d.max(1.0), l_a.max(1.0))
+        };
+        let mut c = ShiftController::new(0.01, 0.02);
+        let mut p = 0.99f64;
+        for _ in 0..150 {
+            let (l_d, l_a) = model(p_star_a, p);
+            let dp = c.compute_shift(p, l_d, l_a);
+            p = if l_d < l_a { (p + dp).min(1.0) } else { (p - dp).max(0.0) };
+        }
+        for _ in 0..300 {
+            let (l_d, l_a) = model(p_star_b, p);
+            let dp = c.compute_shift(p, l_d, l_a);
+            p = if l_d < l_a { (p + dp).min(1.0) } else { (p - dp).max(0.0) };
+        }
+        prop_assert!((p - p_star_b).abs() < 0.08,
+            "p={p} failed to track p* move {p_star_a} -> {p_star_b}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates every figure in one pass, sharing the GUPS sweep between
+//! Figures 1/2 and 5/6. Pass `--quick` for the reduced sweeps.
+
+use experiments::figures;
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let intensities: Vec<usize> = if quick { vec![0, 3] } else { vec![0, 1, 2, 3] };
+
+    // One grid serves figures 1, 2, 5 and 6.
+    let grid =
+        figures::collect_gups_grid(&figures::all_system_policies(), &intensities, true, quick);
+    println!("{}", figures::fig1::render(&grid));
+    println!("{}", figures::fig2::render(&grid));
+    figures::fig4::run(quick);
+    println!("{}", figures::fig5::render(&grid));
+    println!("{}", figures::fig6::render(&grid));
+    figures::fig7::run(quick);
+    figures::fig8::run(quick);
+    figures::fig9::run(quick);
+    figures::fig10::run(quick);
+    figures::fig11::run(quick);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the extended-version sensitivity analyses (the paper's [57]):
+//! ε/δ sensitivity, varying core counts, varying read/write ratios, and the
+//! effective-parallelism-vs-object-size claim from §5.1.
+
+fn main() {
+    experiments::figures::ext::run(experiments::quick_requested());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 of the paper. Pass `--quick` (or set
+//! `COLLOID_QUICK=1`) for the reduced sweep used by the benches.
+
+fn main() {
+    experiments::figures::fig11::run(experiments::quick_requested());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 of the paper. Pass `--quick` (or set
+//! `COLLOID_QUICK=1`) for the reduced sweep used by the benches.
+
+fn main() {
+    experiments::figures::fig6::run(experiments::quick_requested());
+}

@@ -1,0 +1,73 @@
+//! Figure 1: GUPS throughput of HeMem/TPP/MEMTIS vs the best case, at
+//! 0×–3× memory interconnect contention intensity.
+//!
+//! Paper headline: "Even at moderate memory interconnect contention
+//! intensity, existing memory tiering systems achieve performance that is
+//! far from optimal" — gaps up to 2.3×/2.36×/2.46× at 3×.
+
+use crate::figures::{collect_gups_grid, intensity_label, vanilla_policies, GupsGrid};
+use crate::report::{mops, ratio, Table};
+use crate::scenario::Policy;
+
+/// Renders Figure 1 from an already-collected grid.
+pub fn render(grid: &GupsGrid) -> String {
+    let mut out = String::from(
+        "== Figure 1: GUPS throughput (Mops/s), systems vs best-case ==\n",
+    );
+    let mut headers = vec!["policy"];
+    let labels: Vec<String> = grid.intensities.iter().map(|&i| intensity_label(i)).collect();
+    headers.extend(labels.iter().map(String::as_str));
+    let mut t = Table::new(headers.clone());
+
+    let mut best_row = vec!["best-case".to_string()];
+    for &i in &grid.intensities {
+        best_row.push(mops(grid.oracle(i).best_ops_per_sec()));
+    }
+    t.row(best_row);
+    for policy in vanilla_policies() {
+        let mut row = vec![policy.name()];
+        for &i in &grid.intensities {
+            row.push(mops(grid.get(policy, i).ops_per_sec));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+
+    out.push_str("\n-- gap vs best-case (best/system; paper: up to 2.3-2.46x at 3x) --\n");
+    let mut g = Table::new(headers);
+    for policy in vanilla_policies() {
+        let mut row = vec![policy.name()];
+        for &i in &grid.intensities {
+            let best = grid.oracle(i).best_ops_per_sec();
+            let sys = grid.get(policy, i).ops_per_sec;
+            row.push(ratio(best / sys.max(1.0)));
+        }
+        g.row(row);
+    }
+    out.push_str(&g.render());
+
+    out.push_str("\n-- best-case hot fraction in default tier --\n");
+    for &i in &grid.intensities {
+        let o = grid.oracle(i);
+        out.push_str(&format!(
+            "{}: best at {:.0}% hot in default\n",
+            intensity_label(i),
+            o.best_fraction() * 100.0
+        ));
+    }
+    out
+}
+
+/// Runs the Figure 1 experiments and prints the result.
+pub fn run(quick: bool) -> String {
+    let intensities = if quick { vec![0, 3] } else { vec![0, 1, 2, 3] };
+    let grid = collect_gups_grid(&vanilla_policies(), &intensities, true, quick);
+    let s = render(&grid);
+    println!("{s}");
+    s
+}
+
+/// Exposes which policies this figure needs (for the shared all-figs run).
+pub fn policies() -> Vec<Policy> {
+    vanilla_policies()
+}

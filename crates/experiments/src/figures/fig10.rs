@@ -1,0 +1,40 @@
+//! Figure 10: migration rate over time for HeMem and HeMem+Colloid in the
+//! Figure 9 scenarios.
+//!
+//! Paper headline: HeMem+Colloid never exceeds HeMem's peak migration rate;
+//! its rate decays more gradually near convergence because the dynamic
+//! migration limit shrinks with Δp; steady-state migration traffic stays
+//! negligible (< 0.7 % of application throughput).
+
+use crate::figures::fig9::{timeline, Dynamic};
+use crate::report::series;
+use tiersys::SystemKind;
+
+/// Runs the Figure 10 experiments and prints migration-rate timelines.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from("== Figure 10: migration rate over time (HeMem) ==\n");
+    for dynamic in Dynamic::ALL {
+        for colloid in [false, true] {
+            let name = if colloid { "HeMem+Colloid" } else { "HeMem" };
+            eprintln!("[fig10] {name} / {} ...", dynamic.label());
+            let r = timeline(SystemKind::Hemem, colloid, dynamic, quick);
+            let pts: Vec<(f64, f64)> = r
+                .series
+                .iter()
+                .map(|s| {
+                    let dur_s = 100e-6; // one tick
+                    (s.t.as_ns() / 1e6, s.migrated_bytes as f64 / dur_s / 1e6)
+                })
+                .collect();
+            let peak = pts.iter().map(|p| p.1).fold(0.0, f64::max);
+            out.push_str(&series(
+                &format!("{name} | {} | migration MB/s over time (ms)", dynamic.label()),
+                &pts,
+                20,
+            ));
+            out.push_str(&format!("peak migration rate: {peak:.1} MB/s\n"));
+        }
+    }
+    println!("{out}");
+    out
+}

@@ -1,0 +1,63 @@
+//! Figure 11: end-to-end benefits on real-application workloads —
+//! (a) GAPBS PageRank, (b) Silo running YCSB-C, (c) CacheLib running
+//! HeMemKV — each at 0×–3× contention, per system, with and without
+//! Colloid.
+//!
+//! Paper headline improvements at higher intensities: PageRank
+//! 1.05–2.12×, Silo 1.08–1.25×, CacheLib 1.37–1.93×. PageRank's metric in
+//! the paper is execution time (lower is better); here we report its
+//! throughput in operations/s — the improvement ratios are directly
+//! comparable (time ratio = inverse throughput ratio).
+
+use crate::report::{mops, ratio, Table};
+use crate::runner::{run as run_exp, RunConfig};
+use crate::scenario::{build_app, AppKind, Policy};
+use tiersys::SystemKind;
+
+/// Runs the Figure 11 experiments and prints per-application tables.
+pub fn run(quick: bool) -> String {
+    let intensities: Vec<usize> = if quick { vec![0, 3] } else { vec![0, 1, 2, 3] };
+    let rc = if quick {
+        RunConfig::steady_state().quick()
+    } else {
+        RunConfig::steady_state()
+    };
+    let mut out = String::from("== Figure 11: real-application performance with Colloid ==\n");
+    for app in AppKind::ALL {
+        out.push_str(&format!("\n-- {} (throughput, Mops/s) --\n", app.name()));
+        let mut headers = vec!["policy".to_string()];
+        headers.extend(intensities.iter().map(|i| format!("{i}x")));
+        let mut t = Table::new(headers.iter().map(String::as_str).collect());
+        let mut speedups = Table::new(headers.iter().map(String::as_str).collect());
+        for kind in SystemKind::ALL {
+            let mut vrow = vec![kind.name().to_string()];
+            let mut crow = vec![format!("{}+Colloid", kind.name())];
+            let mut srow = vec![kind.name().to_string()];
+            for &i in &intensities {
+                let antagonists = i * 5;
+                eprintln!("[fig11] {} {} @ {i}x ...", app.name(), kind.name());
+                let vanilla = {
+                    let mut e =
+                        build_app(app, antagonists, Policy::System { kind, colloid: false }, 7);
+                    run_exp(&mut e, &rc).ops_per_sec
+                };
+                let colloid = {
+                    let mut e =
+                        build_app(app, antagonists, Policy::System { kind, colloid: true }, 7);
+                    run_exp(&mut e, &rc).ops_per_sec
+                };
+                vrow.push(mops(vanilla));
+                crow.push(mops(colloid));
+                srow.push(ratio(colloid / vanilla.max(1.0)));
+            }
+            t.row(vrow);
+            t.row(crow);
+            speedups.row(srow);
+        }
+        out.push_str(&t.render());
+        out.push_str("\nColloid speedup:\n");
+        out.push_str(&speedups.render());
+    }
+    println!("{out}");
+    out
+}

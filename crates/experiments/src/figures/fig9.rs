@@ -1,0 +1,118 @@
+//! Figure 9: convergence timelines under dynamic changes.
+//!
+//! Three scenarios (columns in the paper), each run for every system with
+//! and without Colloid, reporting instantaneous throughput over time:
+//!
+//! - **hot-set change @ 0×**: the GUPS hot set jumps to a new region with
+//!   no contention — both variants dip and recover identically;
+//! - **hot-set change @ 3×**: under contention, Colloid recovers to its
+//!   *higher* pre-change throughput;
+//! - **contention change 0×→3×**: the antagonist switches on mid-run — the
+//!   vanilla systems stay degraded, Colloid adapts within ~10 s
+//!   (paper timescale; scaled here, see DESIGN.md §5).
+
+use simkit::SimTime;
+
+use crate::report::series;
+use crate::runner::{run as run_exp, RunConfig, RunResult};
+use crate::scenario::{build_gups, GupsScenario, Policy};
+use tiersys::SystemKind;
+
+/// Ticks before the dynamic change.
+const PRE_TICKS: usize = 300;
+/// Ticks after the change.
+const POST_TICKS: usize = 300;
+
+/// The three Figure 9 scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dynamic {
+    /// Hot set jumps at mid-run, no antagonist.
+    HotsetAt0x,
+    /// Hot set jumps at mid-run, 3× antagonist throughout.
+    HotsetAt3x,
+    /// Antagonist switches 0× → 3× at mid-run.
+    ContentionOn,
+}
+
+impl Dynamic {
+    /// All scenarios, in the paper's column order.
+    pub const ALL: [Dynamic; 3] = [
+        Dynamic::HotsetAt0x,
+        Dynamic::HotsetAt3x,
+        Dynamic::ContentionOn,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Dynamic::HotsetAt0x => "hot-set change @ 0x",
+            Dynamic::HotsetAt3x => "hot-set change @ 3x",
+            Dynamic::ContentionOn => "contention 0x -> 3x",
+        }
+    }
+
+    /// Builds the scenario with the change scheduled mid-run.
+    pub fn scenario(self, tick: SimTime, pre_ticks: usize) -> GupsScenario {
+        let t_change = tick * pre_ticks as u64;
+        match self {
+            Dynamic::HotsetAt0x => {
+                let mut sc = GupsScenario::intensity(0);
+                sc.phases = vec![(t_change, 0)];
+                sc
+            }
+            Dynamic::HotsetAt3x => {
+                let mut sc = GupsScenario::intensity(3);
+                sc.phases = vec![(t_change, 0)];
+                sc
+            }
+            Dynamic::ContentionOn => {
+                let mut sc = GupsScenario::intensity(0);
+                sc.antagonist_change = Some((t_change, 15));
+                sc
+            }
+        }
+    }
+}
+
+/// Runs one timeline (system × scenario) and returns the full series.
+pub fn timeline(kind: SystemKind, colloid: bool, dynamic: Dynamic, quick: bool) -> RunResult {
+    let (pre, post) = if quick {
+        (PRE_TICKS / 2, POST_TICKS / 2)
+    } else {
+        (PRE_TICKS, POST_TICKS)
+    };
+    let tick = SimTime::from_us(100.0);
+    let sc = dynamic.scenario(tick, pre);
+    let mut exp = build_gups(&sc, Policy::System { kind, colloid });
+    run_exp(&mut exp, &RunConfig::timeline(pre + post))
+}
+
+/// Runs the Figure 9 grid and prints throughput timelines.
+pub fn run(quick: bool) -> String {
+    let mut out = String::from("== Figure 9: convergence under dynamic changes ==\n");
+    for dynamic in Dynamic::ALL {
+        for kind in SystemKind::ALL {
+            for colloid in [false, true] {
+                let name = if colloid {
+                    format!("{}+Colloid", kind.name())
+                } else {
+                    kind.name().to_string()
+                };
+                eprintln!("[fig9] {name} / {} ...", dynamic.label());
+                let r = timeline(kind, colloid, dynamic, quick);
+                let pts: Vec<(f64, f64)> = r
+                    .series
+                    .iter()
+                    .map(|s| (s.t.as_ns() / 1e6, s.ops_per_sec / 1e6))
+                    .collect();
+                out.push_str(&series(
+                    &format!("{name} | {} | Mops/s over time (ms)", dynamic.label()),
+                    &pts,
+                    20,
+                ));
+            }
+        }
+    }
+    println!("{out}");
+    out
+}

@@ -1,0 +1,38 @@
+//! Evaluation harness: regenerates every figure of the Colloid paper.
+//!
+//! Structure:
+//!
+//! - [`scenario`] — assembles a [`memsim::Machine`], workload cores, and a
+//!   tiering policy into a runnable experiment (GUPS §2.1, GAPBS PageRank,
+//!   Silo YCSB-C, and CacheLib HeMemKV from §5.3).
+//! - [`runner`] — drives an experiment tick by tick to steady state
+//!   (adaptive convergence detection) and measures throughput, per-tier
+//!   latencies and bandwidth splits; optionally records per-tick series for
+//!   the convergence figures.
+//! - [`oracle`] — the best-case baseline: sweeps manual placements of
+//!   0–100 % of the hot set into the default tier (10 % steps, the paper's
+//!   `mbind` methodology) and reports the best.
+//! - [`figures`] — one driver per paper figure; each prints the same
+//!   rows/series the paper reports and returns them as a string. Binaries
+//!   `fig1`…`fig11` (in `src/bin/`) invoke these.
+//! - [`report`] — plain-text table formatting.
+//!
+//! Every driver accepts a *quick* mode (fewer sweep points, shorter
+//! warm-up) used by the Criterion benches; the binaries run full mode by
+//! default and quick mode with `--quick` or `COLLOID_QUICK=1`.
+
+pub mod figures;
+pub mod oracle;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use oracle::{best_case, OracleResult};
+pub use runner::{run, RunConfig, RunResult, TickSample};
+pub use scenario::{AppKind, Experiment, GupsScenario, Policy};
+
+/// Whether quick mode was requested on the command line or environment.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("COLLOID_QUICK").map(|v| v != "0").unwrap_or(false)
+}

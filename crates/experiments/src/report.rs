@@ -1,0 +1,160 @@
+//! Plain-text report formatting for the figure drivers.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table builder.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = experiments::report::Table::new(vec!["system", "0x", "1x"]);
+/// t.row(vec!["HeMem".into(), "1.00".into(), "0.83".into()]);
+/// let s = t.render();
+/// assert!(s.contains("HeMem"));
+/// assert!(s.lines().count() >= 3);
+/// ```
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (cells beyond the header count are kept, shorter
+    /// rows are padded).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        fn cell(r: &[String], c: usize) -> &str {
+            r.get(c).map(String::as_str).unwrap_or("")
+        }
+        for c in 0..cols {
+            widths[c] = self
+                .rows
+                .iter()
+                .map(|r| cell(r, c).len())
+                .chain([self.headers.get(c).map(String::len).unwrap_or(0)])
+                .max()
+                .unwrap_or(0);
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, r: &[String]| {
+            for c in 0..cols {
+                let _ = write!(out, "{:width$}  ", cell(r, c), width = widths[c]);
+            }
+            out.truncate(out.trim_end().len());
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats operations/second in millions with two decimals.
+pub fn mops(ops_per_sec: f64) -> String {
+    format!("{:.2}", ops_per_sec / 1e6)
+}
+
+/// Formats a latency option in nanoseconds.
+pub fn ns(l: Option<f64>) -> String {
+    match l {
+        Some(l) => format!("{l:.0}"),
+        None => "-".into(),
+    }
+}
+
+/// Formats a ratio with two decimals and a trailing `x`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+/// Renders a compact ASCII time series: one `t: value` line per sample
+/// bucket, downsampled to at most `max_lines` lines.
+pub fn series(label: &str, points: &[(f64, f64)], max_lines: usize) -> String {
+    let mut out = format!("-- {label} --\n");
+    if points.is_empty() {
+        out.push_str("(empty)\n");
+        return out;
+    }
+    let stride = points.len().div_ceil(max_lines).max(1);
+    for chunk in points.chunks(stride) {
+        let t = chunk[0].0;
+        let mean = chunk.iter().map(|p| p.1).sum::<f64>() / chunk.len() as f64;
+        let _ = writeln!(out, "t={t:8.2}ms  {mean:12.2}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn table_pads_short_rows() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1".into()]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mops(12_345_678.0), "12.35");
+        assert_eq!(ns(Some(123.4)), "123");
+        assert_eq!(ns(None), "-");
+        assert_eq!(ratio(1.234), "1.23x");
+        assert_eq!(pct(0.25), "25%");
+    }
+
+    #[test]
+    fn series_downsamples() {
+        let pts: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let s = series("test", &pts, 10);
+        assert!(s.lines().count() <= 12);
+        assert!(s.contains("-- test --"));
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(series("x", &[], 5).contains("empty"));
+    }
+}

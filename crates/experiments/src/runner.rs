@@ -1,0 +1,294 @@
+//! Steady-state experiment runner.
+//!
+//! Drives an [`Experiment`] tick by tick: the machine simulates one quantum,
+//! the tiering system reacts, and the runner watches application throughput
+//! until it stabilises (or a tick budget runs out), then measures over a
+//! fixed window — mirroring the paper's "we allow enough time so that each
+//! system reaches steady-state, and measure steady-state application
+//! throughput" (§2.1).
+
+use memsim::{TierId, TrafficClass};
+use simkit::SimTime;
+
+use crate::scenario::Experiment;
+
+/// One per-tick observation (used by the Figure 9/10 timelines).
+#[derive(Debug, Clone, Copy)]
+pub struct TickSample {
+    /// Simulated time at the end of the tick.
+    pub t: SimTime,
+    /// Application throughput over the tick (operations per second).
+    pub ops_per_sec: f64,
+    /// Default-tier Little's-Law latency (ns), if the tier saw traffic.
+    pub l_default_ns: Option<f64>,
+    /// Alternate-tier Little's-Law latency (ns).
+    pub l_alternate_ns: Option<f64>,
+    /// Bytes migrated during the tick.
+    pub migrated_bytes: u64,
+    /// Application bytes served by the default tier during the tick.
+    pub app_bytes_default: u64,
+    /// Application bytes served by the alternate tier during the tick.
+    pub app_bytes_alternate: u64,
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Minimum warm-up ticks before convergence checks begin.
+    pub min_warmup_ticks: usize,
+    /// Hard cap on warm-up ticks.
+    pub max_warmup_ticks: usize,
+    /// Measurement window after warm-up, in ticks.
+    pub measure_ticks: usize,
+    /// Convergence window size (ticks) for the stability test.
+    pub window: usize,
+    /// Relative throughput change between consecutive windows below which
+    /// the run is considered converged.
+    pub tolerance: f64,
+    /// Record per-tick samples for the whole run.
+    pub collect_series: bool,
+}
+
+impl RunConfig {
+    /// Defaults for steady-state measurements of the tiering systems.
+    pub fn steady_state() -> Self {
+        RunConfig {
+            min_warmup_ticks: 150,
+            max_warmup_ticks: 1000,
+            measure_ticks: 100,
+            window: 50,
+            tolerance: 0.02,
+            collect_series: false,
+        }
+    }
+
+    /// Defaults for static placements (no convergence needed beyond queue
+    /// and EWMA warm-up).
+    pub fn static_placement() -> Self {
+        RunConfig {
+            min_warmup_ticks: 25,
+            max_warmup_ticks: 25,
+            measure_ticks: 60,
+            window: 10,
+            tolerance: 1.0,
+            collect_series: false,
+        }
+    }
+
+    /// Defaults for timeline experiments (fixed length, full series).
+    pub fn timeline(ticks: usize) -> Self {
+        RunConfig {
+            min_warmup_ticks: 0,
+            max_warmup_ticks: 0,
+            measure_ticks: ticks,
+            window: usize::MAX,
+            tolerance: 0.0,
+            collect_series: true,
+        }
+    }
+
+    /// Shrinks warm-up/measure windows for quick (bench) mode.
+    pub fn quick(mut self) -> Self {
+        self.min_warmup_ticks = (self.min_warmup_ticks / 2).max(10);
+        self.max_warmup_ticks = (self.max_warmup_ticks / 2).max(20);
+        self.measure_ticks = (self.measure_ticks / 2).max(20);
+        self
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Steady-state application throughput (operations per second).
+    pub ops_per_sec: f64,
+    /// Mean default-tier latency over the measurement window (ns).
+    pub l_default_ns: Option<f64>,
+    /// Mean alternate-tier latency over the measurement window (ns).
+    pub l_alternate_ns: Option<f64>,
+    /// Bytes served per tier per traffic class over the window.
+    pub bytes_by_tier_class: [[u64; TrafficClass::COUNT]; 2],
+    /// Measurement window duration.
+    pub measure_duration: SimTime,
+    /// Warm-up ticks actually used (after convergence detection).
+    pub warmup_ticks_used: usize,
+    /// Per-tick samples (empty unless `collect_series`).
+    pub series: Vec<TickSample>,
+}
+
+impl RunResult {
+    /// Application bandwidth fraction served by the default tier.
+    pub fn default_tier_app_share(&self) -> f64 {
+        let app = TrafficClass::App.index();
+        let d = self.bytes_by_tier_class[0][app] as f64;
+        let a = self.bytes_by_tier_class[1][app] as f64;
+        if d + a <= 0.0 {
+            0.0
+        } else {
+            d / (d + a)
+        }
+    }
+}
+
+/// Runs one tick and converts the report into a sample.
+fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u64) {
+    exp.apply_schedule();
+    let report = exp.machine.run_tick(exp.tick);
+    exp.system.on_tick(&mut exp.machine, &report);
+    let app = TrafficClass::App.index();
+    let mut bytes = [[0u64; TrafficClass::COUNT]; 2];
+    for (i, t) in report.tiers.iter().enumerate().take(2) {
+        bytes[i] = t.bytes_by_class;
+    }
+    let sample = TickSample {
+        t: report.t_end,
+        ops_per_sec: report.app_ops_per_sec(),
+        l_default_ns: report.littles_latency_ns(TierId::DEFAULT),
+        l_alternate_ns: report.littles_latency_ns(TierId::ALTERNATE),
+        migrated_bytes: report.migrated_bytes,
+        app_bytes_default: report.tiers[0].bytes_by_class[app],
+        app_bytes_alternate: report.tiers[1].bytes_by_class[app],
+    };
+    (sample, bytes, report.app_ops)
+}
+
+/// Drives the experiment to steady state, then measures.
+pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
+    let mut series = Vec::new();
+    let mut warmup_used = 0;
+
+    // Warm-up with adaptive convergence detection.
+    let mut window_ops: Vec<f64> = Vec::new();
+    let mut prev_window: Option<f64> = None;
+    let mut stable_windows = 0;
+    for tick in 0..rc.max_warmup_ticks {
+        let (sample, _, _) = step(exp);
+        if rc.collect_series {
+            series.push(sample);
+        }
+        warmup_used = tick + 1;
+        window_ops.push(sample.ops_per_sec);
+        if window_ops.len() >= rc.window {
+            let mean: f64 = window_ops.iter().sum::<f64>() / window_ops.len() as f64;
+            window_ops.clear();
+            if let Some(prev) = prev_window {
+                let rel = (mean - prev).abs() / prev.max(1.0);
+                if rel < rc.tolerance {
+                    stable_windows += 1;
+                } else {
+                    stable_windows = 0;
+                }
+            }
+            prev_window = Some(mean);
+            if stable_windows >= 2 && warmup_used >= rc.min_warmup_ticks {
+                break;
+            }
+        }
+    }
+
+    // Measurement window.
+    let t_begin = exp.machine.now();
+    let mut ops_total = 0u64;
+    let mut bytes_total = [[0u64; TrafficClass::COUNT]; 2];
+    let mut l_d_sum = 0.0;
+    let mut l_d_n = 0u32;
+    let mut l_a_sum = 0.0;
+    let mut l_a_n = 0u32;
+    for _ in 0..rc.measure_ticks {
+        let (sample, bytes, ops) = step(exp);
+        if rc.collect_series {
+            series.push(sample);
+        }
+        ops_total += ops;
+        for i in 0..2 {
+            for c in 0..TrafficClass::COUNT {
+                bytes_total[i][c] += bytes[i][c];
+            }
+        }
+        if let Some(l) = sample.l_default_ns {
+            l_d_sum += l;
+            l_d_n += 1;
+        }
+        if let Some(l) = sample.l_alternate_ns {
+            l_a_sum += l;
+            l_a_n += 1;
+        }
+    }
+    let dur = exp.machine.now().saturating_sub(t_begin);
+
+    RunResult {
+        ops_per_sec: if dur.as_secs() > 0.0 {
+            ops_total as f64 / dur.as_secs()
+        } else {
+            0.0
+        },
+        l_default_ns: (l_d_n > 0).then(|| l_d_sum / l_d_n as f64),
+        l_alternate_ns: (l_a_n > 0).then(|| l_a_sum / l_a_n as f64),
+        bytes_by_tier_class: bytes_total,
+        measure_duration: dur,
+        warmup_ticks_used: warmup_used,
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build_gups, GupsScenario, Policy};
+
+    #[test]
+    fn static_run_measures_throughput_and_latency() {
+        let sc = GupsScenario::intensity(0);
+        let mut exp = build_gups(&sc, Policy::Static {
+            hot_default_fraction: 1.0,
+        });
+        let r = run(&mut exp, &RunConfig::static_placement());
+        assert!(r.ops_per_sec > 1e6, "ops/s = {}", r.ops_per_sec);
+        let l_d = r.l_default_ns.expect("default tier busy");
+        let l_a = r.l_alternate_ns.expect("alternate tier busy");
+        assert!(l_d > 60.0 && l_d < 400.0, "L_D = {l_d}");
+        assert!(l_a > 100.0 && l_a < 400.0, "L_A = {l_a}");
+        // Hot set fully in default: the default tier serves most app bytes.
+        assert!(r.default_tier_app_share() > 0.8);
+    }
+
+    #[test]
+    fn series_collection_records_every_tick() {
+        let sc = GupsScenario::intensity(0);
+        let mut exp = build_gups(&sc, Policy::Static {
+            hot_default_fraction: 0.5,
+        });
+        let r = run(&mut exp, &RunConfig::timeline(30));
+        assert_eq!(r.series.len(), 30);
+        // Time increases monotonically.
+        assert!(r.series.windows(2).all(|w| w[0].t < w[1].t));
+    }
+
+    #[test]
+    fn convergence_detection_stops_early_for_static_load() {
+        let sc = GupsScenario::intensity(0);
+        let mut exp = build_gups(&sc, Policy::Static {
+            hot_default_fraction: 1.0,
+        });
+        let rc = RunConfig {
+            min_warmup_ticks: 30,
+            max_warmup_ticks: 500,
+            measure_ticks: 20,
+            window: 10,
+            tolerance: 0.05,
+            collect_series: false,
+        };
+        let r = run(&mut exp, &rc);
+        assert!(
+            r.warmup_ticks_used < 200,
+            "static load should converge fast, used {}",
+            r.warmup_ticks_used
+        );
+    }
+
+    #[test]
+    fn quick_mode_shrinks_budgets() {
+        let rc = RunConfig::steady_state().quick();
+        assert!(rc.max_warmup_ticks <= RunConfig::steady_state().max_warmup_ticks / 2);
+        assert!(rc.measure_ticks >= 20);
+    }
+}

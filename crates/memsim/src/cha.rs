@@ -1,0 +1,258 @@
+//! Caching and Home Agent (CHA) counter model.
+//!
+//! The CHA is the vantage point Colloid measures from (paper §3.1): every
+//! LLC-missing read enters the CHA when issued and leaves when its data
+//! returns. Intel uncore PMUs expose, per tier, (a) a queue-occupancy
+//! counter that accumulates the number of outstanding requests each cycle,
+//! and (b) an arrival (insert) counter. Reading both over a quantum and
+//! applying Little's Law yields the average CHA→memory read latency:
+//! `L = O / R` with `O` the average occupancy and `R` the arrival rate.
+//!
+//! [`Cha`] reproduces exactly those two counters per tier (as exact
+//! integrals rather than cycle-sampled sums), plus per-class byte counters
+//! standing in for Intel MBM bandwidth monitoring.
+
+use simkit::stats::TimeIntegrator;
+use simkit::SimTime;
+
+use crate::request::{TierId, TrafficClass};
+
+/// Snapshot of one tier's CHA counters at an instant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaCounters {
+    /// Time-integral of read-queue occupancy, in request·ns.
+    pub occupancy_integral: f64,
+    /// Cumulative read arrivals.
+    pub read_arrivals: u64,
+    /// Cumulative bytes moved (reads + writes), per traffic class.
+    pub bytes_by_class: [u64; TrafficClass::COUNT],
+}
+
+/// Per-tier measurement over a window, derived from two snapshots.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TierWindow {
+    /// Average read-queue occupancy `O` over the window.
+    pub occupancy: f64,
+    /// Read arrivals during the window.
+    pub arrivals: u64,
+    /// Arrival rate `R` in requests per nanosecond.
+    pub rate_per_ns: f64,
+    /// Bytes moved during the window, per traffic class.
+    pub bytes_by_class: [u64; TrafficClass::COUNT],
+}
+
+impl TierWindow {
+    /// Little's-Law latency estimate `L = O / R` in nanoseconds.
+    ///
+    /// Returns `None` when the window saw no arrivals (idle tier) — the
+    /// measurement is undefined, and callers (the Colloid controller) must
+    /// fall back to the previous estimate.
+    pub fn littles_latency_ns(&self) -> Option<f64> {
+        if self.arrivals == 0 || self.rate_per_ns <= 0.0 {
+            None
+        } else {
+            Some(self.occupancy / self.rate_per_ns)
+        }
+    }
+
+    /// Total bytes across classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_class.iter().sum()
+    }
+
+    /// Bandwidth in bytes/second over a window of `dur`.
+    pub fn bandwidth_bytes_per_sec(&self, dur: SimTime) -> f64 {
+        let s = dur.as_secs();
+        if s <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / s
+        }
+    }
+}
+
+/// The CHA counter block: one occupancy integrator and one arrival counter
+/// per tier, plus MBM-style per-class byte counters.
+#[derive(Debug, Clone)]
+pub struct Cha {
+    occupancy: Vec<TimeIntegrator>,
+    read_arrivals: Vec<u64>,
+    bytes: Vec<[u64; TrafficClass::COUNT]>,
+}
+
+impl Cha {
+    /// Creates counters for `tiers` memory tiers.
+    pub fn new(tiers: usize) -> Self {
+        Cha {
+            occupancy: vec![TimeIntegrator::new(); tiers],
+            read_arrivals: vec![0; tiers],
+            bytes: vec![[0; TrafficClass::COUNT]; tiers],
+        }
+    }
+
+    /// Records a read entering the CHA for `tier` at time `t`.
+    pub fn on_read_arrival(&mut self, tier: TierId, t: SimTime, class: TrafficClass) {
+        self.occupancy[tier.index()].add(t, 1.0);
+        self.read_arrivals[tier.index()] += 1;
+        self.bytes[tier.index()][class.index()] += 64;
+    }
+
+    /// Records a read's data returning from `tier` at time `t`.
+    pub fn on_read_departure(&mut self, tier: TierId, t: SimTime) {
+        debug_assert!(
+            self.occupancy[tier.index()].current() >= 1.0,
+            "departure without arrival"
+        );
+        self.occupancy[tier.index()].add(t, -1.0);
+    }
+
+    /// Records write (writeback) bytes flowing to `tier`; writes do not
+    /// occupy the read queue (paper §3.1: writes are asynchronous and only
+    /// read latency matters for throughput).
+    pub fn on_write(&mut self, tier: TierId, class: TrafficClass) {
+        self.bytes[tier.index()][class.index()] += 64;
+    }
+
+    /// Number of reads currently outstanding for `tier`.
+    pub fn outstanding(&self, tier: TierId) -> f64 {
+        self.occupancy[tier.index()].current()
+    }
+
+    /// Snapshots one tier's counters at time `t`.
+    pub fn snapshot(&self, tier: TierId, t: SimTime) -> ChaCounters {
+        ChaCounters {
+            occupancy_integral: self.occupancy[tier.index()].integral_at(t),
+            read_arrivals: self.read_arrivals[tier.index()],
+            bytes_by_class: self.bytes[tier.index()],
+        }
+    }
+
+    /// Derives a window measurement between two snapshots of the same tier.
+    pub fn window(prev: &ChaCounters, cur: &ChaCounters, t0: SimTime, t1: SimTime) -> TierWindow {
+        let dt_ns = t1.saturating_sub(t0).as_ns();
+        let arrivals = cur.read_arrivals - prev.read_arrivals;
+        let occupancy = if dt_ns > 0.0 {
+            (cur.occupancy_integral - prev.occupancy_integral) / dt_ns
+        } else {
+            0.0
+        };
+        let mut bytes = [0u64; TrafficClass::COUNT];
+        for i in 0..TrafficClass::COUNT {
+            bytes[i] = cur.bytes_by_class[i] - prev.bytes_by_class[i];
+        }
+        TierWindow {
+            occupancy,
+            arrivals,
+            rate_per_ns: if dt_ns > 0.0 {
+                arrivals as f64 / dt_ns
+            } else {
+                0.0
+            },
+            bytes_by_class: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const D: TierId = TierId::DEFAULT;
+
+    #[test]
+    fn littles_law_on_constant_stream() {
+        // One request always in flight, each taking 100 ns: L = O/R must
+        // recover exactly 100 ns.
+        let mut cha = Cha::new(1);
+        let before = cha.snapshot(D, SimTime::ZERO);
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            cha.on_read_arrival(D, t, TrafficClass::App);
+            t += SimTime::from_ns(100.0);
+            cha.on_read_departure(D, t);
+        }
+        let after = cha.snapshot(D, t);
+        let w = Cha::window(&before, &after, SimTime::ZERO, t);
+        let l = w.littles_latency_ns().unwrap();
+        assert!((l - 100.0).abs() < 1e-6, "L = {l}");
+        assert!((w.occupancy - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn littles_law_with_overlap() {
+        // Two overlapping requests of 100 ns each, arriving together every
+        // 100 ns: occupancy 2, rate 0.02/ns, L = 100 ns.
+        let mut cha = Cha::new(1);
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            cha.on_read_arrival(D, t, TrafficClass::App);
+            cha.on_read_arrival(D, t, TrafficClass::App);
+            t += SimTime::from_ns(100.0);
+            cha.on_read_departure(D, t);
+            cha.on_read_departure(D, t);
+        }
+        let after = cha.snapshot(D, t);
+        let w = Cha::window(&ChaCounters::default(), &after, SimTime::ZERO, t);
+        assert!((w.littles_latency_ns().unwrap() - 100.0).abs() < 1e-6);
+        assert!((w.occupancy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_window_has_no_latency_estimate() {
+        let cha = Cha::new(2);
+        let s0 = cha.snapshot(TierId::ALTERNATE, SimTime::ZERO);
+        let s1 = cha.snapshot(TierId::ALTERNATE, SimTime::from_us(1.0));
+        let w = Cha::window(&s0, &s1, SimTime::ZERO, SimTime::from_us(1.0));
+        assert!(w.littles_latency_ns().is_none());
+    }
+
+    #[test]
+    fn bytes_attributed_per_class() {
+        let mut cha = Cha::new(1);
+        cha.on_read_arrival(D, SimTime::ZERO, TrafficClass::App);
+        cha.on_read_arrival(D, SimTime::ZERO, TrafficClass::Antagonist);
+        cha.on_write(D, TrafficClass::Migration);
+        let s = cha.snapshot(D, SimTime::from_ns(1.0));
+        assert_eq!(s.bytes_by_class[TrafficClass::App.index()], 64);
+        assert_eq!(s.bytes_by_class[TrafficClass::Antagonist.index()], 64);
+        assert_eq!(s.bytes_by_class[TrafficClass::Migration.index()], 64);
+    }
+
+    #[test]
+    fn writes_do_not_occupy_read_queue() {
+        let mut cha = Cha::new(1);
+        cha.on_write(D, TrafficClass::App);
+        assert_eq!(cha.outstanding(D), 0.0);
+        let s = cha.snapshot(D, SimTime::from_ns(10.0));
+        assert_eq!(s.read_arrivals, 0);
+        assert_eq!(s.occupancy_integral, 0.0);
+    }
+
+    #[test]
+    fn window_bandwidth() {
+        let mut cha = Cha::new(1);
+        for _ in 0..1000 {
+            cha.on_write(D, TrafficClass::App);
+        }
+        let s = cha.snapshot(D, SimTime::from_us(1.0));
+        let w = Cha::window(
+            &ChaCounters::default(),
+            &s,
+            SimTime::ZERO,
+            SimTime::from_us(1.0),
+        );
+        // 64 KB in 1 us = 64 GB/s.
+        let bw = w.bandwidth_bytes_per_sec(SimTime::from_us(1.0));
+        assert!((bw - 64e9).abs() / 64e9 < 1e-9);
+    }
+
+    #[test]
+    fn tiers_are_independent() {
+        let mut cha = Cha::new(2);
+        cha.on_read_arrival(TierId::DEFAULT, SimTime::ZERO, TrafficClass::App);
+        let s_alt = cha.snapshot(TierId::ALTERNATE, SimTime::from_ns(5.0));
+        assert_eq!(s_alt.read_arrivals, 0);
+        let s_def = cha.snapshot(TierId::DEFAULT, SimTime::from_ns(5.0));
+        assert_eq!(s_def.read_arrivals, 1);
+    }
+}

@@ -1,0 +1,1296 @@
+//! The simulated machine: closed-loop cores driving the tiered memory
+//! system, with the hardware facilities tiering systems rely on.
+//!
+//! A [`Machine`] assembles:
+//!
+//! - **cores** running [`AccessStream`] workloads with bounded in-flight
+//!   demand misses (LFBs) and prefetch misses — the per-core memory-level
+//!   parallelism bound `N` that makes per-core throughput `T = N·64/L`
+//!   (paper §3.1);
+//! - **tiers**, each a [`MemoryController`] optionally behind a serial
+//!   [`Link`] (UPI/CXL);
+//! - the **CHA** with per-tier occupancy/arrival counters (the Colloid
+//!   measurement vantage point) and MBM-style per-class byte counters;
+//! - a **page-placement map** (virtual page → tier) that tiering systems
+//!   mutate through migrations;
+//! - a **migration DMA engine** that copies pages between tiers at a
+//!   configurable bandwidth, injecting real read/write traffic;
+//! - **access-tracking hardware**: PEBS-style sampling of demand misses and
+//!   page-table-protection hint faults (TPP).
+//!
+//! Control software (the tiering systems in `tiersys`) advances the machine
+//! one *tick* at a time with [`Machine::run_tick`], receives a
+//! [`TickReport`] of everything the hardware observed, and reacts by
+//! enqueueing migrations or re-marking pages.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::rng::seed_from;
+use simkit::stats::LatencyHist;
+use simkit::{EventQueue, SimTime};
+
+use std::collections::VecDeque;
+
+use crate::cha::{Cha, ChaCounters, TierWindow};
+use crate::config::{CoreConfig, MachineConfig};
+use crate::controller::{Link, MemoryController};
+use crate::request::{
+    AccessKind, HintFault, ObjectAccess, PebsSample, TierId, TrafficClass, Vpn, LINES_PER_PAGE,
+    LINE_SIZE, PAGE_SIZE,
+};
+
+/// A workload: an infinite stream of object-granularity memory accesses.
+///
+/// Implementations live in the `workloads` crate (GUPS, antagonist,
+/// PageRank, ...). `now` lets time-varying workloads switch phases.
+pub trait AccessStream {
+    /// Produces the next object access issued by this core.
+    fn next(&mut self, now: SimTime, rng: &mut SmallRng) -> ObjectAccess;
+}
+
+/// Identifier of a simulated core.
+pub type CoreId = usize;
+
+/// Internal per-object in-flight state.
+#[derive(Debug, Clone, Copy)]
+struct ObjectState {
+    vaddr: u64,
+    lines_total: u16,
+    lines_issued: u16,
+    lines_done: u16,
+    is_write: bool,
+    llc_hit_prob: f32,
+    live: bool,
+}
+
+/// Internal per-core state.
+struct Core {
+    cfg: CoreConfig,
+    class: TrafficClass,
+    stream: Box<dyn AccessStream>,
+    rng: SmallRng,
+    active: bool,
+    demand_free: usize,
+    prefetch_free: usize,
+    /// Object currently being issued (may be partially issued).
+    cur: Option<u32>,
+    /// Next object pulled from the stream but blocked on dependence.
+    pending: Option<ObjectAccess>,
+    /// Number of live (incomplete) objects.
+    live_objects: u32,
+    objects: Vec<ObjectState>,
+    free_objects: Vec<u32>,
+    think_until: SimTime,
+    wake_scheduled: bool,
+    ops_completed: u64,
+    lines_issued_total: u64,
+}
+
+impl Core {
+    fn alloc_object(&mut self, acc: &ObjectAccess) -> u32 {
+        debug_assert!(acc.size >= 1, "zero-sized object access");
+        let st = ObjectState {
+            vaddr: acc.vaddr,
+            lines_total: acc.num_lines() as u16,
+            lines_issued: 0,
+            lines_done: 0,
+            is_write: acc.is_write,
+            llc_hit_prob: acc.llc_hit_prob,
+            live: true,
+        };
+        self.live_objects += 1;
+        if let Some(idx) = self.free_objects.pop() {
+            self.objects[idx as usize] = st;
+            idx
+        } else {
+            self.objects.push(st);
+            (self.objects.len() - 1) as u32
+        }
+    }
+
+    fn free_object(&mut self, idx: u32) {
+        self.objects[idx as usize].live = false;
+        self.live_objects -= 1;
+        self.free_objects.push(idx);
+    }
+}
+
+/// One in-flight migration page job.
+#[derive(Debug, Clone, Copy)]
+struct MigJob {
+    vpn: Vpn,
+    dst: TierId,
+    lines_read: u16,
+    lines_done: u16,
+    live: bool,
+}
+
+/// Simulator events.
+enum Ev {
+    /// A core's cache line completed (LLC hit or memory read).
+    LineDone {
+        core: CoreId,
+        obj: u32,
+        demand: bool,
+        tier: Option<TierId>,
+    },
+    /// Re-try issuing on a core (think time expiry / activation).
+    CoreWake { core: CoreId },
+    /// Dirty lines written back to memory.
+    Writeback {
+        vaddr: u64,
+        lines: u16,
+        class: TrafficClass,
+    },
+    /// Migration engine: issue the next read of job `job`.
+    MigRead { job: u32 },
+    /// Migration engine: a page-copy read returned; write to destination.
+    MigLineDone { job: u32, src: TierId },
+    /// Migration engine: start the next queued page.
+    MigStart,
+    /// CHA read-queue departure decoupled from the core's completion (used
+    /// when a hint fault delays the core beyond the memory response).
+    ChaDepart { tier: TierId },
+}
+
+/// Per-tier hardware of one memory tier.
+struct TierHw {
+    controller: MemoryController,
+    link: Option<Link>,
+    t_req: SimTime,
+    t_rsp: SimTime,
+}
+
+impl TierHw {
+    /// Full read path: CHA → (link) → controller → (link) → CHA.
+    fn read(&mut self, t: SimTime, line_addr: u64) -> SimTime {
+        let at_mc = match &mut self.link {
+            Some(l) => l.send_request(t + self.t_req),
+            None => t + self.t_req,
+        };
+        let out = self.controller.schedule(at_mc, line_addr, AccessKind::Read);
+        let back = match &mut self.link {
+            Some(l) => l.send_response(out.done),
+            None => out.done,
+        };
+        back + self.t_rsp
+    }
+
+    /// Fire-and-forget write path (writeback / migration copy-in).
+    fn write(&mut self, t: SimTime, line_addr: u64) {
+        let at_mc = match &mut self.link {
+            Some(l) => l.send_request(t + self.t_req),
+            None => t + self.t_req,
+        };
+        self.controller.schedule(at_mc, line_addr, AccessKind::Write);
+    }
+}
+
+/// Everything in the machine except the cores (split for borrow hygiene).
+struct Shared {
+    cfg: MachineConfig,
+    events: EventQueue<Ev>,
+    tiers: Vec<TierHw>,
+    cha: Cha,
+    /// Virtual page → tier (u8::MAX = unmapped).
+    placement: Vec<u8>,
+    /// Pages that must never migrate (e.g. the antagonist's pinned buffer).
+    pinned: Vec<bool>,
+    used_pages: Vec<u64>,
+    // Access tracking.
+    marked: Vec<bool>,
+    marked_at: Vec<SimTime>,
+    pebs_counter: u64,
+    pebs_period: u64,
+    pebs_buf: Vec<PebsSample>,
+    fault_buf: Vec<HintFault>,
+    // Migration engine.
+    mig_queue: VecDeque<(Vpn, TierId)>,
+    mig_jobs: Vec<MigJob>,
+    mig_free_jobs: Vec<u32>,
+    mig_engine_free: SimTime,
+    mig_engine_idle: bool,
+    mig_inflight_to: Vec<u64>,
+    migrated_pages: u64,
+    migrated_bytes: u64,
+    // Telemetry.
+    lat_hist: Vec<LatencyHist>,
+    hint_fault_cost: SimTime,
+    llc_hit_latency: SimTime,
+}
+
+impl Shared {
+    fn tier_of(&self, vpn: Vpn) -> TierId {
+        let t = self.placement[vpn as usize];
+        debug_assert!(t != u8::MAX, "access to unmapped page {vpn}");
+        TierId(t)
+    }
+}
+
+/// Hardware counters and tracking data collected over one tick.
+#[derive(Debug, Clone)]
+pub struct TickReport {
+    /// Tick start time.
+    pub t_start: SimTime,
+    /// Tick end time.
+    pub t_end: SimTime,
+    /// Per-tier CHA window (occupancy, arrivals, rate, per-class bytes).
+    pub tiers: Vec<TierWindow>,
+    /// PEBS samples captured this tick (drained).
+    pub pebs: Vec<PebsSample>,
+    /// Hint faults fired this tick (drained).
+    pub faults: Vec<HintFault>,
+    /// Application object accesses completed this tick.
+    pub app_ops: u64,
+    /// Bytes of pages copied by the migration engine this tick.
+    pub migrated_bytes: u64,
+    /// Pages still waiting in the migration queue at tick end.
+    pub migration_backlog: usize,
+    /// Mean *measured per-request* read latency per tier this tick, in ns
+    /// (ground truth for validating Little's-Law estimates); `None` if the
+    /// tier was idle.
+    pub true_latency_ns: Vec<Option<f64>>,
+}
+
+impl TickReport {
+    /// Tick duration.
+    pub fn duration(&self) -> SimTime {
+        self.t_end.saturating_sub(self.t_start)
+    }
+
+    /// Application throughput in operations per (simulated) second.
+    pub fn app_ops_per_sec(&self) -> f64 {
+        let s = self.duration().as_secs();
+        if s > 0.0 {
+            self.app_ops as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Little's-Law latency estimate for `tier`, if measurable.
+    pub fn littles_latency_ns(&self, tier: TierId) -> Option<f64> {
+        self.tiers[tier.index()].littles_latency_ns()
+    }
+}
+
+/// The simulated tiered-memory machine.
+pub struct Machine {
+    cores: Vec<Core>,
+    sh: Shared,
+    now: SimTime,
+    tick_app_ops: u64,
+    tick_mig_bytes: u64,
+    rng_streams: u64,
+}
+
+impl Machine {
+    /// Builds an empty machine (no cores yet) from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let vp = cfg.virtual_pages as usize;
+        let tiers = cfg
+            .tiers
+            .iter()
+            .map(|t| TierHw {
+                controller: MemoryController::new(t.dram.clone()),
+                link: t.link.as_ref().map(Link::new),
+                t_req: t.t_fixed / 2,
+                t_rsp: t.t_fixed - t.t_fixed / 2,
+            })
+            .collect::<Vec<_>>();
+        let n_tiers = tiers.len();
+        let sh = Shared {
+            events: EventQueue::new(),
+            tiers,
+            cha: Cha::new(n_tiers),
+            placement: vec![u8::MAX; vp],
+            pinned: vec![false; vp],
+            used_pages: vec![0; n_tiers],
+            marked: vec![false; vp],
+            marked_at: vec![SimTime::ZERO; vp],
+            pebs_counter: 0,
+            pebs_period: cfg.pebs_period,
+            pebs_buf: Vec::new(),
+            fault_buf: Vec::new(),
+            mig_queue: VecDeque::new(),
+            mig_jobs: Vec::new(),
+            mig_free_jobs: Vec::new(),
+            mig_engine_free: SimTime::ZERO,
+            mig_engine_idle: true,
+            mig_inflight_to: vec![0; n_tiers],
+            migrated_pages: 0,
+            migrated_bytes: 0,
+            lat_hist: vec![LatencyHist::new(); n_tiers],
+            hint_fault_cost: cfg.hint_fault_cost,
+            llc_hit_latency: cfg.llc_hit_latency,
+            cfg,
+        };
+        Machine {
+            cores: Vec::new(),
+            sh,
+            now: SimTime::ZERO,
+            tick_app_ops: 0,
+            tick_mig_bytes: 0,
+            rng_streams: 0,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.sh.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Adds a core running `stream`; returns its id. Cores start active.
+    pub fn add_core(
+        &mut self,
+        stream: Box<dyn AccessStream>,
+        cfg: CoreConfig,
+        class: TrafficClass,
+    ) -> CoreId {
+        let id = self.cores.len();
+        let rng = seed_from(self.sh.cfg.seed, self.rng_streams);
+        self.rng_streams += 1;
+        self.cores.push(Core {
+            demand_free: cfg.demand_slots,
+            prefetch_free: cfg.prefetch_slots,
+            cfg,
+            class,
+            stream,
+            rng,
+            active: true,
+            cur: None,
+            pending: None,
+            live_objects: 0,
+            objects: Vec::new(),
+            free_objects: Vec::new(),
+            think_until: SimTime::ZERO,
+            wake_scheduled: false,
+            ops_completed: 0,
+            lines_issued_total: 0,
+        });
+        // Kick the core off at the current time.
+        self.sh.events.push(self.now, Ev::CoreWake { core: id });
+        self.cores[id].wake_scheduled = true;
+        id
+    }
+
+    /// Activates or deactivates a core (used to change antagonist
+    /// intensity mid-experiment). A deactivated core finishes its in-flight
+    /// requests but issues no new ones.
+    pub fn set_core_active(&mut self, core: CoreId, active: bool) {
+        let was = self.cores[core].active;
+        self.cores[core].active = active;
+        if active && !was && !self.cores[core].wake_scheduled {
+            self.sh.events.push(self.now, Ev::CoreWake { core });
+            self.cores[core].wake_scheduled = true;
+        }
+    }
+
+    /// Total object accesses completed by `core`.
+    pub fn core_ops(&self, core: CoreId) -> u64 {
+        self.cores[core].ops_completed
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    // ---- Placement management -------------------------------------------
+
+    /// Maps `vpn` to `tier` without generating traffic (initial placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tier is out of capacity or the page is already mapped.
+    pub fn place(&mut self, vpn: Vpn, tier: TierId) {
+        assert_eq!(self.sh.placement[vpn as usize], u8::MAX, "page remapped");
+        assert!(
+            self.sh.used_pages[tier.index()] < self.sh.cfg.tiers[tier.index()].capacity_pages(),
+            "tier {tier:?} out of capacity"
+        );
+        self.sh.placement[vpn as usize] = tier.0;
+        self.sh.used_pages[tier.index()] += 1;
+    }
+
+    /// Maps a contiguous range of pages to `tier`.
+    pub fn place_range(&mut self, vpns: std::ops::Range<Vpn>, tier: TierId) {
+        for vpn in vpns {
+            self.place(vpn, tier);
+        }
+    }
+
+    /// Pins `vpn` so that migrations of it are rejected.
+    pub fn pin(&mut self, vpn: Vpn) {
+        self.sh.pinned[vpn as usize] = true;
+    }
+
+    /// Tier currently holding `vpn` (`None` if unmapped).
+    pub fn tier_of(&self, vpn: Vpn) -> Option<TierId> {
+        let t = self.sh.placement[vpn as usize];
+        if t == u8::MAX {
+            None
+        } else {
+            Some(TierId(t))
+        }
+    }
+
+    /// Pages currently mapped to `tier` (including in-flight migrations'
+    /// reservations at the destination).
+    pub fn used_pages(&self, tier: TierId) -> u64 {
+        self.sh.used_pages[tier.index()] + self.sh.mig_inflight_to[tier.index()]
+    }
+
+    /// Free page frames in `tier`, accounting for in-flight migrations.
+    pub fn free_pages(&self, tier: TierId) -> u64 {
+        self.sh.cfg.tiers[tier.index()]
+            .capacity_pages()
+            .saturating_sub(self.used_pages(tier))
+    }
+
+    // ---- Access tracking hooks ------------------------------------------
+
+    /// Sets the PEBS sampling period (one sample per `period` demand
+    /// misses; 0 disables).
+    pub fn set_pebs_period(&mut self, period: u64) {
+        self.sh.pebs_period = period;
+    }
+
+    /// Marks `vpn` for hint-fault tracking (TPP page-table scan).
+    pub fn mark_page(&mut self, vpn: Vpn) {
+        self.sh.marked[vpn as usize] = true;
+        self.sh.marked_at[vpn as usize] = self.now;
+    }
+
+    /// Whether `vpn` is currently marked.
+    pub fn is_marked(&self, vpn: Vpn) -> bool {
+        self.sh.marked[vpn as usize]
+    }
+
+    // ---- Migration -------------------------------------------------------
+
+    /// Enqueues a page migration to `dst`. Returns `false` (and does
+    /// nothing) if the page is unmapped, pinned, already at `dst`, or `dst`
+    /// has no free frames left.
+    pub fn enqueue_migration(&mut self, vpn: Vpn, dst: TierId) -> bool {
+        let cur = self.sh.placement[vpn as usize];
+        if cur == u8::MAX || cur == dst.0 || self.sh.pinned[vpn as usize] {
+            return false;
+        }
+        if self.free_pages(dst) == 0 {
+            return false;
+        }
+        // Reserve the destination frame now so capacity cannot oversubscribe.
+        self.sh.mig_inflight_to[dst.index()] += 1;
+        self.sh.mig_queue.push_back((vpn, dst));
+        if self.sh.mig_engine_idle {
+            self.sh.mig_engine_idle = false;
+            let t = self.now.max(self.sh.mig_engine_free);
+            self.sh.events.push(t, Ev::MigStart);
+        }
+        true
+    }
+
+    /// Pages waiting in the migration queue.
+    pub fn migration_backlog(&self) -> usize {
+        self.sh.mig_queue.len()
+    }
+
+    /// Total pages migrated since construction.
+    pub fn migrated_pages(&self) -> u64 {
+        self.sh.migrated_pages
+    }
+
+    // ---- Simulation loop --------------------------------------------------
+
+    /// Runs the machine for `dur` of simulated time and reports what the
+    /// hardware observed.
+    pub fn run_tick(&mut self, dur: SimTime) -> TickReport {
+        let t_start = self.now;
+        let t_end = t_start + dur;
+        let n_tiers = self.sh.tiers.len();
+        let snap_before: Vec<ChaCounters> = (0..n_tiers)
+            .map(|i| self.sh.cha.snapshot(TierId(i as u8), t_start))
+            .collect();
+        let hist_before: Vec<(u64, f64)> = self
+            .sh
+            .lat_hist
+            .iter()
+            .map(|h| (h.count(), h.mean_ns() * h.count() as f64))
+            .collect();
+        self.tick_app_ops = 0;
+        self.tick_mig_bytes = 0;
+
+        while let Some(t) = self.sh.events.peek_time() {
+            if t > t_end {
+                break;
+            }
+            let (t, ev) = self.sh.events.pop().expect("peeked event");
+            self.now = t;
+            self.dispatch(t, ev);
+        }
+        self.now = t_end;
+
+        let tiers: Vec<TierWindow> = (0..n_tiers)
+            .map(|i| {
+                let after = self.sh.cha.snapshot(TierId(i as u8), t_end);
+                Cha::window(&snap_before[i], &after, t_start, t_end)
+            })
+            .collect();
+        let true_latency_ns = self
+            .sh
+            .lat_hist
+            .iter()
+            .zip(hist_before.iter())
+            .map(|(h, (c0, sum0))| {
+                let dc = h.count() - c0;
+                if dc == 0 {
+                    None
+                } else {
+                    Some((h.mean_ns() * h.count() as f64 - sum0) / dc as f64)
+                }
+            })
+            .collect();
+
+        TickReport {
+            t_start,
+            t_end,
+            tiers,
+            pebs: std::mem::take(&mut self.sh.pebs_buf),
+            faults: std::mem::take(&mut self.sh.fault_buf),
+            app_ops: self.tick_app_ops,
+            migrated_bytes: self.tick_mig_bytes,
+            migration_backlog: self.sh.mig_queue.len(),
+            true_latency_ns,
+        }
+    }
+
+    fn dispatch(&mut self, t: SimTime, ev: Ev) {
+        match ev {
+            Ev::LineDone {
+                core,
+                obj,
+                demand,
+                tier,
+            } => {
+                if let Some(tier) = tier {
+                    self.sh.cha.on_read_departure(tier, t);
+                }
+                let c = &mut self.cores[core];
+                if demand {
+                    c.demand_free += 1;
+                } else {
+                    c.prefetch_free += 1;
+                }
+                let st = &mut c.objects[obj as usize];
+                st.lines_done += 1;
+                if st.lines_done == st.lines_total {
+                    let (vaddr, lines, is_write) = (st.vaddr, st.lines_total, st.is_write);
+                    let class = c.class;
+                    c.ops_completed += 1;
+                    if class == TrafficClass::App {
+                        self.tick_app_ops += 1;
+                    }
+                    c.free_object(obj);
+                    if is_write {
+                        // Dirty lines leave the cache a little later.
+                        self.sh.events.push(
+                            t + SimTime::from_ns(40.0),
+                            Ev::Writeback {
+                                vaddr,
+                                lines,
+                                class,
+                            },
+                        );
+                    }
+                }
+                Self::try_issue(&mut self.cores[core], &mut self.sh, core, t);
+            }
+            Ev::CoreWake { core } => {
+                self.cores[core].wake_scheduled = false;
+                Self::try_issue(&mut self.cores[core], &mut self.sh, core, t);
+            }
+            Ev::Writeback {
+                vaddr,
+                lines,
+                class,
+            } => {
+                for i in 0..lines as u64 {
+                    let line_addr = vaddr / LINE_SIZE + i;
+                    let vpn = line_addr * LINE_SIZE / PAGE_SIZE;
+                    let tier = self.sh.tier_of(vpn);
+                    self.sh.cha.on_write(tier, class);
+                    self.sh.tiers[tier.index()].write(t, line_addr);
+                }
+            }
+            Ev::MigStart => {
+                self.mig_start(t);
+            }
+            Ev::MigRead { job } => {
+                self.mig_read(t, job);
+            }
+            Ev::MigLineDone { job, src } => {
+                self.sh.cha.on_read_departure(src, t);
+                self.mig_line_done(t, job);
+            }
+            Ev::ChaDepart { tier } => {
+                self.sh.cha.on_read_departure(tier, t);
+            }
+        }
+    }
+
+    // ---- Core issue path ---------------------------------------------------
+
+    /// Issues as many cache-line requests as slots and dependences allow.
+    fn try_issue(core: &mut Core, sh: &mut Shared, core_id: CoreId, t: SimTime) {
+        loop {
+            // Respect think time between objects.
+            if t < core.think_until {
+                if !core.wake_scheduled {
+                    sh.events.push(core.think_until, Ev::CoreWake { core: core_id });
+                    core.wake_scheduled = true;
+                }
+                return;
+            }
+            // Ensure there is a current object to issue from.
+            if core.cur.is_none() {
+                let acc = if let Some(p) = core.pending.take() {
+                    p
+                } else {
+                    if !core.active {
+                        return;
+                    }
+                    core.stream.next(t, &mut core.rng)
+                };
+                if acc.dependent && core.live_objects > 0 {
+                    // Pointer chase: wait for in-flight work to finish.
+                    core.pending = Some(acc);
+                    return;
+                }
+                let idx = core.alloc_object(&acc);
+                core.cur = Some(idx);
+            }
+            let idx = core.cur.expect("current object");
+            let st = core.objects[idx as usize];
+            // Issue remaining lines: the first line is a demand miss, the
+            // rest ride the prefetcher.
+            let mut i = st.lines_issued;
+            while i < st.lines_total {
+                let demand = i == 0;
+                if demand && core.demand_free == 0 {
+                    core.objects[idx as usize].lines_issued = i;
+                    return;
+                }
+                if !demand && core.prefetch_free == 0 {
+                    core.objects[idx as usize].lines_issued = i;
+                    return;
+                }
+                let line_addr = st.vaddr / LINE_SIZE + i as u64;
+                Self::issue_line(core, sh, core_id, t, line_addr, demand, idx, st.llc_hit_prob);
+                i += 1;
+            }
+            core.objects[idx as usize].lines_issued = i;
+            core.cur = None;
+            if !core.cfg.think_time.is_zero() {
+                core.think_until = t + core.cfg.think_time;
+            }
+        }
+    }
+
+    /// Issues one cache-line read and schedules its completion.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_line(
+        core: &mut Core,
+        sh: &mut Shared,
+        core_id: CoreId,
+        t: SimTime,
+        line_addr: u64,
+        demand: bool,
+        obj: u32,
+        llc_hit_prob: f32,
+    ) {
+        if demand {
+            core.demand_free -= 1;
+        } else {
+            core.prefetch_free -= 1;
+        }
+        core.lines_issued_total += 1;
+
+        // LLC hit: never reaches memory.
+        if llc_hit_prob > 0.0 && core.rng.gen::<f32>() < llc_hit_prob {
+            sh.events.push(
+                t + sh.llc_hit_latency,
+                Ev::LineDone {
+                    core: core_id,
+                    obj,
+                    demand,
+                    tier: None,
+                },
+            );
+            return;
+        }
+
+        let vpn = line_addr * LINE_SIZE / PAGE_SIZE;
+        let tier = sh.tier_of(vpn);
+
+        // Hint fault (TPP): demand access to a marked page traps.
+        let mut fault_cost = SimTime::ZERO;
+        if demand && sh.marked[vpn as usize] {
+            sh.marked[vpn as usize] = false;
+            sh.fault_buf.push(HintFault {
+                vpn,
+                time_to_fault_ns: t.saturating_sub(sh.marked_at[vpn as usize]).as_ns(),
+                tier,
+            });
+            fault_cost = sh.hint_fault_cost;
+        }
+
+        // PEBS sampling of application demand misses.
+        if demand && core.class == TrafficClass::App && sh.pebs_period > 0 {
+            sh.pebs_counter += 1;
+            if sh.pebs_counter.is_multiple_of(sh.pebs_period) {
+                sh.pebs_buf.push(PebsSample {
+                    vpn,
+                    is_write: core.objects[obj as usize].is_write,
+                    tier,
+                });
+            }
+        }
+
+        sh.cha.on_read_arrival(tier, t, core.class);
+        let mem_done = sh.tiers[tier.index()].read(t, line_addr);
+        sh.lat_hist[tier.index()].record(mem_done.saturating_sub(t));
+        if fault_cost.is_zero() {
+            sh.events.push(
+                mem_done,
+                Ev::LineDone {
+                    core: core_id,
+                    obj,
+                    demand,
+                    tier: Some(tier),
+                },
+            );
+        } else {
+            // The kernel's fault handler runs on the CPU side: the CHA sees
+            // the memory read complete at `mem_done`, while the core's slot
+            // is held until the handler returns.
+            sh.events.push(mem_done, Ev::ChaDepart { tier });
+            sh.events.push(
+                mem_done + fault_cost,
+                Ev::LineDone {
+                    core: core_id,
+                    obj,
+                    demand,
+                    tier: None,
+                },
+            );
+        }
+    }
+
+    // ---- Migration engine ---------------------------------------------------
+
+    fn mig_start(&mut self, t: SimTime) {
+        let Some((vpn, dst)) = self.sh.mig_queue.pop_front() else {
+            self.sh.mig_engine_idle = true;
+            return;
+        };
+        // Re-validate: the page may have been migrated or unmapped since.
+        let src = self.sh.placement[vpn as usize];
+        if src == u8::MAX || src == dst.0 {
+            self.sh.mig_inflight_to[dst.index()] -= 1;
+            // Try the next queued page immediately.
+            self.sh.events.push(t, Ev::MigStart);
+            return;
+        }
+        let job = MigJob {
+            vpn,
+            dst,
+            lines_read: 0,
+            lines_done: 0,
+            live: true,
+        };
+        let id = if let Some(i) = self.sh.mig_free_jobs.pop() {
+            self.sh.mig_jobs[i as usize] = job;
+            i
+        } else {
+            self.sh.mig_jobs.push(job);
+            (self.sh.mig_jobs.len() - 1) as u32
+        };
+        // Pace the copy at the configured migration bandwidth.
+        let page_time = SimTime::from_ns(PAGE_SIZE as f64 / self.sh.cfg.migration_bandwidth * 1e9);
+        self.sh.mig_engine_free = t + page_time;
+        self.sh.events.push(t, Ev::MigRead { job: id });
+        // The next page starts when the engine has bandwidth budget again.
+        self.sh.events.push(self.sh.mig_engine_free, Ev::MigStart);
+    }
+
+    fn mig_read(&mut self, t: SimTime, job_id: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        let src = self.sh.tier_of(job.vpn);
+        let line_addr = job.vpn * LINES_PER_PAGE + job.lines_read as u64;
+        self.sh.cha.on_read_arrival(src, t, TrafficClass::Migration);
+        let done = self.sh.tiers[src.index()].read(t, line_addr);
+        self.sh
+            .events
+            .push(done, Ev::MigLineDone { job: job_id, src });
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.lines_read += 1;
+        if (j.lines_read as u64) < LINES_PER_PAGE {
+            // Space the copy's reads evenly across the page's time budget.
+            let spacing =
+                SimTime::from_ns(PAGE_SIZE as f64 / self.sh.cfg.migration_bandwidth * 1e9)
+                    / LINES_PER_PAGE;
+            self.sh.events.push(t + spacing, Ev::MigRead { job: job_id });
+        }
+    }
+
+    fn mig_line_done(&mut self, t: SimTime, job_id: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        debug_assert!(job.live);
+        // Write the line into the destination tier.
+        let line_addr = job.vpn * LINES_PER_PAGE + job.lines_done as u64;
+        self.sh.cha.on_write(job.dst, TrafficClass::Migration);
+        self.sh.tiers[job.dst.index()].write(t, line_addr);
+        self.tick_mig_bytes += LINE_SIZE;
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.lines_done += 1;
+        if j.lines_done as u64 == LINES_PER_PAGE {
+            // Copy complete: flip the mapping.
+            let src = self.sh.tier_of(job.vpn);
+            self.sh.placement[job.vpn as usize] = job.dst.0;
+            self.sh.used_pages[src.index()] -= 1;
+            self.sh.used_pages[job.dst.index()] += 1;
+            self.sh.mig_inflight_to[job.dst.index()] -= 1;
+            self.sh.migrated_pages += 1;
+            self.sh.migrated_bytes += PAGE_SIZE;
+            self.sh.mig_jobs[job_id as usize].live = false;
+            self.sh.mig_free_jobs.push(job_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    /// A stream that reads one fixed line forever (always LLC-missing).
+    struct FixedLine(u64);
+    impl AccessStream for FixedLine {
+        fn next(&mut self, _now: SimTime, _rng: &mut SmallRng) -> ObjectAccess {
+            ObjectAccess::read_line(self.0)
+        }
+    }
+
+    /// A stream reading random lines over a page range.
+    struct RandomPages {
+        start: Vpn,
+        pages: u64,
+    }
+    impl AccessStream for RandomPages {
+        fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+            let vpn = self.start + rng.gen_range(0..self.pages);
+            let off = rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE;
+            ObjectAccess::read_line(vpn * PAGE_SIZE + off)
+        }
+    }
+
+    fn machine_one_core(mlp: usize) -> Machine {
+        let cfg = MachineConfig::icelake_two_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..1024, TierId::DEFAULT);
+        m.add_core(
+            Box::new(RandomPages {
+                start: 0,
+                pages: 1024,
+            }),
+            CoreConfig {
+                demand_slots: mlp,
+                prefetch_slots: 0,
+                think_time: SimTime::ZERO,
+            },
+            TrafficClass::App,
+        );
+        m
+    }
+
+    #[test]
+    fn single_inflight_latency_is_unloaded() {
+        // One core, one slot: measured latency must sit at the unloaded
+        // latency of the default tier (~70 ns, with some row-hit luck below).
+        let mut m = machine_one_core(1);
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        let l = rep.littles_latency_ns(TierId::DEFAULT).unwrap();
+        assert!(l > 50.0 && l < 75.0, "unloaded latency = {l}ns");
+    }
+
+    #[test]
+    fn throughput_matches_n64_over_l() {
+        // The paper's core identity: T = N * 64 / L.
+        let mut m = machine_one_core(10);
+        m.run_tick(SimTime::from_us(20.0)); // warm up
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        let l_ns = rep.littles_latency_ns(TierId::DEFAULT).unwrap();
+        let ops_per_ns = rep.app_ops as f64 / rep.duration().as_ns();
+        let predicted = 10.0 / l_ns;
+        assert!(
+            (ops_per_ns - predicted).abs() / predicted < 0.1,
+            "T = {ops_per_ns}/ns vs N/L = {predicted}/ns"
+        );
+    }
+
+    #[test]
+    fn littles_law_matches_true_latency() {
+        let mut m = machine_one_core(10);
+        m.run_tick(SimTime::from_us(20.0));
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        let est = rep.littles_latency_ns(TierId::DEFAULT).unwrap();
+        let truth = rep.true_latency_ns[0].unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.05,
+            "Little's law {est}ns vs true {truth}ns"
+        );
+    }
+
+    #[test]
+    fn remote_tier_latency_is_higher() {
+        let cfg = MachineConfig::icelake_two_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..512, TierId::DEFAULT);
+        m.place_range(512..1024, TierId::ALTERNATE);
+        m.add_core(
+            Box::new(RandomPages {
+                start: 0,
+                pages: 512,
+            }),
+            CoreConfig {
+                demand_slots: 1,
+                ..CoreConfig::default()
+            },
+            TrafficClass::App,
+        );
+        m.add_core(
+            Box::new(RandomPages {
+                start: 512,
+                pages: 512,
+            }),
+            CoreConfig {
+                demand_slots: 1,
+                ..CoreConfig::default()
+            },
+            TrafficClass::App,
+        );
+        let rep = m.run_tick(SimTime::from_us(200.0));
+        let l_def = rep.littles_latency_ns(TierId::DEFAULT).unwrap();
+        let l_alt = rep.littles_latency_ns(TierId::ALTERNATE).unwrap();
+        assert!(l_alt > l_def * 1.6, "default {l_def}ns, alternate {l_alt}ns");
+        assert!(l_alt < 150.0, "alternate unloaded {l_alt}ns");
+    }
+
+    #[test]
+    fn loaded_latency_inflates_with_cores() {
+        // More cores hammering the same tier must inflate its latency well
+        // beyond unloaded — the §3.1 memory interconnect contention regime.
+        let cfg = MachineConfig::icelake_two_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..4096, TierId::DEFAULT);
+        for i in 0..24 {
+            m.add_core(
+                Box::new(RandomPages {
+                    start: (i % 4) * 1024,
+                    pages: 1024,
+                }),
+                CoreConfig::default(),
+                TrafficClass::App,
+            );
+        }
+        m.run_tick(SimTime::from_us(20.0));
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        let l = rep.littles_latency_ns(TierId::DEFAULT).unwrap();
+        assert!(l > 100.0, "loaded latency should inflate, got {l}ns");
+    }
+
+    #[test]
+    fn migration_moves_page_and_respects_capacity() {
+        let cfg = MachineConfig::icelake_two_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..128, TierId::DEFAULT);
+        m.add_core(
+            Box::new(FixedLine(0)),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+        assert!(m.enqueue_migration(5, TierId::ALTERNATE));
+        // Duplicate enqueue succeeds (queue revalidates) but no-op later;
+        // pinned page refuses.
+        m.pin(6);
+        assert!(!m.enqueue_migration(6, TierId::ALTERNATE));
+        // Give the engine time: 4 KB at 2.4 GB/s is ~1.7 us.
+        m.run_tick(SimTime::from_us(20.0));
+        assert_eq!(m.tier_of(5), Some(TierId::ALTERNATE));
+        assert_eq!(m.migrated_pages(), 1);
+        assert_eq!(m.used_pages(TierId::ALTERNATE), 1);
+        assert_eq!(m.used_pages(TierId::DEFAULT), 127);
+    }
+
+    #[test]
+    fn migration_to_same_tier_is_rejected() {
+        let cfg = MachineConfig::icelake_two_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..8, TierId::DEFAULT);
+        assert!(!m.enqueue_migration(0, TierId::DEFAULT));
+    }
+
+    #[test]
+    fn migration_respects_destination_capacity() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[1].capacity_bytes = 2 * PAGE_SIZE;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..8, TierId::DEFAULT);
+        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+        assert!(m.enqueue_migration(1, TierId::ALTERNATE));
+        // Third must fail: both frames are reserved by in-flight migrations.
+        assert!(!m.enqueue_migration(2, TierId::ALTERNATE));
+    }
+
+    #[test]
+    fn migration_generates_traffic() {
+        let cfg = MachineConfig::icelake_two_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..128, TierId::DEFAULT);
+        for vpn in 0..32 {
+            assert!(m.enqueue_migration(vpn, TierId::ALTERNATE));
+        }
+        let rep = m.run_tick(SimTime::from_ms(1.0));
+        assert_eq!(rep.migrated_bytes, 32 * PAGE_SIZE);
+        let mig = TrafficClass::Migration.index();
+        // Reads from the default tier, writes into the alternate tier.
+        assert_eq!(rep.tiers[0].bytes_by_class[mig], 32 * PAGE_SIZE);
+        assert_eq!(rep.tiers[1].bytes_by_class[mig], 32 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn migration_is_rate_limited() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.migration_bandwidth = 1e9; // 1 GB/s
+        let mut m = Machine::new(cfg);
+        m.place_range(0..2048, TierId::DEFAULT);
+        for vpn in 0..2048 {
+            m.enqueue_migration(vpn, TierId::ALTERNATE);
+        }
+        let rep = m.run_tick(SimTime::from_ms(1.0));
+        // At 1 GB/s, one millisecond moves ~1 MB.
+        let mb = rep.migrated_bytes as f64 / 1e6;
+        assert!((mb - 1.0).abs() < 0.1, "migrated {mb} MB in 1 ms at 1 GB/s");
+        assert!(rep.migration_backlog > 0);
+    }
+
+    #[test]
+    fn pebs_sampling_rate() {
+        let mut m = machine_one_core(10);
+        m.set_pebs_period(64);
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        // ~10 slots / ~70ns => ~0.14 lines/ns => 14k lines per 100us; one
+        // sample per 64 demand misses => on the order of 200 samples.
+        assert!(
+            rep.pebs.len() > 50 && rep.pebs.len() < 1_000,
+            "samples = {}",
+            rep.pebs.len()
+        );
+        for s in &rep.pebs {
+            assert!(s.vpn < 1024);
+            assert_eq!(s.tier, TierId::DEFAULT);
+        }
+    }
+
+    #[test]
+    fn hint_fault_fires_once_per_mark() {
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..4, TierId::DEFAULT);
+        m.add_core(
+            Box::new(FixedLine(0)),
+            CoreConfig {
+                demand_slots: 1,
+                ..CoreConfig::default()
+            },
+            TrafficClass::App,
+        );
+        m.mark_page(0);
+        let rep = m.run_tick(SimTime::from_us(50.0));
+        assert_eq!(rep.faults.len(), 1, "exactly one fault per marking");
+        assert_eq!(rep.faults[0].vpn, 0);
+        assert!(!m.is_marked(0));
+        // Re-marking faults again.
+        m.mark_page(0);
+        let rep2 = m.run_tick(SimTime::from_us(50.0));
+        assert_eq!(rep2.faults.len(), 1);
+        assert!(rep2.faults[0].time_to_fault_ns < 10_000.0);
+    }
+
+    #[test]
+    fn deactivated_core_stops_issuing() {
+        let mut m = machine_one_core(10);
+        let r1 = m.run_tick(SimTime::from_us(50.0));
+        assert!(r1.app_ops > 0);
+        m.set_core_active(0, false);
+        m.run_tick(SimTime::from_us(10.0)); // drain in-flight
+        let r2 = m.run_tick(SimTime::from_us(50.0));
+        assert_eq!(r2.app_ops, 0);
+        m.set_core_active(0, true);
+        let r3 = m.run_tick(SimTime::from_us(50.0));
+        assert!(r3.app_ops > 0);
+    }
+
+    #[test]
+    fn llc_hits_do_not_touch_memory() {
+        struct AlwaysHit;
+        impl AccessStream for AlwaysHit {
+            fn next(&mut self, _now: SimTime, _rng: &mut SmallRng) -> ObjectAccess {
+                ObjectAccess {
+                    vaddr: 0,
+                    size: 64,
+                    is_write: false,
+                    dependent: false,
+                    llc_hit_prob: 1.0,
+                }
+            }
+        }
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..4, TierId::DEFAULT);
+        m.add_core(
+            Box::new(AlwaysHit),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+        let rep = m.run_tick(SimTime::from_us(10.0));
+        assert!(rep.app_ops > 0);
+        assert_eq!(rep.tiers[0].arrivals, 0, "no memory traffic on LLC hits");
+    }
+
+    #[test]
+    fn writes_produce_writeback_traffic() {
+        struct WriteLine;
+        impl AccessStream for WriteLine {
+            fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+                ObjectAccess {
+                    vaddr: rng.gen_range(0u64..256) * 64,
+                    size: 64,
+                    is_write: true,
+                    dependent: false,
+                    llc_hit_prob: 0.0,
+                }
+            }
+        }
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..4, TierId::DEFAULT);
+        m.add_core(
+            Box::new(WriteLine),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+        m.run_tick(SimTime::from_us(10.0));
+        let rep = m.run_tick(SimTime::from_us(50.0));
+        let app = TrafficClass::App.index();
+        let bytes = rep.tiers[0].bytes_by_class[app];
+        // Writeback bytes roughly double the traffic vs reads alone.
+        assert!(
+            bytes as f64 > 1.8 * rep.tiers[0].arrivals as f64 * 64.0,
+            "bytes {bytes} vs reads {}",
+            rep.tiers[0].arrivals
+        );
+    }
+
+    #[test]
+    fn dependent_stream_limits_parallelism() {
+        struct Chase {
+            pages: u64,
+        }
+        impl AccessStream for Chase {
+            fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+                let vpn = rng.gen_range(0..self.pages);
+                ObjectAccess {
+                    vaddr: vpn * PAGE_SIZE + rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE,
+                    size: 64,
+                    is_write: false,
+                    dependent: true,
+                    llc_hit_prob: 0.0,
+                }
+            }
+        }
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..1024, TierId::DEFAULT);
+        m.add_core(
+            Box::new(Chase { pages: 1024 }),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+        m.run_tick(SimTime::from_us(20.0));
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        // With full dependence, occupancy must hover near 1 despite 10
+        // demand slots.
+        assert!(
+            rep.tiers[0].occupancy < 1.2,
+            "occupancy {} should be ~1 for a pointer chase",
+            rep.tiers[0].occupancy
+        );
+    }
+
+    #[test]
+    fn multi_line_objects_use_prefetch_slots() {
+        struct BigObjects;
+        impl AccessStream for BigObjects {
+            fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+                let vpn = rng.gen_range(0u64..512);
+                ObjectAccess {
+                    vaddr: vpn * PAGE_SIZE,
+                    size: 4096,
+                    is_write: false,
+                    dependent: false,
+                    llc_hit_prob: 0.0,
+                }
+            }
+        }
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..512, TierId::DEFAULT);
+        m.add_core(
+            Box::new(BigObjects),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+        m.run_tick(SimTime::from_us(20.0));
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        // Effective parallelism beyond the 10 demand slots (paper §5.1:
+        // larger objects raise in-flight misses via prefetching).
+        assert!(
+            rep.tiers[0].occupancy > 12.0,
+            "occupancy {} should exceed demand slots",
+            rep.tiers[0].occupancy
+        );
+    }
+
+    #[test]
+    fn accesses_follow_migrated_page() {
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..8, TierId::DEFAULT);
+        m.add_core(
+            Box::new(FixedLine(0)),
+            CoreConfig {
+                demand_slots: 1,
+                ..CoreConfig::default()
+            },
+            TrafficClass::App,
+        );
+        m.enqueue_migration(0, TierId::ALTERNATE);
+        m.run_tick(SimTime::from_us(50.0));
+        let rep = m.run_tick(SimTime::from_us(50.0));
+        // All post-migration app reads land on the alternate tier.
+        let app = TrafficClass::App.index();
+        assert!(rep.tiers[1].bytes_by_class[app] > 0);
+        assert_eq!(rep.tiers[0].bytes_by_class[app], 0);
+    }
+}

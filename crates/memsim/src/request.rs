@@ -1,0 +1,206 @@
+//! Core identifier and request vocabulary shared across the simulator.
+
+/// Identifier of a memory tier.
+///
+/// Tier 0 is by convention the *default* tier (lowest unloaded latency,
+/// e.g. socket-local DDR); higher indices are *alternate* tiers (remote
+/// socket over UPI, CXL-attached memory, ...). This matches the paper's
+/// terminology (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TierId(pub u8);
+
+impl TierId {
+    /// The default tier (lowest unloaded latency).
+    pub const DEFAULT: TierId = TierId(0);
+    /// The first alternate tier.
+    pub const ALTERNATE: TierId = TierId(1);
+
+    /// Index usable for Vec-per-tier state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Virtual page number. The simulated virtual address space is flat; the
+/// experiment setup carves regions (application buffer, antagonist buffer)
+/// out of it.
+pub type Vpn = u64;
+
+/// Base page size in bytes (4 KiB, as on x86-64).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Cache-line size in bytes.
+pub const LINE_SIZE: u64 = 64;
+
+/// Cache lines per base page.
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+
+/// Who generated a memory request. Used to attribute bandwidth (the paper's
+/// Figure 2b / 6a split GUPS traffic from antagonist traffic via Intel MBM)
+/// and to keep migration traffic out of application throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// The measured application (GUPS, PageRank, Silo, CacheLib).
+    App,
+    /// The memory antagonist generating interconnect contention.
+    Antagonist,
+    /// Page-migration traffic issued by the tiering system.
+    Migration,
+}
+
+impl TrafficClass {
+    /// Number of traffic classes (for fixed-size per-class arrays).
+    pub const COUNT: usize = 3;
+
+    /// Index usable for per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::App => 0,
+            TrafficClass::Antagonist => 1,
+            TrafficClass::Migration => 2,
+        }
+    }
+}
+
+/// Read or write, at the memory-request level.
+///
+/// Stores first fetch the line with a read-for-ownership; the dirty line is
+/// written back later. The simulator therefore issues `Read` requests on the
+/// critical path and fire-and-forget `Write` requests for writebacks
+/// (paper §3.1: "memory access throughput for write requests directly
+/// depends on the latency of memory read requests").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Demand read or RFO; occupies a core slot and the CHA.
+    Read,
+    /// Asynchronous writeback; occupies banks/bus only.
+    Write,
+}
+
+/// One object-granularity access produced by a workload stream.
+///
+/// The core model expands this into per-cacheline memory requests: the first
+/// line is a demand miss; subsequent lines of a multi-line object are
+/// prefetched (hardware next-line prefetcher), which raises the effective
+/// memory-level parallelism for large objects (paper §5.1, Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectAccess {
+    /// Starting virtual byte address.
+    pub vaddr: u64,
+    /// Object size in bytes (>= 1).
+    pub size: u32,
+    /// Whether the application writes the object (RFO + later writeback).
+    pub is_write: bool,
+    /// If true, this access cannot issue until the previous access from the
+    /// same stream has fully completed (pointer chasing, e.g. B-tree
+    /// descent in Silo).
+    pub dependent: bool,
+    /// Probability that a line of this object hits in the LLC and never
+    /// reaches memory.
+    pub llc_hit_prob: f32,
+}
+
+impl ObjectAccess {
+    /// A simple 64-byte independent read.
+    pub fn read_line(vaddr: u64) -> Self {
+        ObjectAccess {
+            vaddr,
+            size: LINE_SIZE as u32,
+            is_write: false,
+            dependent: false,
+            llc_hit_prob: 0.0,
+        }
+    }
+
+    /// Number of cache lines this object spans.
+    pub fn num_lines(&self) -> u64 {
+        let first = self.vaddr / LINE_SIZE;
+        let last = (self.vaddr + self.size as u64 - 1) / LINE_SIZE;
+        last - first + 1
+    }
+
+    /// Virtual page of the first line.
+    pub fn first_vpn(&self) -> Vpn {
+        self.vaddr / PAGE_SIZE
+    }
+}
+
+/// A record of one PEBS-style access sample (HeMem/MEMTIS access tracking).
+#[derive(Debug, Clone, Copy)]
+pub struct PebsSample {
+    /// Page the sampled load touched.
+    pub vpn: Vpn,
+    /// Whether the sampled access was a store.
+    pub is_write: bool,
+    /// Tier the page resided in at sample time.
+    pub tier: TierId,
+}
+
+/// A record of one hint page fault (TPP access tracking).
+#[derive(Debug, Clone, Copy)]
+pub struct HintFault {
+    /// Faulting page.
+    pub vpn: Vpn,
+    /// Time between the page being marked and the fault, in nanoseconds.
+    pub time_to_fault_ns: f64,
+    /// Tier the page resided in when the fault fired.
+    pub tier: TierId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_constants() {
+        assert_eq!(TierId::DEFAULT.index(), 0);
+        assert_eq!(TierId::ALTERNATE.index(), 1);
+        assert!(TierId::DEFAULT < TierId::ALTERNATE);
+    }
+
+    #[test]
+    fn object_line_count_single() {
+        let a = ObjectAccess::read_line(4096);
+        assert_eq!(a.num_lines(), 1);
+        assert_eq!(a.first_vpn(), 1);
+    }
+
+    #[test]
+    fn object_line_count_spanning() {
+        // 4096-byte object starting mid-line spans 65 lines.
+        let a = ObjectAccess {
+            vaddr: 32,
+            size: 4096,
+            is_write: false,
+            dependent: false,
+            llc_hit_prob: 0.0,
+        };
+        assert_eq!(a.num_lines(), 65);
+    }
+
+    #[test]
+    fn object_line_count_aligned_4k() {
+        let a = ObjectAccess {
+            vaddr: 8192,
+            size: 4096,
+            is_write: true,
+            dependent: false,
+            llc_hit_prob: 0.0,
+        };
+        assert_eq!(a.num_lines(), 64);
+        assert_eq!(a.first_vpn(), 2);
+    }
+
+    #[test]
+    fn class_indices_are_distinct() {
+        let mut seen = [false; TrafficClass::COUNT];
+        for c in [
+            TrafficClass::App,
+            TrafficClass::Antagonist,
+            TrafficClass::Migration,
+        ] {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+}

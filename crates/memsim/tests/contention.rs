@@ -1,0 +1,240 @@
+//! Integration tests of the hardware model's contention behaviour — the
+//! physical claims the paper's argument rests on (§3.1):
+//!
+//! - loaded latency rises monotonically with offered load, *well before*
+//!   the data-bus bandwidth saturates;
+//! - sequential traffic achieves far higher bandwidth than random traffic
+//!   (row-buffer locality vs activation limits);
+//! - a serial link caps the alternate tier's throughput at the link rate;
+//! - read-write mixes cost more than read-only traffic.
+
+use memsim::machine::AccessStream;
+use memsim::{
+    CoreConfig, LinkConfig, Machine, MachineConfig, ObjectAccess, TierId, TrafficClass,
+    LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE,
+};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::SimTime;
+
+struct RandomReads {
+    pages: u64,
+    write_fraction: f64,
+}
+
+impl AccessStream for RandomReads {
+    fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        let vpn = rng.gen_range(0..self.pages);
+        ObjectAccess {
+            vaddr: vpn * PAGE_SIZE + rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE,
+            size: 64,
+            is_write: rng.gen_bool(self.write_fraction),
+            dependent: false,
+            llc_hit_prob: 0.0,
+        }
+    }
+}
+
+struct Sequential {
+    cursor: u64,
+    bytes: u64,
+}
+
+impl AccessStream for Sequential {
+    fn next(&mut self, _now: SimTime, _rng: &mut SmallRng) -> ObjectAccess {
+        let vaddr = self.cursor;
+        self.cursor = (self.cursor + 1024) % self.bytes;
+        ObjectAccess {
+            vaddr,
+            size: 1024,
+            is_write: false,
+            dependent: false,
+            llc_hit_prob: 0.0,
+        }
+    }
+}
+
+fn machine_with_cores(n: usize, stream: impl Fn() -> Box<dyn AccessStream>) -> Machine {
+    let mut m = Machine::new(MachineConfig::icelake_two_tier());
+    m.place_range(0..4096, TierId::DEFAULT);
+    for _ in 0..n {
+        m.add_core(stream(), CoreConfig::default(), TrafficClass::App);
+    }
+    m
+}
+
+fn measure(m: &mut Machine) -> (f64, f64) {
+    m.run_tick(SimTime::from_us(50.0));
+    let rep = m.run_tick(SimTime::from_us(200.0));
+    let l = rep
+        .littles_latency_ns(TierId::DEFAULT)
+        .expect("default tier busy");
+    let bw = rep.tiers[0].bandwidth_bytes_per_sec(rep.duration());
+    (l, bw)
+}
+
+#[test]
+fn latency_rises_monotonically_with_load() {
+    let mut last = 0.0;
+    for cores in [1usize, 4, 8, 16, 24] {
+        let mut m = machine_with_cores(cores, || {
+            Box::new(RandomReads {
+                pages: 4096,
+                write_fraction: 0.0,
+            })
+        });
+        let (l, _) = measure(&mut m);
+        assert!(
+            l > last * 0.98,
+            "latency must not fall as load rises: {l} ns at {cores} cores after {last} ns"
+        );
+        last = l;
+    }
+    // The end of the sweep must be well into the contention regime.
+    assert!(last > 120.0, "24 random cores should contend, got {last} ns");
+}
+
+#[test]
+fn latency_inflates_before_bus_saturates() {
+    // The paper's central §3.1 claim: at the load where random-access
+    // latency has clearly inflated, the data bus is far from saturated.
+    let mut m = machine_with_cores(24, || {
+        Box::new(RandomReads {
+            pages: 4096,
+            write_fraction: 0.0,
+        })
+    });
+    let (l, bw) = measure(&mut m);
+    let peak = MachineConfig::icelake_two_tier().tiers[0].dram.peak_bandwidth();
+    assert!(l > 100.0, "latency inflated ({l} ns)");
+    assert!(
+        bw < 0.75 * peak,
+        "bus far from saturated: {:.0} of {:.0} GB/s",
+        bw / 1e9,
+        peak / 1e9
+    );
+}
+
+#[test]
+fn sequential_beats_random_bandwidth() {
+    let mut seq = machine_with_cores(12, || {
+        Box::new(Sequential {
+            cursor: 0,
+            bytes: 4096 * PAGE_SIZE,
+        })
+    });
+    let mut rnd = machine_with_cores(12, || {
+        Box::new(RandomReads {
+            pages: 4096,
+            write_fraction: 0.0,
+        })
+    });
+    let (_, bw_seq) = measure(&mut seq);
+    let (_, bw_rnd) = measure(&mut rnd);
+    assert!(
+        bw_seq > bw_rnd * 1.3,
+        "row locality must pay: sequential {:.0} GB/s vs random {:.0} GB/s",
+        bw_seq / 1e9,
+        bw_rnd / 1e9
+    );
+}
+
+#[test]
+fn writes_cost_more_than_reads() {
+    let run = |wf: f64| {
+        let mut m = machine_with_cores(16, move || {
+            Box::new(RandomReads {
+                pages: 4096,
+                write_fraction: wf,
+            })
+        });
+        let (l, _) = measure(&mut m);
+        l
+    };
+    let read_only = run(0.0);
+    let mixed = run(1.0);
+    assert!(
+        mixed > read_only,
+        "writeback traffic must inflate latency: {mixed} !> {read_only}"
+    );
+}
+
+#[test]
+fn link_bandwidth_caps_alternate_tier() {
+    // A narrow 10 GB/s link: closed-loop read throughput over the link must
+    // not exceed it (response direction carries the 64 B data).
+    let mut cfg = MachineConfig::icelake_two_tier();
+    cfg.tiers[1].link = Some(LinkConfig {
+        propagation: SimTime::from_ns(32.0),
+        t_serialize: SimTime::from_ns(64.0 / 10.0),
+    });
+    let mut m = Machine::new(cfg);
+    m.place_range(0..4096, TierId::ALTERNATE);
+    for _ in 0..24 {
+        m.add_core(
+            Box::new(RandomReads {
+                pages: 4096,
+                write_fraction: 0.0,
+            }),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+    }
+    m.run_tick(SimTime::from_us(50.0));
+    let rep = m.run_tick(SimTime::from_us(200.0));
+    let read_bw = rep.tiers[1].arrivals as f64 * 64.0 / rep.duration().as_secs();
+    assert!(
+        read_bw < 10.5e9,
+        "link must cap read bandwidth at ~10 GB/s, got {:.1} GB/s",
+        read_bw / 1e9
+    );
+    assert!(read_bw > 8.0e9, "and the link should saturate under 24 cores");
+    // Latency balloons as the closed loop queues on the link.
+    let l = rep.littles_latency_ns(TierId::ALTERNATE).unwrap();
+    assert!(l > 400.0, "link queueing should dominate, got {l} ns");
+}
+
+#[test]
+fn alt_latency_ratio_presets_measure_correctly() {
+    // The Figure 7 sweep's machine variants must *measure* at the requested
+    // unloaded ratio, not just compute it in config space.
+    for ratio in [1.9, 2.3, 2.7] {
+        let cfg = MachineConfig::with_alt_latency_ratio(ratio);
+        let mut m = Machine::new(cfg);
+        m.place_range(0..512, TierId::DEFAULT);
+        m.place_range(512..1024, TierId::ALTERNATE);
+        m.add_core(
+            Box::new(RandomReads {
+                pages: 512,
+                write_fraction: 0.0,
+            }),
+            CoreConfig {
+                demand_slots: 1,
+                ..CoreConfig::default()
+            },
+            TrafficClass::App,
+        );
+        let mut m2 = Machine::new(MachineConfig::with_alt_latency_ratio(ratio));
+        m2.place_range(0..1024, TierId::ALTERNATE);
+        m2.add_core(
+            Box::new(RandomReads {
+                pages: 1024,
+                write_fraction: 0.0,
+            }),
+            CoreConfig {
+                demand_slots: 1,
+                ..CoreConfig::default()
+            },
+            TrafficClass::App,
+        );
+        let rep_d = m.run_tick(SimTime::from_us(200.0));
+        let rep_a = m2.run_tick(SimTime::from_us(200.0));
+        let l_d = rep_d.littles_latency_ns(TierId::DEFAULT).unwrap();
+        let l_a = rep_a.littles_latency_ns(TierId::ALTERNATE).unwrap();
+        let got = l_a / l_d;
+        assert!(
+            (got - ratio).abs() < 0.25,
+            "requested ratio {ratio}, measured {got:.2} ({l_a:.0}/{l_d:.0} ns)"
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Simulation kernel for the Colloid reproduction.
+//!
+//! `simkit` provides the building blocks shared by every simulated component
+//! in this workspace:
+//!
+//! - [`time`]: a picosecond-resolution simulated clock type ([`SimTime`])
+//!   with convenient nanosecond/microsecond constructors.
+//! - [`event`]: a deterministic discrete-event queue ([`EventQueue`]) with
+//!   stable FIFO ordering among same-timestamp events.
+//! - [`rng`]: seeded, splittable pseudo-random number helpers plus a Zipfian
+//!   sampler (used by the YCSB-style workloads).
+//! - [`stats`]: statistics primitives used throughout the simulator and the
+//!   Colloid controller — EWMA smoothing, time-weighted averages, windowed
+//!   rate meters, online mean/variance, and log-bucketed latency histograms.
+//!
+//! Everything in this crate is deterministic: given the same seed and the
+//! same sequence of calls, results are reproducible bit-for-bit.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use time::SimTime;

@@ -1,0 +1,281 @@
+//! Seeded randomness helpers.
+//!
+//! Every stochastic component in the simulator draws from a [`SmallRng`]
+//! seeded through [`seed_from`], so that an experiment is fully determined
+//! by its top-level seed. [`Zipf`] implements the Zipfian distribution used
+//! by the YCSB-C/Silo workload (the `rand` crate alone does not ship one),
+//! following the classic Gray et al. "Quickly generating billion-record
+//! synthetic databases" rejection-free method that YCSB also uses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives a child RNG from a root seed and a stream label.
+///
+/// Different `(seed, stream)` pairs produce statistically independent
+/// streams, letting e.g. each simulated core own its own RNG while the whole
+/// machine stays reproducible from one seed.
+///
+/// # Examples
+///
+/// ```
+/// use rand::Rng;
+/// let mut a = simkit::rng::seed_from(42, 0);
+/// let mut b = simkit::rng::seed_from(42, 0);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seed_from(seed: u64, stream: u64) -> SmallRng {
+    // SplitMix64-style mixing to decorrelate adjacent (seed, stream) pairs.
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    SmallRng::seed_from_u64(z)
+}
+
+/// A Zipfian sampler over `0..n` with skew parameter `theta`.
+///
+/// Rank 0 is the most popular item. YCSB's default skew is `theta = 0.99`.
+/// Sampling is O(1) using the closed-form inverse of the (approximate)
+/// Zipfian CDF from Gray et al., SIGMOD '94 — the same construction YCSB's
+/// `ZipfianGenerator` uses.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let zipf = simkit::rng::Zipf::new(1_000, 0.99);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let r = zipf.sample(&mut rng);
+/// assert!(r < 1_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `theta` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in (0, 1), got {theta}"
+        );
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Generalised harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact summation up to a cutoff, then the Euler-Maclaurin integral
+        // approximation; domains in this workspace are ≤ a few million, and
+        // the approximation error beyond 10^6 terms is < 1e-9 relative.
+        const EXACT: u64 = 1_000_000;
+        let m = n.min(EXACT);
+        let mut z = 0.0;
+        for i in 1..=m {
+            z += 1.0 / (i as f64).powf(theta);
+        }
+        if n > m {
+            // Integral of x^-theta from m to n.
+            z += ((n as f64).powf(1.0 - theta) - (m as f64).powf(1.0 - theta)) / (1.0 - theta);
+        }
+        z
+    }
+
+    /// Draws a rank in `0..n` (0 = hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5_f64.powf(self.theta) {
+            return 1;
+        }
+        let r = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        r.min(self.n - 1)
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Probability mass of rank `i` (0-based) under the exact Zipf law.
+    pub fn pmf(&self, i: u64) -> f64 {
+        debug_assert!(i < self.n);
+        1.0 / ((i + 1) as f64).powf(self.theta) / self.zetan
+    }
+
+    /// `zeta(2, theta)`, exposed for tests.
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+/// A scrambled Zipfian sampler: Zipfian popularity, but popular items are
+/// spread uniformly over the key space (as in YCSB's `ScrambledZipfian`).
+///
+/// This is what real key-value workloads look like: hotness is not
+/// correlated with key order, so hot keys land on pages scattered across the
+/// working set.
+#[derive(Debug, Clone)]
+pub struct ScrambledZipf {
+    inner: Zipf,
+}
+
+impl ScrambledZipf {
+    /// Creates a scrambled sampler over `0..n` with skew `theta`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        ScrambledZipf {
+            inner: Zipf::new(n, theta),
+        }
+    }
+
+    /// Draws an item in `0..n`; popularity is Zipfian but scattered.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rank = self.inner.sample(rng);
+        fnv1a_64(rank) % self.inner.n()
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.inner.n()
+    }
+}
+
+/// FNV-1a hash of a u64, used to scatter ranks over the key space.
+pub fn fnv1a_64(x: u64) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for i in 0..8 {
+        h ^= (x >> (i * 8)) & 0xFF;
+        h = h.wrapping_mul(0x1_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_from_is_deterministic() {
+        let mut a = seed_from(7, 3);
+        let mut b = seed_from(7, 3);
+        for _ in 0..10 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn seed_from_streams_differ() {
+        let mut a = seed_from(7, 0);
+        let mut b = seed_from(7, 1);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zipf_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = seed_from(1, 0);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn zipf_rank0_is_hottest() {
+        let z = Zipf::new(1_000, 0.99);
+        let mut rng = seed_from(2, 0);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[100]);
+        // Rank 0 should carry roughly pmf(0) of the mass.
+        let observed = counts[0] as f64 / 200_000.0;
+        let expected = z.pmf(0);
+        assert!(
+            (observed - expected).abs() / expected < 0.15,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(500, 0.8);
+        let total: f64 = (0..500).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_large_domain_zeta_approximation() {
+        // zeta computed with the integral tail should be close to a direct
+        // (slower) summation for a domain just over the exact cutoff.
+        let n = 1_200_000u64;
+        let theta = 0.99;
+        let approx = Zipf::zeta(n, theta);
+        let mut exact = 0.0;
+        for i in 1..=n {
+            exact += 1.0 / (i as f64).powf(theta);
+        }
+        assert!((approx - exact).abs() / exact < 1e-6);
+    }
+
+    #[test]
+    fn scrambled_zipf_spreads_hot_keys() {
+        let s = ScrambledZipf::new(10_000, 0.99);
+        let mut rng = seed_from(3, 0);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            counts[s.sample(&mut rng) as usize] += 1;
+        }
+        // The hottest item should not be item 0 deterministically; mass
+        // should be scattered. Find top item and check it isn't adjacent to
+        // the next hottest.
+        let (top_idx, _) = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
+        let mut rest = counts.clone();
+        rest[top_idx] = 0;
+        let (second_idx, _) = rest.iter().enumerate().max_by_key(|(_, c)| **c).unwrap();
+        assert!((top_idx as i64 - second_idx as i64).unsigned_abs() > 1);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a_64(0), fnv1a_64(0));
+        assert_ne!(fnv1a_64(1), fnv1a_64(2));
+    }
+}

@@ -1,0 +1,263 @@
+//! Simulated time.
+//!
+//! All simulated components share a single notion of time: [`SimTime`], a
+//! monotonically non-decreasing instant measured in integer **picoseconds**
+//! since the start of the simulation. Picosecond resolution lets us express
+//! sub-nanosecond service times (e.g. a 64 B burst on a 75 GB/s UPI link
+//! occupies ~853 ps) without floating-point drift in the event queue.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Picoseconds per nanosecond.
+const PS_PER_NS: u64 = 1_000;
+
+/// An instant (or duration) of simulated time, in picoseconds.
+///
+/// `SimTime` is used both as an absolute instant and as a duration; the
+/// arithmetic operators below cover both uses. Saturating subtraction is
+/// deliberate: latency math on noisy counters must never panic.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::SimTime;
+///
+/// let base = SimTime::from_ns(70.0);
+/// let wait = SimTime::from_ns(35.5);
+/// assert_eq!((base + wait).as_ns(), 105.5);
+/// assert!(base < base + wait);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The zero instant (start of simulation).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The maximum representable instant; useful as an "idle" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// Creates a time from (possibly fractional) nanoseconds.
+    ///
+    /// Negative inputs clamp to zero.
+    pub fn from_ns(ns: f64) -> Self {
+        if ns <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Creates a time from microseconds.
+    pub fn from_us(us: f64) -> Self {
+        Self::from_ns(us * 1_000.0)
+    }
+
+    /// Creates a time from milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        Self::from_ns(ms * 1_000_000.0)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Time in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.as_ns() / 1_000.0
+    }
+
+    /// Time in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.as_ns() / 1e9
+    }
+
+    /// Saturating difference `self - other` (zero if `other > self`).
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the larger of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if this is the zero instant.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies a duration by a (non-negative) floating-point scale.
+    pub fn scale(self, factor: f64) -> SimTime {
+        debug_assert!(factor >= 0.0, "cannot scale time by a negative factor");
+        SimTime((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimTime {
+    fn sub_assign(&mut self, rhs: SimTime) {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimTime {
+    type Output = SimTime;
+    fn mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimTime {
+    type Output = SimTime;
+    fn div(self, rhs: u64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ns", self.as_ns())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.as_ns();
+        if ns >= 1e9 {
+            write!(f, "{:.3}s", ns / 1e9)
+        } else if ns >= 1e6 {
+            write!(f, "{:.3}ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            write!(f, "{:.3}us", ns / 1e3)
+        } else {
+            write!(f, "{ns:.1}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_round_trip() {
+        let t = SimTime::from_ns(70.0);
+        assert_eq!(t.as_ps(), 70_000);
+        assert_eq!(t.as_ns(), 70.0);
+    }
+
+    #[test]
+    fn fractional_ns() {
+        let t = SimTime::from_ns(0.853);
+        assert_eq!(t.as_ps(), 853);
+    }
+
+    #[test]
+    fn negative_ns_clamps_to_zero() {
+        assert_eq!(SimTime::from_ns(-5.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(100.0);
+        let b = SimTime::from_ns(30.0);
+        assert_eq!((a + b).as_ns(), 130.0);
+        assert_eq!((a - b).as_ns(), 70.0);
+        assert_eq!((a * 3).as_ns(), 300.0);
+        assert_eq!((a / 4).as_ns(), 25.0);
+    }
+
+    #[test]
+    fn saturating_sub_does_not_underflow() {
+        let a = SimTime::from_ns(10.0);
+        let b = SimTime::from_ns(30.0);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = SimTime::from_ns(10.0);
+        let b = SimTime::from_ns(30.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimTime::from_us(1.0), SimTime::from_ns(1_000.0));
+        assert_eq!(SimTime::from_ms(1.0), SimTime::from_us(1_000.0));
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let t = SimTime::from_ns(10.0);
+        assert_eq!(t.scale(2.5).as_ns(), 25.0);
+        assert_eq!(t.scale(0.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimTime::from_ns(50.0)), "50.0ns");
+        assert_eq!(format!("{}", SimTime::from_us(2.5)), "2.500us");
+        assert_eq!(format!("{}", SimTime::from_ms(3.25)), "3.250ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimTime = (1..=4).map(|i| SimTime::from_ns(i as f64)).sum();
+        assert_eq!(total.as_ns(), 10.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-quantum migration budgeting.
+//!
+//! Every tiering system rate-limits migration traffic with a static cap;
+//! Colloid additionally introduces a *dynamic* limit proportional to the
+//! desired probability shift (paper §3.2, implemented in the `colloid`
+//! crate). [`MigrationBudget`] is the static part: a byte allowance that
+//! refills each quantum and is drawn down page by page.
+
+use memsim::PAGE_SIZE;
+
+/// A per-quantum migration byte budget.
+///
+/// # Examples
+///
+/// ```
+/// use tierctl::MigrationBudget;
+///
+/// let mut b = MigrationBudget::new(8192); // two 4 KB pages per quantum
+/// assert!(b.try_take(4096));
+/// assert!(b.try_take(4096));
+/// assert!(!b.try_take(4096), "budget exhausted");
+/// b.refill();
+/// assert!(b.try_take(4096));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MigrationBudget {
+    per_quantum: u64,
+    remaining: u64,
+    taken_total: u64,
+}
+
+impl MigrationBudget {
+    /// Creates a budget of `per_quantum` bytes per quantum.
+    pub fn new(per_quantum: u64) -> Self {
+        MigrationBudget {
+            per_quantum,
+            remaining: per_quantum,
+            taken_total: 0,
+        }
+    }
+
+    /// Builds a budget from a bandwidth (bytes/second) and quantum length.
+    pub fn from_bandwidth(bytes_per_sec: f64, quantum: simkit::SimTime) -> Self {
+        Self::new((bytes_per_sec * quantum.as_secs()) as u64)
+    }
+
+    /// Attempts to reserve `bytes`; returns whether the reservation fits.
+    pub fn try_take(&mut self, bytes: u64) -> bool {
+        if bytes <= self.remaining {
+            self.remaining -= bytes;
+            self.taken_total += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Reserves one base page if possible.
+    pub fn try_take_page(&mut self) -> bool {
+        self.try_take(PAGE_SIZE)
+    }
+
+    /// Bytes still available this quantum.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The per-quantum allowance.
+    pub fn per_quantum(&self) -> u64 {
+        self.per_quantum
+    }
+
+    /// Total bytes reserved over the budget's lifetime.
+    pub fn taken_total(&self) -> u64 {
+        self.taken_total
+    }
+
+    /// Resets the allowance at a quantum boundary (unused budget does not
+    /// roll over, matching kernel rate limiters).
+    pub fn refill(&mut self) {
+        self.remaining = self.per_quantum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::SimTime;
+
+    #[test]
+    fn takes_until_exhausted() {
+        let mut b = MigrationBudget::new(10_000);
+        assert!(b.try_take(6_000));
+        assert!(!b.try_take(6_000));
+        assert!(b.try_take(4_000));
+        assert_eq!(b.remaining(), 0);
+        assert_eq!(b.taken_total(), 10_000);
+    }
+
+    #[test]
+    fn refill_does_not_roll_over() {
+        let mut b = MigrationBudget::new(100);
+        b.refill();
+        assert_eq!(b.remaining(), 100);
+        assert!(b.try_take(40));
+        b.refill();
+        assert_eq!(b.remaining(), 100);
+    }
+
+    #[test]
+    fn from_bandwidth_scales_with_quantum() {
+        // 2.4 GB/s over 100 us = 240 KB.
+        let b = MigrationBudget::from_bandwidth(2.4e9, SimTime::from_us(100.0));
+        assert_eq!(b.per_quantum(), 240_000);
+        // That is 58 whole pages.
+        assert_eq!(b.per_quantum() / PAGE_SIZE, 58);
+    }
+
+    #[test]
+    fn page_granularity() {
+        let mut b = MigrationBudget::new(PAGE_SIZE * 2 + 100);
+        assert!(b.try_take_page());
+        assert!(b.try_take_page());
+        assert!(!b.try_take_page());
+    }
+
+    #[test]
+    fn zero_budget_blocks_everything() {
+        let mut b = MigrationBudget::new(0);
+        assert!(!b.try_take(1));
+        assert!(b.try_take(0));
+    }
+}

@@ -1,0 +1,28 @@
+//! Page-management substrate shared by the tiering systems.
+//!
+//! The systems in `tiersys` (HeMem, TPP, MEMTIS and their Colloid variants)
+//! are assembled from the primitives here:
+//!
+//! - [`freq::FreqTracker`] — per-page access-frequency counts fed by PEBS
+//!   samples, with HeMem-style *cooling* (halve every count when any count
+//!   reaches the cooling threshold) and access-probability queries.
+//! - [`bins::TierBins`] — per-tier page lists partitioned into frequency
+//!   bins. This is the generalisation of HeMem's hot/cold lists that the
+//!   Colloid integration introduces (paper §4.1: "rather than binary
+//!   hot/cold lists, we split the frequency space into equal sized bins and
+//!   maintain a separate page list per bin").
+//! - [`scanner::RegionScanner`] — the page-table scanner behind TPP's
+//!   access tracking: marks batches of pages for hint faults, round-robin
+//!   over the application's address ranges.
+//! - [`budget::MigrationBudget`] — per-quantum migration byte budgeting
+//!   (the static rate limits every system configures).
+
+pub mod bins;
+pub mod budget;
+pub mod freq;
+pub mod scanner;
+
+pub use bins::TierBins;
+pub use budget::MigrationBudget;
+pub use freq::FreqTracker;
+pub use scanner::RegionScanner;

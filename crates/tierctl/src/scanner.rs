@@ -1,0 +1,111 @@
+//! Page-table scanning for hint-fault access tracking (TPP).
+//!
+//! TPP "periodically scans process page tables and marks pages with a
+//! special protection bit. Subsequent accesses to these pages result in a
+//! hint page fault" (paper §4.3). [`RegionScanner`] walks the application's
+//! page ranges round-robin, emitting a bounded batch of pages to mark per
+//! call — the batch size bounds the scan's CPU cost, and the full-cycle
+//! time determines TPP's (slow) reaction time to hot-set changes.
+
+use memsim::Vpn;
+
+/// Round-robin scanner over a set of page ranges.
+///
+/// # Examples
+///
+/// ```
+/// let mut s = tierctl::RegionScanner::new(vec![0..4, 10..12]);
+/// assert_eq!(s.next_batch(3), vec![0, 1, 2]);
+/// assert_eq!(s.next_batch(3), vec![3, 10, 11]);
+/// assert_eq!(s.next_batch(3), vec![0, 1, 2], "wraps around");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionScanner {
+    ranges: Vec<std::ops::Range<Vpn>>,
+    range_idx: usize,
+    cursor: Vpn,
+    total_pages: u64,
+}
+
+impl RegionScanner {
+    /// Creates a scanner over `ranges` (empty ranges are dropped).
+    pub fn new(ranges: Vec<std::ops::Range<Vpn>>) -> Self {
+        let ranges: Vec<_> = ranges.into_iter().filter(|r| !r.is_empty()).collect();
+        let total_pages = ranges.iter().map(|r| r.end - r.start).sum();
+        let cursor = ranges.first().map(|r| r.start).unwrap_or(0);
+        RegionScanner {
+            ranges,
+            range_idx: 0,
+            cursor,
+            total_pages,
+        }
+    }
+
+    /// Total pages across all ranges (one scan cycle).
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Returns the next `batch` pages in scan order, wrapping around.
+    pub fn next_batch(&mut self, batch: usize) -> Vec<Vpn> {
+        let mut out = Vec::with_capacity(batch.min(self.total_pages as usize));
+        if self.ranges.is_empty() {
+            return out;
+        }
+        while out.len() < batch.min(self.total_pages as usize) {
+            let range = &self.ranges[self.range_idx];
+            if self.cursor >= range.end {
+                self.range_idx = (self.range_idx + 1) % self.ranges.len();
+                self.cursor = self.ranges[self.range_idx].start;
+                continue;
+            }
+            out.push(self.cursor);
+            self.cursor += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_pages_in_one_cycle() {
+        let mut s = RegionScanner::new(vec![5..9, 20..23]);
+        assert_eq!(s.total_pages(), 7);
+        let mut seen = Vec::new();
+        for _ in 0..7 {
+            seen.extend(s.next_batch(1));
+        }
+        assert_eq!(seen, vec![5, 6, 7, 8, 20, 21, 22]);
+    }
+
+    #[test]
+    fn batch_spans_range_boundary() {
+        let mut s = RegionScanner::new(vec![0..2, 10..12]);
+        assert_eq!(s.next_batch(4), vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn empty_scanner_yields_nothing() {
+        let mut s = RegionScanner::new(vec![]);
+        assert!(s.next_batch(8).is_empty());
+        let mut s2 = RegionScanner::new(vec![3..3]);
+        assert!(s2.next_batch(8).is_empty());
+    }
+
+    #[test]
+    fn batch_larger_than_cycle_does_not_loop_forever() {
+        let mut s = RegionScanner::new(vec![0..3]);
+        let batch = s.next_batch(100);
+        assert_eq!(batch, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wraps_deterministically() {
+        let mut s = RegionScanner::new(vec![0..4]);
+        let a: Vec<_> = (0..8).flat_map(|_| s.next_batch(1)).collect();
+        assert_eq!(a, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,420 @@
+//! HeMem (SOSP '21) and HeMem+Colloid (paper §4.1).
+//!
+//! HeMem tracks per-page access frequencies from PEBS samples, keeps
+//! hot/cold page lists per tier, cools counts by halving when any count
+//! reaches `COOLING_THRESHOLD`, and migrates asynchronously on a 10 ms
+//! quantum (scaled here to one machine tick).
+//!
+//! Vanilla placement packs every page whose count exceeds a fixed hot
+//! threshold into the default tier, demoting cold pages when frames run
+//! out — the "pack the hottest pages in the default tier" policy the paper
+//! shows is contention-oblivious.
+//!
+//! The Colloid integration (520 LoC in the paper) replaces that policy with
+//! Algorithm 1: the binary hot/cold lists become one list per frequency bin
+//! (five by default), and each quantum the page finder walks the bins from
+//! hottest to coldest collecting pages whose summed access probability stays
+//! within Δp and whose summed size stays within the dynamic migration
+//! limit.
+
+use colloid::{ColloidController, Mode, PageFinder};
+use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
+use tierctl::{FreqTracker, MigrationBudget, TierBins};
+
+use crate::{measurements, SystemParams, TieringSystem};
+
+/// HeMem's cooling threshold (counts halve when any page reaches it).
+const COOLING_THRESHOLD: u32 = 16;
+/// Number of frequency bins for the Colloid page finder (paper: "We use 5
+/// bins by default").
+const N_BINS: usize = 5;
+/// Vanilla hot threshold: a page is hot once its count reaches this.
+const HOT_THRESHOLD: u32 = 2;
+/// Work bound per quantum for the page finder.
+const MAX_EXAMINED: usize = 65_536;
+
+/// Counters exposed for tests and telemetry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HememStats {
+    /// Pages promoted into the default tier.
+    pub promoted: u64,
+    /// Pages demoted to the alternate tier (including room-making).
+    pub demoted: u64,
+    /// Cooling passes performed.
+    pub coolings: u64,
+}
+
+/// The §4.1 page-finding procedure over frequency-binned lists, as a
+/// standalone [`PageFinder`]: walk the source tier's bins from hottest to
+/// coldest, collecting pages whose summed access probability stays within
+/// Δp and whose summed size stays within the byte limit.
+///
+/// # Examples
+///
+/// ```
+/// use colloid::{Mode, PageFinder};
+/// use memsim::TierId;
+/// use tierctl::{FreqTracker, TierBins};
+/// use tiersys::hemem::BinnedFinder;
+///
+/// let mut tracker = FreqTracker::new(16);
+/// let mut bins = TierBins::new(2, 5, 16);
+/// for vpn in 0..4u64 {
+///     bins.insert(vpn, TierId::DEFAULT, 0);
+/// }
+/// for _ in 0..10 {
+///     tracker.record(0); // page 0 carries all the probability
+/// }
+/// bins.update_count(0, tracker.count(0));
+/// let mut finder = BinnedFinder::new(&bins, &tracker);
+/// // Demotion with Δp = 1: the hot page is picked first.
+/// let pages = finder.find_pages(Mode::Demote, 1.0, 4096);
+/// assert_eq!(pages, vec![0]);
+/// ```
+pub struct BinnedFinder<'a> {
+    bins: &'a TierBins,
+    tracker: &'a FreqTracker,
+}
+
+impl<'a> BinnedFinder<'a> {
+    /// Creates a finder over a system's bins and frequency counts.
+    pub fn new(bins: &'a TierBins, tracker: &'a FreqTracker) -> Self {
+        BinnedFinder { bins, tracker }
+    }
+}
+
+impl PageFinder for BinnedFinder<'_> {
+    fn find_pages(&mut self, mode: Mode, delta_p: f64, byte_limit: u64) -> Vec<Vpn> {
+        let from = match mode {
+            Mode::Promote => TierId::ALTERNATE,
+            Mode::Demote => TierId::DEFAULT,
+        };
+        let mut rem_p = delta_p;
+        let mut rem_bytes = byte_limit;
+        let mut out = Vec::new();
+        let mut examined = 0;
+        for bin in (0..self.bins.n_bins()).rev() {
+            for &vpn in self.bins.pages(from, bin) {
+                if rem_bytes < PAGE_SIZE || examined >= MAX_EXAMINED {
+                    return out;
+                }
+                examined += 1;
+                let prob = self.tracker.access_prob(vpn);
+                if prob <= 0.0 || prob > rem_p {
+                    // Zero-probability pages cannot shift latency; pages
+                    // that overshoot the remaining Δp are skipped in favour
+                    // of colder ones (paper §3.2).
+                    continue;
+                }
+                out.push(vpn);
+                rem_p -= prob;
+                rem_bytes -= PAGE_SIZE;
+            }
+        }
+        out
+    }
+}
+
+/// The HeMem tiering system (vanilla or +Colloid).
+pub struct HeMem {
+    params: SystemParams,
+    tracker: FreqTracker,
+    bins: TierBins,
+    budget: MigrationBudget,
+    colloid: Option<ColloidController>,
+    initialized: bool,
+    stats: HememStats,
+}
+
+impl HeMem {
+    /// Builds HeMem; attaches Colloid when `params.colloid` is set.
+    pub fn new(params: SystemParams) -> Self {
+        let colloid = params.build_colloid();
+        HeMem {
+            tracker: FreqTracker::new(COOLING_THRESHOLD),
+            bins: TierBins::new(params.unloaded_ns.len(), N_BINS, COOLING_THRESHOLD),
+            budget: MigrationBudget::new(params.migration_limit_per_tick),
+            colloid,
+            initialized: false,
+            stats: HememStats::default(),
+            params,
+        }
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> HememStats {
+        self.stats
+    }
+
+    fn initialize(&mut self, machine: &Machine) {
+        for range in self.params.managed.clone() {
+            for vpn in range {
+                let tier = machine
+                    .tier_of(vpn)
+                    .expect("managed pages are placed before the system starts");
+                self.bins.insert(vpn, tier, 0);
+            }
+        }
+        self.initialized = true;
+    }
+
+    fn ingest_samples(&mut self, report: &TickReport) {
+        for s in &report.pebs {
+            if self.bins.tier_of(s.vpn).is_none() {
+                continue; // not under management
+            }
+            let cooled = self.tracker.record(s.vpn);
+            if cooled {
+                self.stats.coolings += 1;
+                // Cooling halved every count: re-bin the whole population.
+                for range in self.params.managed.clone() {
+                    for vpn in range {
+                        self.bins.update_count(vpn, self.tracker.count(vpn));
+                    }
+                }
+            } else {
+                self.bins.update_count(s.vpn, self.tracker.count(s.vpn));
+            }
+        }
+    }
+
+    /// Demotes the coldest default-tier page to make room; returns whether
+    /// a frame was freed (the migration was enqueued). Prefers never-sampled
+    /// pages so recently-cooled hot pages are not churned out.
+    fn demote_one_cold(&mut self, machine: &mut Machine) -> bool {
+        for pass in 0..2 {
+            for bin in 0..self.bins.n_bins() {
+                let candidates = self.bins.pages(TierId::DEFAULT, bin).to_vec();
+                for vpn in candidates {
+                    if pass == 0 && self.tracker.count(vpn) > 0 {
+                        continue;
+                    }
+                    if !self.budget.try_take_page() {
+                        return false;
+                    }
+                    if machine.enqueue_migration(vpn, TierId::ALTERNATE) {
+                        self.bins.move_tier(vpn, TierId::ALTERNATE);
+                        self.stats.demoted += 1;
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Vanilla HeMem placement: pack pages with count >= HOT_THRESHOLD into
+    /// the default tier.
+    fn vanilla_place(&mut self, machine: &mut Machine) {
+        let hot_bin_floor = self.bins.bin_of_count(HOT_THRESHOLD);
+        for bin in (hot_bin_floor..self.bins.n_bins()).rev() {
+            let candidates = self.bins.pages(TierId::ALTERNATE, bin).to_vec();
+            for vpn in candidates {
+                if self.tracker.count(vpn) < HOT_THRESHOLD {
+                    continue;
+                }
+                // Make room if needed.
+                if machine.free_pages(TierId::DEFAULT) == 0 && !self.demote_one_cold(machine) {
+                    return;
+                }
+                if !self.budget.try_take_page() {
+                    return;
+                }
+                if machine.enqueue_migration(vpn, TierId::DEFAULT) {
+                    self.bins.move_tier(vpn, TierId::DEFAULT);
+                    self.stats.promoted += 1;
+                }
+            }
+        }
+    }
+
+    /// Colloid placement (§4.1): find pages with [`BinnedFinder`], then
+    /// migrate them through the machine's engine, making room with cold
+    /// demotions when promoting into a full default tier.
+    fn colloid_place(&mut self, machine: &mut Machine, mode: Mode, delta_p: f64, byte_limit: u64) {
+        let to = match mode {
+            Mode::Promote => TierId::DEFAULT,
+            Mode::Demote => TierId::ALTERNATE,
+        };
+        let candidates = {
+            let mut finder = BinnedFinder::new(&self.bins, &self.tracker);
+            finder.find_pages(mode, delta_p, byte_limit.min(self.budget.remaining()))
+        };
+        for vpn in candidates {
+            if mode == Mode::Promote
+                && machine.free_pages(TierId::DEFAULT) == 0
+                && !self.demote_one_cold(machine)
+            {
+                return;
+            }
+            if !self.budget.try_take_page() {
+                return;
+            }
+            if machine.enqueue_migration(vpn, to) {
+                self.bins.move_tier(vpn, to);
+                match mode {
+                    Mode::Promote => self.stats.promoted += 1,
+                    Mode::Demote => self.stats.demoted += 1,
+                }
+            }
+        }
+    }
+}
+
+impl TieringSystem for HeMem {
+    fn on_tick(&mut self, machine: &mut Machine, report: &TickReport) {
+        if !self.initialized {
+            self.initialize(machine);
+        }
+        self.ingest_samples(report);
+        self.budget.refill();
+        match self.colloid.as_mut().map(|c| c.on_quantum(&measurements(report))) {
+            None => self.vanilla_place(machine),
+            Some(None) => {} // Colloid enabled, tiers balanced: no work.
+            Some(Some(d)) => self.colloid_place(machine, d.mode, d.delta_p, d.byte_limit),
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.colloid.is_some() {
+            "HeMem+Colloid".into()
+        } else {
+            "HeMem".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::machine::AccessStream;
+    use memsim::{
+        CoreConfig, MachineConfig, ObjectAccess, TrafficClass, LINES_PER_PAGE, LINE_SIZE,
+    };
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use simkit::SimTime;
+
+    /// 90/10 hot/cold over [0, hot) vs [0, total).
+    struct HotCold {
+        hot: u64,
+        total: u64,
+    }
+    impl AccessStream for HotCold {
+        fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+            let vpn = if rng.gen_bool(0.9) {
+                rng.gen_range(0..self.hot)
+            } else {
+                rng.gen_range(0..self.total)
+            };
+            ObjectAccess::read_line(vpn * PAGE_SIZE + rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE)
+        }
+    }
+
+    /// Small two-tier machine: default fits 64 pages, working set 256.
+    fn small_machine() -> Machine {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 1024 * PAGE_SIZE;
+        cfg.pebs_period = 16;
+        let mut m = Machine::new(cfg);
+        // Hot pages [0, 32) start in the WRONG tier to exercise promotion.
+        m.place_range(0..256, TierId::ALTERNATE);
+        m.add_core(
+            Box::new(HotCold { hot: 32, total: 256 }),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
+        m
+    }
+
+    fn params(colloid: bool) -> SystemParams {
+        SystemParams::new(
+            vec![0..256],
+            colloid.then(crate::ColloidParams::default),
+        )
+    }
+
+    fn run(system: &mut dyn TieringSystem, m: &mut Machine, ticks: usize) {
+        for _ in 0..ticks {
+            let rep = m.run_tick(SimTime::from_us(100.0));
+            system.on_tick(m, &rep);
+        }
+    }
+
+    #[test]
+    fn vanilla_promotes_hot_pages_to_default() {
+        let mut m = small_machine();
+        let mut h = HeMem::new(params(false));
+        run(&mut h, &mut m, 300);
+        let hot_in_default = (0..32)
+            .filter(|&v| m.tier_of(v) == Some(TierId::DEFAULT))
+            .count();
+        assert!(
+            hot_in_default >= 28,
+            "vanilla HeMem should pack the hot set into the default tier, got {hot_in_default}/32"
+        );
+        assert!(h.stats().promoted >= 28);
+    }
+
+    #[test]
+    fn vanilla_respects_capacity_via_cold_demotion() {
+        let mut m = small_machine();
+        // Pre-fill default with cold pages so promotion must demote.
+        for vpn in 200..256 {
+            m.enqueue_migration(vpn, TierId::DEFAULT);
+        }
+        m.run_tick(SimTime::from_ms(1.0));
+        let mut h = HeMem::new(params(false));
+        run(&mut h, &mut m, 300);
+        let hot_in_default = (0..32)
+            .filter(|&v| m.tier_of(v) == Some(TierId::DEFAULT))
+            .count();
+        assert!(hot_in_default >= 28, "got {hot_in_default}/32");
+        assert!(h.stats().demoted > 0, "cold pages must have been evicted");
+    }
+
+    #[test]
+    fn colloid_balances_latencies_not_capacity() {
+        // Make the default tier tiny AND heavily self-contended by placing
+        // all traffic on it via vanilla; Colloid should instead converge to
+        // a split that balances measured latencies.
+        let mut m = small_machine();
+        let mut h = HeMem::new(params(true));
+        run(&mut h, &mut m, 400);
+        let rep = m.run_tick(SimTime::from_us(400.0));
+        let l_d = rep.littles_latency_ns(TierId::DEFAULT);
+        let l_a = rep.littles_latency_ns(TierId::ALTERNATE);
+        // Both tiers carry traffic at steady state under Colloid (the
+        // single-core load is light, so the default tier stays fastest
+        // and hot pages flow towards it, but never beyond balance).
+        assert!(h.stats().promoted > 0);
+        if let (Some(l_d), Some(l_a)) = (l_d, l_a) {
+            assert!(
+                l_d <= l_a * 1.3,
+                "Colloid must not leave the default tier slower: {l_d} vs {l_a}"
+            );
+        }
+    }
+
+    #[test]
+    fn colloid_name_reflects_variant() {
+        assert_eq!(HeMem::new(params(false)).name(), "HeMem");
+        assert_eq!(HeMem::new(params(true)).name(), "HeMem+Colloid");
+    }
+
+    #[test]
+    fn cooling_rebins_population() {
+        let mut m = small_machine();
+        let mut h = HeMem::new(params(false));
+        run(&mut h, &mut m, 600);
+        assert!(
+            h.stats().coolings > 0,
+            "long runs must trigger cooling passes"
+        );
+        // Counts stay below the cooling threshold after cooling.
+        for vpn in 0..256 {
+            assert!(h.tracker.count(vpn) <= COOLING_THRESHOLD);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Re-implementations of the three state-of-the-art tiering systems the
+//! paper integrates Colloid with (§4), against the `memsim` substrate.
+//!
+//! Each system exists in two variants selected at construction:
+//!
+//! | System | Access tracking | Vanilla placement | Colloid integration |
+//! |--------|-----------------|-------------------|---------------------|
+//! | [`hemem::HeMem`] | PEBS samples → per-page frequency counts with cooling | pack pages above a fixed hot threshold into the default tier | frequency-binned page lists + Algorithm 1/2 (§4.1) |
+//! | [`tpp::Tpp`] | page-table scan + hint faults (time-to-fault) | promote hot-by-time-to-fault pages on fault; kswapd watermark demotion | per-fault access-probability test `p = 1/(Δt·r)` against Δp (§4.3) |
+//! | [`memtis::Memtis`] | dynamic-rate PEBS + huge-page (region) management | distribution-derived hot set packed into the default tier; proactive cold demotion | hot-list scan under Δp and the dynamic migration limit (§4.2) |
+//!
+//! All variants drive the machine through the same narrow interface
+//! ([`TieringSystem`]), consume the same [`memsim::TickReport`] hardware
+//! counters, and migrate through the machine's migration engine — mirroring
+//! how the real implementations reuse each system's existing tracking and
+//! migration mechanisms.
+
+pub mod hemem;
+pub mod memtis;
+pub mod tpp;
+
+use memsim::{Machine, TickReport, Vpn};
+use simkit::SimTime;
+
+/// A tiering system driving page placement on a [`Machine`].
+pub trait TieringSystem {
+    /// Reacts to one machine tick: ingest counters/samples, enqueue
+    /// migrations, re-mark pages.
+    fn on_tick(&mut self, machine: &mut Machine, report: &TickReport);
+
+    /// Display name ("HeMem", "HeMem+Colloid", ...).
+    fn name(&self) -> String;
+}
+
+/// A placement policy that never migrates (used for the best-case oracle's
+/// manually pinned placements and for baseline-free runs).
+pub struct StaticPlacement;
+
+impl TieringSystem for StaticPlacement {
+    fn on_tick(&mut self, _machine: &mut Machine, _report: &TickReport) {}
+
+    fn name(&self) -> String {
+        "static".into()
+    }
+}
+
+/// Parameters shared by every system.
+#[derive(Debug, Clone)]
+pub struct SystemParams {
+    /// Page ranges under the system's management (the application's
+    /// regions; pinned/antagonist pages are excluded).
+    pub managed: Vec<std::ops::Range<Vpn>>,
+    /// Machine tick duration (the base quantum).
+    pub tick: SimTime,
+    /// Static migration rate limit, bytes per tick (`M` in Algorithm 1).
+    pub migration_limit_per_tick: u64,
+    /// Unloaded latency of each tier in ns (for Colloid's idle-tier
+    /// fallback).
+    pub unloaded_ns: Vec<f64>,
+    /// Attach the Colloid controller (ε, δ) instead of the vanilla
+    /// placement policy.
+    pub colloid: Option<ColloidParams>,
+}
+
+/// Colloid knobs (paper §5: ε = 0.01, δ = 0.05).
+#[derive(Debug, Clone, Copy)]
+pub struct ColloidParams {
+    /// Watermark collapse threshold ε.
+    pub epsilon: f64,
+    /// Latency balance tolerance δ.
+    pub delta: f64,
+    /// EWMA smoothing factor for the occupancy/rate signals.
+    pub ewma_alpha: f64,
+    /// Dynamic migration limit (§3.2); disable for ablation runs.
+    pub dynamic_limit: bool,
+}
+
+impl Default for ColloidParams {
+    fn default() -> Self {
+        ColloidParams {
+            epsilon: 0.01,
+            delta: 0.05,
+            ewma_alpha: 0.3,
+            dynamic_limit: true,
+        }
+    }
+}
+
+impl SystemParams {
+    /// Reasonable defaults for the paper's scaled GUPS setup: 100 µs ticks
+    /// and a 2.4 GB/s static migration limit.
+    pub fn new(managed: Vec<std::ops::Range<Vpn>>, colloid: Option<ColloidParams>) -> Self {
+        let tick = SimTime::from_us(100.0);
+        SystemParams {
+            managed,
+            tick,
+            migration_limit_per_tick: (2.4e9 * tick.as_secs()) as u64,
+            unloaded_ns: vec![70.0, 135.7],
+            colloid,
+        }
+    }
+
+    /// Total managed pages.
+    pub fn managed_pages(&self) -> u64 {
+        self.managed.iter().map(|r| r.end - r.start).sum()
+    }
+
+    /// Builds the Colloid controller for this configuration, if enabled.
+    pub(crate) fn build_colloid(&self) -> Option<colloid::ColloidController> {
+        self.colloid.map(|c| {
+            colloid::ColloidController::new(colloid::ColloidConfig {
+                epsilon: c.epsilon,
+                delta: c.delta,
+                ewma_alpha: c.ewma_alpha,
+                static_limit_bytes: self.migration_limit_per_tick,
+                quantum_ns: self.tick.as_ns(),
+                unloaded_ns: self.unloaded_ns.clone(),
+                dynamic_limit: c.dynamic_limit,
+            })
+        })
+    }
+}
+
+/// Extracts Colloid's per-tier `(O, R)` measurements from a tick report.
+pub(crate) fn measurements(report: &TickReport) -> Vec<colloid::TierMeasurement> {
+    report
+        .tiers
+        .iter()
+        .map(|t| colloid::TierMeasurement {
+            occupancy: t.occupancy,
+            rate_per_ns: t.rate_per_ns,
+        })
+        .collect()
+}
+
+/// Which of the three systems to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// HeMem (SOSP '21).
+    Hemem,
+    /// TPP (ASPLOS '23), as upstreamed in Linux v6.3.
+    Tpp,
+    /// MEMTIS (SOSP '23).
+    Memtis,
+}
+
+impl SystemKind {
+    /// All three systems, in the paper's presentation order.
+    pub const ALL: [SystemKind; 3] = [SystemKind::Hemem, SystemKind::Tpp, SystemKind::Memtis];
+
+    /// Base display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Hemem => "HeMem",
+            SystemKind::Tpp => "TPP",
+            SystemKind::Memtis => "MEMTIS",
+        }
+    }
+}
+
+/// Builds a system (vanilla or +Colloid per `params.colloid`).
+pub fn build_system(kind: SystemKind, params: SystemParams) -> Box<dyn TieringSystem> {
+    match kind {
+        SystemKind::Hemem => Box::new(hemem::HeMem::new(params)),
+        SystemKind::Tpp => Box::new(tpp::Tpp::new(params, tpp::TppConfig::default())),
+        SystemKind::Memtis => Box::new(memtis::Memtis::new(params, memtis::MemtisConfig::default())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_defaults() {
+        let p = SystemParams::new(vec![0..100, 200..300], None);
+        assert_eq!(p.managed_pages(), 200);
+        // 2.4 GB/s over 100 us = 240 KB per tick.
+        assert_eq!(p.migration_limit_per_tick, 240_000);
+        assert!(p.build_colloid().is_none());
+    }
+
+    #[test]
+    fn colloid_controller_built_when_enabled() {
+        let p = SystemParams::new(vec![0..10], Some(ColloidParams::default()));
+        let c = p.build_colloid().expect("controller");
+        assert_eq!(c.shift().epsilon(), 0.01);
+        assert_eq!(c.shift().delta(), 0.05);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(SystemKind::Hemem.name(), "HeMem");
+        assert_eq!(SystemKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,536 @@
+//! TPP (ASPLOS '23, as upstreamed in Linux v6.3) and TPP+Colloid
+//! (paper §4.3).
+//!
+//! TPP tracks access recency with NUMA-balancing-style hint faults: a
+//! background scan marks page-table entries; the next access to a marked
+//! page traps, and the *time-to-fault* (marking → fault) indicates hotness
+//! (hot pages fault quickly). Vanilla TPP promotes a faulting
+//! alternate-tier page when its time-to-fault is under a dynamically
+//! adapted threshold, and demotes cold pages from the default tier through
+//! kswapd when free frames drop below a watermark, picking victims from an
+//! (approximate) inactive list.
+//!
+//! The Colloid integration (~315 LoC in the paper) measures per-tier
+//! latency from a spin-polling kernel module (here: the per-tick CHA
+//! window) and changes the fault handler: a faulting page migrates only in
+//! the latency-balancing direction, and only if its estimated access
+//! probability `p = 1/(Δt·r)` fits in the remaining Δp for this quantum.
+//! Hint faults are additionally enabled on default-tier pages so hot pages
+//! can be *demoted* under memory interconnect contention.
+
+use std::collections::HashMap;
+
+use colloid::{ColloidController, Mode};
+use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
+use tierctl::{MigrationBudget, RegionScanner};
+
+use crate::{measurements, SystemParams, TieringSystem};
+
+/// TPP-specific knobs.
+#[derive(Debug, Clone)]
+pub struct TppConfig {
+    /// Pages marked per tick by the page-table scanner.
+    pub scan_pages_per_tick: usize,
+    /// Transparent Huge Pages: promote whole 16-page regions.
+    pub huge: bool,
+    /// Initial hot/cold time-to-fault threshold (ns); adapted dynamically.
+    pub initial_threshold_ns: f64,
+    /// kswapd wakes when default-tier free frames fall below this fraction
+    /// of capacity ...
+    pub watermark_low: f64,
+    /// ... and demotes until free frames reach this fraction.
+    pub watermark_high: f64,
+}
+
+impl Default for TppConfig {
+    fn default() -> Self {
+        TppConfig {
+            scan_pages_per_tick: 1024,
+            huge: true,
+            initial_threshold_ns: 200_000.0,
+            watermark_low: 0.01,
+            watermark_high: 0.03,
+        }
+    }
+}
+
+/// Scaled THP region size in pages.
+const REGION_PAGES: u64 = 16;
+
+/// Telemetry counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TppStats {
+    /// Pages promoted on hint faults.
+    pub promoted: u64,
+    /// Pages demoted (kswapd + Colloid demotions).
+    pub demoted: u64,
+    /// Hint faults processed.
+    pub faults: u64,
+}
+
+/// The TPP tiering system (vanilla or +Colloid).
+pub struct Tpp {
+    params: SystemParams,
+    cfg: TppConfig,
+    scanner: RegionScanner,
+    budget: MigrationBudget,
+    colloid: Option<ColloidController>,
+    /// Dynamic time-to-fault threshold (vanilla hotness test).
+    threshold_ns: f64,
+    /// Last observed time-to-fault per page: large = cold. Pages that never
+    /// faulted are treated as coldest (the approximate inactive list).
+    last_ttf: HashMap<Vpn, f64>,
+    /// Flattened managed pages for the kswapd clock hand.
+    clock_pages: Vec<Vpn>,
+    clock_hand: usize,
+    stats: TppStats,
+}
+
+impl Tpp {
+    /// Builds TPP; attaches Colloid when `params.colloid` is set.
+    pub fn new(params: SystemParams, cfg: TppConfig) -> Self {
+        let colloid = params.build_colloid();
+        let scanner = RegionScanner::new(params.managed.clone());
+        let clock_pages = params.managed.iter().cloned().flatten().collect();
+        Tpp {
+            threshold_ns: cfg.initial_threshold_ns,
+            scanner,
+            budget: MigrationBudget::new(params.migration_limit_per_tick),
+            colloid,
+            last_ttf: HashMap::new(),
+            clock_pages,
+            clock_hand: 0,
+            stats: TppStats::default(),
+            cfg,
+            params,
+        }
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> TppStats {
+        self.stats
+    }
+
+    /// Current dynamic time-to-fault threshold (ns).
+    pub fn threshold_ns(&self) -> f64 {
+        self.threshold_ns
+    }
+
+    fn managed(&self, vpn: Vpn) -> bool {
+        self.params.managed.iter().any(|r| r.contains(&vpn))
+    }
+
+    /// All pages of `vpn`'s THP region (or just the page without THP).
+    fn unit_pages(&self, vpn: Vpn) -> Vec<Vpn> {
+        if !self.cfg.huge {
+            return vec![vpn];
+        }
+        let base = vpn / REGION_PAGES * REGION_PAGES;
+        (base..base + REGION_PAGES)
+            .filter(|&v| self.managed(v))
+            .collect()
+    }
+
+    /// Migrates a page's whole unit to `dst` (all-or-nothing with respect
+    /// to the budget, so THP regions never straddle tiers); returns pages
+    /// enqueued.
+    fn migrate_unit(&mut self, machine: &mut Machine, vpn: Vpn, dst: TierId) -> u64 {
+        let pages: Vec<Vpn> = self
+            .unit_pages(vpn)
+            .into_iter()
+            .filter(|&p| machine.tier_of(p) != Some(dst))
+            .collect();
+        let need = pages.len() as u64;
+        if need == 0 || self.budget.remaining() < need * PAGE_SIZE {
+            return 0;
+        }
+        if dst == TierId::DEFAULT {
+            while machine.free_pages(TierId::DEFAULT) < need {
+                if !self.kswapd_demote_one(machine) {
+                    return 0;
+                }
+            }
+        }
+        let mut moved = 0;
+        for page in pages {
+            if !self.budget.try_take_page() {
+                break;
+            }
+            if machine.enqueue_migration(page, dst) {
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// kswapd victim selection: one clock sweep over default-tier pages,
+    /// demoting the first page whose last time-to-fault marks it cold
+    /// (larger than the hotness threshold), or — if every resident page
+    /// looks hot — the coldest page seen. Returns whether a frame was
+    /// freed (enqueued for demotion).
+    fn kswapd_demote_one(&mut self, machine: &mut Machine) -> bool {
+        if self.clock_pages.is_empty() {
+            return false;
+        }
+        let mut coldest: Option<(Vpn, f64)> = None;
+        for _ in 0..self.clock_pages.len() {
+            let vpn = self.clock_pages[self.clock_hand];
+            self.clock_hand = (self.clock_hand + 1) % self.clock_pages.len();
+            if machine.tier_of(vpn) != Some(TierId::DEFAULT) {
+                continue;
+            }
+            let ttf = self.last_ttf.get(&vpn).copied().unwrap_or(f64::INFINITY);
+            // Hysteresis: reclaim only short-circuits on pages that are
+            // *clearly* cold — well beyond both the promotion threshold and
+            // the hot population's time-to-fault spread (the promotion
+            // threshold rate-limits to the hottest tail, so it sits far
+            // below the hot mean and must not drive eviction directly).
+            // Pages that are merely lukewarm are handled by the
+            // coldest-page fallback below.
+            if ttf > (self.threshold_ns * 10.0).max(150_000.0) {
+                return self.demote_unit_of(machine, vpn);
+            }
+            if coldest.map(|(_, c)| ttf > c).unwrap_or(true) {
+                coldest = Some((vpn, ttf));
+            }
+        }
+        match coldest {
+            Some((vpn, _)) => self.demote_unit_of(machine, vpn),
+            None => false,
+        }
+    }
+
+    /// Demotes the whole unit of `vpn` (THP regions stay intact).
+    fn demote_unit_of(&mut self, machine: &mut Machine, vpn: Vpn) -> bool {
+        let pages: Vec<Vpn> = self
+            .unit_pages(vpn)
+            .into_iter()
+            .filter(|&p| machine.tier_of(p) == Some(TierId::DEFAULT))
+            .collect();
+        if self.budget.remaining() < pages.len() as u64 * PAGE_SIZE {
+            return false;
+        }
+        let mut any = false;
+        for page in pages {
+            if !self.budget.try_take_page() {
+                break;
+            }
+            if machine.enqueue_migration(page, TierId::ALTERNATE) {
+                self.stats.demoted += 1;
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// kswapd main loop: keep default-tier free frames above the
+    /// watermarks.
+    fn kswapd(&mut self, machine: &mut Machine) {
+        let cap = machine.config().tiers[TierId::DEFAULT.index()].capacity_pages();
+        let low = ((cap as f64 * self.cfg.watermark_low) as u64).max(1);
+        let high = ((cap as f64 * self.cfg.watermark_high) as u64).max(2);
+        if machine.free_pages(TierId::DEFAULT) >= low {
+            return;
+        }
+        while machine.free_pages(TierId::DEFAULT) < high {
+            if !self.kswapd_demote_one(machine) {
+                break;
+            }
+        }
+    }
+
+    /// Adapts the vanilla hotness threshold so the *candidate* promotion
+    /// rate tracks the migration budget (Linux's hot-page-selection rate
+    /// control: if more hot-qualifying bytes fault than the rate limit
+    /// allows, the threshold tightens; if the budget is underused, it
+    /// loosens).
+    fn adapt_threshold(&mut self, candidate_bytes: u64, faults_this_tick: usize) {
+        if candidate_bytes > self.budget.per_quantum() {
+            self.threshold_ns *= 0.9; // too many candidates: be stricter
+        } else if faults_this_tick > 0 && candidate_bytes < self.budget.per_quantum() / 4 {
+            self.threshold_ns *= 1.15; // budget underused: loosen
+        }
+        self.threshold_ns = self.threshold_ns.clamp(1_000.0, 10_000_000.0);
+    }
+}
+
+impl TieringSystem for Tpp {
+    fn on_tick(&mut self, machine: &mut Machine, report: &TickReport) {
+        self.budget.refill();
+
+        // Colloid mode/Δp for this quantum (None = vanilla).
+        let decision = self
+            .colloid
+            .as_mut()
+            .map(|c| c.on_quantum(&measurements(report)));
+        let mut rem_p = decision
+            .as_ref()
+            .and_then(|d| d.as_ref())
+            .map(|d| d.delta_p)
+            .unwrap_or(0.0);
+        let mode = decision.as_ref().and_then(|d| d.as_ref()).map(|d| d.mode);
+        let mut rem_bytes = decision
+            .as_ref()
+            .and_then(|d| d.as_ref())
+            .map(|d| d.byte_limit)
+            .unwrap_or(u64::MAX);
+
+        // Per-tier request rates for the access-probability estimate
+        // p = 1 / (Δt · r)   (paper §4.3).
+        let rate_of = |tier: TierId| report.tiers[tier.index()].rate_per_ns;
+
+        let mut promoted_this_tick = 0u64;
+        // Bytes of promotion *candidates* (hot-qualifying faults on
+        // alternate-tier pages) this tick — the signal Linux's hot-page
+        // selection adapts its threshold on (rate-limit targeting).
+        let mut candidate_bytes = 0u64;
+        for fault in &report.faults {
+            if !self.managed(fault.vpn) {
+                continue;
+            }
+            self.stats.faults += 1;
+            self.last_ttf.insert(fault.vpn, fault.time_to_fault_ns);
+
+            match (&self.colloid, mode) {
+                // Vanilla: promote hot (fast-faulting) alternate-tier pages.
+                (None, _) => {
+                    if fault.tier != TierId::DEFAULT
+                        && fault.time_to_fault_ns <= self.threshold_ns
+                    {
+                        candidate_bytes += self.unit_pages(fault.vpn).len() as u64 * PAGE_SIZE;
+                        let moved = self.migrate_unit(machine, fault.vpn, TierId::DEFAULT);
+                        promoted_this_tick += moved;
+                        self.stats.promoted += moved;
+                    }
+                }
+                // Colloid, but balanced this quantum: no migrations.
+                (Some(_), None) => {}
+                // Colloid: migrate along the balancing direction while the
+                // page's access probability fits the remaining Δp.
+                (Some(_), Some(m)) => {
+                    let (src, dst) = match m {
+                        Mode::Promote => (TierId::ALTERNATE, TierId::DEFAULT),
+                        Mode::Demote => (TierId::DEFAULT, TierId::ALTERNATE),
+                    };
+                    if fault.tier != src {
+                        continue;
+                    }
+                    let r = rate_of(src);
+                    if r <= 0.0 {
+                        continue;
+                    }
+                    let prob = 1.0 / (fault.time_to_fault_ns.max(1.0) * r);
+                    let unit_bytes = self.unit_pages(fault.vpn).len() as u64 * PAGE_SIZE;
+                    if prob <= rem_p && unit_bytes <= rem_bytes {
+                        let moved = self.migrate_unit(machine, fault.vpn, dst);
+                        if moved > 0 {
+                            rem_p -= prob;
+                            rem_bytes -= moved * PAGE_SIZE;
+                            match m {
+                                Mode::Promote => {
+                                    promoted_this_tick += moved;
+                                    self.stats.promoted += moved;
+                                }
+                                Mode::Demote => self.stats.demoted += moved,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let _ = promoted_this_tick;
+        if self.colloid.is_none() {
+            self.adapt_threshold(candidate_bytes, report.faults.len());
+        }
+
+        // Capacity-driven cold demotion continues in both variants.
+        self.kswapd(machine);
+
+        // Re-arm the scanner: vanilla TPP only tracks alternate-tier pages
+        // for promotion (plus recency on default pages); Colloid needs
+        // faults on default-tier pages to drive demotion too. We mark both
+        // in both variants — vanilla simply ignores default-tier faults for
+        // placement, using them only as recency information.
+        for vpn in self.scanner.next_batch(self.cfg.scan_pages_per_tick) {
+            machine.mark_page(vpn);
+        }
+    }
+
+    fn name(&self) -> String {
+        if self.colloid.is_some() {
+            "TPP+Colloid".into()
+        } else {
+            "TPP".into()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::machine::AccessStream;
+    use memsim::{CoreConfig, MachineConfig, ObjectAccess, TrafficClass, LINES_PER_PAGE, LINE_SIZE};
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use simkit::SimTime;
+
+    struct HotCold {
+        hot: u64,
+        total: u64,
+    }
+    impl AccessStream for HotCold {
+        fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+            let vpn = if rng.gen_bool(0.9) {
+                rng.gen_range(0..self.hot)
+            } else {
+                rng.gen_range(0..self.total)
+            };
+            ObjectAccess::read_line(vpn * PAGE_SIZE + rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE)
+        }
+    }
+
+    fn small_machine(default_pages: u64) -> Machine {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = default_pages * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 1024 * PAGE_SIZE;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..256, TierId::ALTERNATE);
+        m.add_core(
+            Box::new(HotCold { hot: 32, total: 256 }),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
+        m
+    }
+
+    fn params(colloid: bool) -> SystemParams {
+        SystemParams::new(vec![0..256], colloid.then(crate::ColloidParams::default))
+    }
+
+    fn run(t: &mut Tpp, m: &mut Machine, ticks: usize) {
+        for _ in 0..ticks {
+            let rep = m.run_tick(SimTime::from_us(100.0));
+            t.on_tick(m, &rep);
+        }
+    }
+
+    #[test]
+    fn faults_fire_and_promote_hot_pages() {
+        let mut m = small_machine(64);
+        let mut t = Tpp::new(
+            params(false),
+            TppConfig {
+                huge: false,
+                scan_pages_per_tick: 32,
+                ..TppConfig::default()
+            },
+        );
+        run(&mut t, &mut m, 400);
+        assert!(t.stats().faults > 100, "faults = {}", t.stats().faults);
+        let hot_in_default = (0..32)
+            .filter(|&v| m.tier_of(v) == Some(TierId::DEFAULT))
+            .count();
+        assert!(
+            hot_in_default >= 24,
+            "TPP should promote most of the hot set, got {hot_in_default}/32"
+        );
+    }
+
+    #[test]
+    fn thp_promotes_whole_regions() {
+        let mut m = small_machine(128);
+        let mut t = Tpp::new(params(false), TppConfig::default());
+        run(&mut t, &mut m, 400);
+        // With 16-page regions, promoted pages come in region-sized groups:
+        // every promoted page's region peers should share its tier.
+        let mut region_aligned = true;
+        for region in 0..2 {
+            let base = region * REGION_PAGES;
+            let tiers: Vec<_> = (base..base + REGION_PAGES)
+                .map(|v| m.tier_of(v))
+                .collect();
+            if tiers.windows(2).any(|w| w[0] != w[1]) {
+                region_aligned = false;
+            }
+        }
+        assert!(region_aligned, "THP units must move together");
+    }
+
+    #[test]
+    fn kswapd_maintains_free_watermark() {
+        // No application core: pure reclaim behaviour.
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 1024 * PAGE_SIZE;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..192, TierId::ALTERNATE);
+        m.place_range(192..256, TierId::DEFAULT); // default tier full
+        assert_eq!(m.free_pages(TierId::DEFAULT), 0);
+        let mut t = Tpp::new(
+            params(false),
+            TppConfig {
+                huge: false,
+                scan_pages_per_tick: 32,
+                ..TppConfig::default()
+            },
+        );
+        run(&mut t, &mut m, 50);
+        assert!(
+            m.free_pages(TierId::DEFAULT) > 0,
+            "kswapd must restore free frames"
+        );
+        assert!(t.stats().demoted > 0);
+    }
+
+    #[test]
+    fn threshold_adapts_within_bounds() {
+        let mut m = small_machine(64);
+        let mut t = Tpp::new(
+            params(false),
+            TppConfig {
+                huge: false,
+                initial_threshold_ns: 5_000.0,
+                ..TppConfig::default()
+            },
+        );
+        run(&mut t, &mut m, 200);
+        let th = t.threshold_ns();
+        assert!((1_000.0..=10_000_000.0).contains(&th), "threshold {th}");
+    }
+
+    #[test]
+    fn colloid_variant_demotes_under_pressure() {
+        // Heavy contention on a tiny default tier: with Colloid, hint
+        // faults on default-tier pages must produce demotions once the
+        // default tier is the slower one.
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 256 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 1024 * PAGE_SIZE;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..200, TierId::DEFAULT);
+        m.place_range(200..256, TierId::ALTERNATE);
+        for _ in 0..24 {
+            m.add_core(
+                Box::new(HotCold { hot: 200, total: 256 }),
+                CoreConfig::default(),
+                TrafficClass::App,
+            );
+        }
+        let mut t = Tpp::new(
+            params(true),
+            TppConfig {
+                huge: false,
+                scan_pages_per_tick: 32,
+                ..TppConfig::default()
+            },
+        );
+        run(&mut t, &mut m, 600);
+        assert!(
+            t.stats().demoted > 20,
+            "Colloid TPP should demote hot pages under contention, demoted = {}",
+            t.stats().demoted
+        );
+        assert_eq!(t.name(), "TPP+Colloid");
+    }
+}

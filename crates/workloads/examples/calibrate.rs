@@ -1,0 +1,123 @@
+//! Calibration probe for the memory-system model.
+//!
+//! Prints the quantities the paper reports for its testbed (§2) so the
+//! simulator's constants can be tuned to land in the same bands:
+//!
+//! - antagonist-only bandwidth at 5/10/15 cores (paper: 51/65/70 % of the
+//!   205 GB/s theoretical maximum);
+//! - GUPS + antagonist default/alternate tier loaded latencies with the
+//!   hot set packed into the default tier (paper Figure 2a: default-tier
+//!   latency inflates 2.5×/3.8×/5× at 1×/2×/3× intensity, exceeding the
+//!   alternate tier by 1.2×/1.8×/2.4×).
+//!
+//! Run: `cargo run -p workloads --example calibrate --release`
+
+use memsim::{CoreConfig, Machine, MachineConfig, TierId, TrafficClass};
+use simkit::SimTime as ST;
+
+fn knob(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+use simkit::SimTime;
+use workloads::{AntagonistConfig, AntagonistStream, GupsConfig, GupsStream};
+
+const APP_CORES: usize = 15;
+
+fn setup(antagonist_cores: usize, with_gups: bool) -> Machine {
+    let mut cfg = MachineConfig::icelake_two_tier();
+    for t in &mut cfg.tiers {
+        t.dram.t_write_turnaround = ST::from_ns(knob("WT", 3.0));
+        t.dram.t_faw = ST::from_ns(knob("FAW", 18.0));
+    }
+    let mut m = Machine::new(cfg);
+
+    // Antagonist buffer: 128 pages pinned to the default tier.
+    let ant = AntagonistConfig::paper_default(0, 0);
+    m.place_range(ant.range(), TierId::DEFAULT);
+    for vpn in ant.range() {
+        m.pin(vpn);
+    }
+
+    // GUPS working set: hot set packed in default tier (existing systems'
+    // placement), remainder of default filled with cold pages, rest in alt.
+    let gups = GupsConfig::paper_default(1024);
+    if with_gups {
+        let hot = gups.hot_range();
+        m.place_range(hot.clone(), TierId::DEFAULT);
+        let default_left = m.free_pages(TierId::DEFAULT);
+        let cold_start = hot.end;
+        m.place_range(cold_start..cold_start + default_left, TierId::DEFAULT);
+        m.place_range(cold_start + default_left..gups.ws_range().end, TierId::ALTERNATE);
+        for i in 0..APP_CORES {
+            let mut c = gups.clone();
+            c.hot_offset = 0;
+            let _ = i;
+            m.add_core(
+                Box::new(GupsStream::new(c).unwrap()),
+                CoreConfig::app_default(),
+                TrafficClass::App,
+            );
+        }
+    }
+
+    for i in 0..antagonist_cores {
+        m.add_core(
+            Box::new(AntagonistStream::new(AntagonistConfig::paper_default(
+                0, i as u64,
+            ))),
+            CoreConfig {
+                demand_slots: knob("AD", 8.0) as usize,
+                prefetch_slots: knob("AP", 20.0) as usize,
+                think_time: ST::ZERO,
+            },
+            TrafficClass::Antagonist,
+        );
+    }
+    m
+}
+
+fn run(m: &mut Machine) -> (f64, f64, f64, f64, f64) {
+    // Warm up, then measure.
+    m.run_tick(SimTime::from_us(200.0));
+    let rep = m.run_tick(SimTime::from_us(400.0));
+    let dur = rep.duration();
+    let bw_total: f64 = rep
+        .tiers
+        .iter()
+        .map(|t| t.bandwidth_bytes_per_sec(dur))
+        .sum();
+    let bw_def = rep.tiers[0].bandwidth_bytes_per_sec(dur);
+    let l_def = rep.littles_latency_ns(TierId::DEFAULT).unwrap_or(0.0);
+    let l_alt = rep.littles_latency_ns(TierId::ALTERNATE).unwrap_or(0.0);
+    (bw_total, bw_def, l_def, l_alt, rep.app_ops_per_sec())
+}
+
+fn main() {
+    println!("== antagonist in isolation (target: 51/65/70% of 205 GB/s) ==");
+    for cores in [5, 10, 15] {
+        let mut m = setup(cores, false);
+        let (bw, _, l, _, _) = run(&mut m);
+        println!(
+            "  {cores:2} cores: {:6.1} GB/s ({:4.1}%)  L_D={l:6.1}ns",
+            bw / 1e9,
+            bw / 205e9 * 100.0
+        );
+    }
+
+    println!("== GUPS(15 cores, hot in default) + antagonist ==");
+    println!("   target L_D: ~100ns @0x, 175 @1x, 266 @2x, 350 @3x; L_A ~140-150ns");
+    for (label, cores) in [("0x", 0), ("1x", 5), ("2x", 10), ("3x", 15)] {
+        let mut m = setup(cores, true);
+        let (bw, bw_def, l_d, l_a, ops) = run(&mut m);
+        println!(
+            "  {label}: L_D={l_d:6.1}ns L_A={l_a:6.1}ns ratio={:4.2}  bw={:6.1} GB/s (def {:5.1})  GUPS={:6.1} Mops/s",
+            l_d / l_a.max(1.0),
+            bw / 1e9,
+            bw_def / 1e9,
+            ops / 1e6
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The memory antagonist (paper §2.1).
+//!
+//! "To generate controlled memory interconnect contention [...] we use a
+//! memory antagonist on cores 16-30 that generates sequential 1:1
+//! read/write memory traffic to a 500MB buffer that is pinned to the
+//! default tier memory."
+//!
+//! The buffer is scaled 1024× to 512 KB. Contention *intensity* is
+//! controlled by how many cores run an [`AntagonistStream`]: the paper's
+//! 0×/1×/2×/3× intensities correspond to 0/5/10/15 antagonist cores.
+
+use memsim::{AccessStream, ObjectAccess, Vpn, LINE_SIZE, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use simkit::SimTime;
+
+/// Configuration of one antagonist thread.
+#[derive(Debug, Clone)]
+pub struct AntagonistConfig {
+    /// First page of the (pinned) buffer.
+    pub base_vpn: Vpn,
+    /// Buffer size in pages.
+    pub buffer_pages: u64,
+    /// Bytes each sequential burst covers before the next burst starts
+    /// (larger bursts stream more row-hits and raise effective MLP).
+    pub chunk_bytes: u32,
+    /// Offset stagger between threads so they do not walk in lockstep.
+    pub start_offset: u64,
+}
+
+impl AntagonistConfig {
+    /// The paper's antagonist, scaled: a 512 KB pinned buffer walked in
+    /// 1 KB chunks.
+    pub fn paper_default(base_vpn: Vpn, thread_idx: u64) -> Self {
+        let buffer_pages = (512 << 10) / PAGE_SIZE;
+        AntagonistConfig {
+            base_vpn,
+            buffer_pages,
+            chunk_bytes: 1024,
+            start_offset: (thread_idx * 17) % (buffer_pages * PAGE_SIZE / 1024) * 1024,
+        }
+    }
+
+    /// Pages of the buffer (to pin at setup).
+    pub fn range(&self) -> std::ops::Range<Vpn> {
+        self.base_vpn..self.base_vpn + self.buffer_pages
+    }
+}
+
+/// One antagonist thread: alternating sequential read and write bursts.
+///
+/// Each call yields one `chunk_bytes` burst at the next sequential offset;
+/// bursts alternate read/write (1:1 RW). The buffer wraps around.
+#[derive(Debug, Clone)]
+pub struct AntagonistStream {
+    cfg: AntagonistConfig,
+    cursor: u64,
+    write_next: bool,
+}
+
+impl AntagonistStream {
+    /// Creates a stream from its configuration.
+    pub fn new(cfg: AntagonistConfig) -> Self {
+        AntagonistStream {
+            cursor: cfg.start_offset % (cfg.buffer_pages * PAGE_SIZE),
+            cfg,
+            write_next: false,
+        }
+    }
+}
+
+impl AccessStream for AntagonistStream {
+    fn next(&mut self, _now: SimTime, _rng: &mut SmallRng) -> ObjectAccess {
+        let buf_bytes = self.cfg.buffer_pages * PAGE_SIZE;
+        let vaddr = self.cfg.base_vpn * PAGE_SIZE + self.cursor;
+        let size = (self.cfg.chunk_bytes as u64).min(buf_bytes - self.cursor) as u32;
+        self.cursor = (self.cursor + size as u64) % buf_bytes;
+        let is_write = self.write_next;
+        self.write_next = !self.write_next;
+        ObjectAccess {
+            vaddr,
+            size: size.max(LINE_SIZE as u32),
+            is_write,
+            dependent: false,
+            // The buffer is re-streamed constantly from many cores; lines
+            // are evicted before reuse.
+            llc_hit_prob: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::seed_from;
+
+    #[test]
+    fn alternates_reads_and_writes() {
+        let mut s = AntagonistStream::new(AntagonistConfig::paper_default(0, 0));
+        let mut rng = seed_from(1, 0);
+        let a = s.next(SimTime::ZERO, &mut rng);
+        let b = s.next(SimTime::ZERO, &mut rng);
+        assert!(!a.is_write);
+        assert!(b.is_write);
+    }
+
+    #[test]
+    fn walks_sequentially_and_wraps() {
+        let cfg = AntagonistConfig {
+            base_vpn: 10,
+            buffer_pages: 2,
+            chunk_bytes: 4096,
+            start_offset: 0,
+        };
+        let mut s = AntagonistStream::new(cfg);
+        let mut rng = seed_from(2, 0);
+        let a = s.next(SimTime::ZERO, &mut rng);
+        let b = s.next(SimTime::ZERO, &mut rng);
+        let c = s.next(SimTime::ZERO, &mut rng);
+        assert_eq!(a.vaddr, 10 * PAGE_SIZE);
+        assert_eq!(b.vaddr, 11 * PAGE_SIZE);
+        assert_eq!(c.vaddr, 10 * PAGE_SIZE, "wraps to the start");
+    }
+
+    #[test]
+    fn stays_inside_buffer() {
+        let cfg = AntagonistConfig::paper_default(1000, 3);
+        let range = cfg.range();
+        let mut s = AntagonistStream::new(cfg);
+        let mut rng = seed_from(3, 0);
+        for _ in 0..10_000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let first = a.vaddr / PAGE_SIZE;
+            let last = (a.vaddr + a.size as u64 - 1) / PAGE_SIZE;
+            assert!(range.contains(&first) && range.contains(&last));
+        }
+    }
+
+    #[test]
+    fn threads_are_staggered() {
+        let a = AntagonistConfig::paper_default(0, 0);
+        let b = AntagonistConfig::paper_default(0, 1);
+        assert_ne!(a.start_offset, b.start_offset);
+    }
+
+    #[test]
+    fn buffer_is_512kb_scaled() {
+        let cfg = AntagonistConfig::paper_default(0, 0);
+        assert_eq!(cfg.buffer_pages * PAGE_SIZE, 512 << 10);
+    }
+}

@@ -1,0 +1,226 @@
+//! GAPBS PageRank on a power-law graph (paper §5.3, Figure 11a).
+//!
+//! The paper runs GAPBS PageRank over the Twitter graph; "access locality
+//! arises from skew in the degree distribution of graph nodes". The memory
+//! behaviour of pull-based PageRank is two-fold:
+//!
+//! 1. a **sequential stream** over the CSR edge array (prefetch-friendly,
+//!    huge footprint);
+//! 2. **random reads** of the source nodes' rank entries, whose per-node
+//!    frequency is proportional to node degree — a power law.
+//!
+//! [`PageRankStream`] reproduces exactly that mix: one edge-chunk read
+//! followed by a batch of degree-skewed rank reads. GAPBS relabels nodes by
+//! degree, so hot nodes cluster at the start of the rank array (strong
+//! page-level skew), which we model with an unscrambled Zipf sampler.
+
+use memsim::{AccessStream, ObjectAccess, Vpn, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use simkit::rng::Zipf;
+use simkit::SimTime;
+
+/// Bytes per rank entry (one f64 per node, as in GAPBS `pvector<ScoreT>`).
+const RANK_BYTES: u64 = 8;
+
+/// Configuration of one PageRank worker thread.
+#[derive(Debug, Clone)]
+pub struct PageRankConfig {
+    /// First page of the rank (per-node score) array.
+    pub rank_base_vpn: Vpn,
+    /// Number of graph nodes.
+    pub nodes: u64,
+    /// First page of the CSR edge array.
+    pub edge_base_vpn: Vpn,
+    /// Edge-array region size in pages.
+    pub edge_pages: u64,
+    /// Degree-skew of the graph (Zipf theta; Twitter-like graphs are
+    /// heavily skewed).
+    pub theta: f64,
+    /// Bytes of edge array consumed per chunk (sequential burst).
+    pub edge_chunk_bytes: u32,
+    /// Rank reads per edge chunk (edges per chunk: chunk/8 bytes-per-edge).
+    pub rank_reads_per_chunk: u32,
+    /// LLC hit probability for rank reads (hubs partially cache).
+    pub rank_llc_hit_prob: f32,
+}
+
+impl PageRankConfig {
+    /// Twitter-like setup scaled 1024×: ~38 MB working set — a 32 MB edge
+    /// array plus a 6 MB rank array over 786 432 nodes.
+    pub fn paper_default(base_vpn: Vpn) -> Self {
+        let rank_pages = (6 << 20) / PAGE_SIZE;
+        let nodes = rank_pages * PAGE_SIZE / RANK_BYTES;
+        PageRankConfig {
+            rank_base_vpn: base_vpn,
+            nodes,
+            edge_base_vpn: base_vpn + rank_pages,
+            edge_pages: (32 << 20) / PAGE_SIZE,
+            theta: 0.8,
+            edge_chunk_bytes: 256,
+            rank_reads_per_chunk: 32,
+            rank_llc_hit_prob: 0.1,
+        }
+    }
+
+    /// Pages of the rank array.
+    pub fn rank_range(&self) -> std::ops::Range<Vpn> {
+        self.rank_base_vpn..self.rank_base_vpn + self.nodes * RANK_BYTES / PAGE_SIZE
+    }
+
+    /// Pages of the edge array.
+    pub fn edge_range(&self) -> std::ops::Range<Vpn> {
+        self.edge_base_vpn..self.edge_base_vpn + self.edge_pages
+    }
+
+    /// Full working-set range (ranks followed by edges, contiguous).
+    pub fn ws_range(&self) -> std::ops::Range<Vpn> {
+        self.rank_range().start..self.edge_range().end
+    }
+}
+
+/// One PageRank worker: alternating edge streaming and rank gathers.
+pub struct PageRankStream {
+    cfg: PageRankConfig,
+    zipf: Zipf,
+    edge_cursor: u64,
+    rank_reads_left: u32,
+}
+
+impl PageRankStream {
+    /// Creates a stream; each worker starts at a staggered edge offset.
+    pub fn new(cfg: PageRankConfig, thread_idx: u64) -> Self {
+        let edge_bytes = cfg.edge_pages * PAGE_SIZE;
+        let stride = edge_bytes / 97; // co-prime-ish stagger
+        PageRankStream {
+            zipf: Zipf::new(cfg.nodes, cfg.theta),
+            edge_cursor: (thread_idx * stride) % edge_bytes
+                / cfg.edge_chunk_bytes as u64
+                * cfg.edge_chunk_bytes as u64,
+            rank_reads_left: 0,
+            cfg,
+        }
+    }
+}
+
+impl AccessStream for PageRankStream {
+    fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        if self.rank_reads_left == 0 {
+            // Sequential edge chunk.
+            self.rank_reads_left = self.cfg.rank_reads_per_chunk;
+            let edge_bytes = self.cfg.edge_pages * PAGE_SIZE;
+            let vaddr = self.cfg.edge_base_vpn * PAGE_SIZE + self.edge_cursor;
+            self.edge_cursor = (self.edge_cursor + self.cfg.edge_chunk_bytes as u64) % edge_bytes;
+            return ObjectAccess {
+                vaddr,
+                size: self.cfg.edge_chunk_bytes,
+                is_write: false,
+                dependent: false,
+                llc_hit_prob: 0.0,
+            };
+        }
+        // Degree-skewed rank read.
+        self.rank_reads_left -= 1;
+        let node = self.zipf.sample(rng);
+        ObjectAccess {
+            vaddr: self.cfg.rank_base_vpn * PAGE_SIZE + node * RANK_BYTES,
+            size: RANK_BYTES as u32,
+            is_write: false,
+            dependent: false,
+            llc_hit_prob: self.cfg.rank_llc_hit_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::seed_from;
+
+    #[test]
+    fn regions_are_disjoint_and_contiguous() {
+        let cfg = PageRankConfig::paper_default(100);
+        assert_eq!(cfg.rank_range().end, cfg.edge_range().start);
+        assert_eq!(cfg.ws_range().start, 100);
+        assert_eq!(
+            cfg.ws_range().end - cfg.ws_range().start,
+            ((6 + 32) << 20) / PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn mixes_edge_chunks_and_rank_reads() {
+        let cfg = PageRankConfig::paper_default(0);
+        let mut s = PageRankStream::new(cfg.clone(), 0);
+        let mut rng = seed_from(1, 0);
+        let mut edge = 0;
+        let mut rank = 0;
+        for _ in 0..3300 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let vpn = a.vaddr / PAGE_SIZE;
+            if cfg.edge_range().contains(&vpn) {
+                edge += 1;
+                assert_eq!(a.size, 256);
+            } else {
+                assert!(cfg.rank_range().contains(&vpn));
+                rank += 1;
+                assert_eq!(a.size, 8);
+            }
+        }
+        // 1 edge chunk per 32 rank reads.
+        assert_eq!(edge, 100);
+        assert_eq!(rank, 3200);
+    }
+
+    #[test]
+    fn rank_reads_are_skewed_to_low_pages() {
+        let cfg = PageRankConfig::paper_default(0);
+        let mut s = PageRankStream::new(cfg.clone(), 0);
+        let mut rng = seed_from(2, 0);
+        let rank_pages = cfg.rank_range().end - cfg.rank_range().start;
+        let mut first_decile = 0u64;
+        let mut total = 0u64;
+        for _ in 0..100_000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let vpn = a.vaddr / PAGE_SIZE;
+            if cfg.rank_range().contains(&vpn) {
+                total += 1;
+                if vpn - cfg.rank_range().start < rank_pages / 10 {
+                    first_decile += 1;
+                }
+            }
+        }
+        let share = first_decile as f64 / total as f64;
+        assert!(
+            share > 0.5,
+            "hot decile should absorb most rank reads, got {share}"
+        );
+    }
+
+    #[test]
+    fn edge_stream_is_sequential() {
+        let cfg = PageRankConfig::paper_default(0);
+        let mut s = PageRankStream::new(cfg.clone(), 0);
+        let mut rng = seed_from(3, 0);
+        let mut last_edge_addr = None;
+        for _ in 0..1000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            if cfg.edge_range().contains(&(a.vaddr / PAGE_SIZE)) {
+                if let Some(prev) = last_edge_addr {
+                    assert_eq!(a.vaddr, prev + 256, "edge chunks advance by 256B");
+                }
+                last_edge_addr = Some(a.vaddr);
+            }
+        }
+    }
+
+    #[test]
+    fn threads_start_staggered() {
+        let cfg = PageRankConfig::paper_default(0);
+        let mut a = PageRankStream::new(cfg.clone(), 0);
+        let mut b = PageRankStream::new(cfg, 1);
+        let mut rng = seed_from(4, 0);
+        let ea = a.next(SimTime::ZERO, &mut rng);
+        let eb = b.next(SimTime::ZERO, &mut rng);
+        assert_ne!(ea.vaddr, eb.vaddr);
+    }
+}

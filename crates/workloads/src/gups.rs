@@ -1,0 +1,297 @@
+//! The GUPS microbenchmark (paper §2.1).
+//!
+//! "The working set consists of a virtually contiguous buffer of size 72GB.
+//! A random 24GB region of this buffer constitutes the hot set [...] reading
+//! and updating (1:1 RW ratio) a 64 byte object chosen at random from the
+//! hot set with 90% probability and from the full working set with 10%
+//! probability."
+//!
+//! Capacities are scaled 1024× in this reproduction (72 GB → 72 MB), so the
+//! default working set is 18 432 pages with a 6 144-page hot set.
+//!
+//! For the convergence experiments (Figure 9), the hot set can be scheduled
+//! to jump to a different region of the buffer at given times.
+
+use memsim::{AccessStream, ObjectAccess, Vpn, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::SimTime;
+
+/// Configuration of one GUPS thread.
+#[derive(Debug, Clone)]
+pub struct GupsConfig {
+    /// First page of the working-set buffer.
+    pub base_vpn: Vpn,
+    /// Working-set size in pages.
+    pub ws_pages: u64,
+    /// Hot-set size in pages.
+    pub hot_pages: u64,
+    /// Offset (in pages, within the working set) where the hot region
+    /// starts initially.
+    pub hot_offset: u64,
+    /// Probability of drawing from the hot set (paper: 0.9).
+    pub hot_prob: f64,
+    /// Object size in bytes (paper sweeps 64–4096 in Figure 8).
+    pub object_size: u32,
+    /// Fraction of operations that update the object (paper: every
+    /// operation reads *and* updates, i.e. 1.0).
+    pub write_fraction: f64,
+    /// Per-line LLC hit probability (the 48 MB LLC covers a sliver of the
+    /// multi-GB working set).
+    pub llc_hit_prob: f32,
+    /// Scheduled hot-set moves: at each `(time, new_offset)` the hot region
+    /// jumps to `new_offset` (pages, within the working set). Must be
+    /// sorted by time.
+    pub phases: Vec<(SimTime, u64)>,
+}
+
+impl GupsConfig {
+    /// The paper's default GUPS setup, scaled 1024×: 72 MB working set,
+    /// 24 MB hot set at offset 0, 64 B objects, read+update, 90 % hot.
+    pub fn paper_default(base_vpn: Vpn) -> Self {
+        GupsConfig {
+            base_vpn,
+            ws_pages: (72 << 20) / PAGE_SIZE,
+            hot_pages: (24 << 20) / PAGE_SIZE,
+            hot_offset: 0,
+            hot_prob: 0.9,
+            object_size: 64,
+            write_fraction: 1.0,
+            llc_hit_prob: 0.01,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hot_pages > self.ws_pages {
+            return Err("hot set larger than working set".into());
+        }
+        if self.hot_offset + self.hot_pages > self.ws_pages {
+            return Err("hot region exceeds working set".into());
+        }
+        if !(0.0..=1.0).contains(&self.hot_prob) || !(0.0..=1.0).contains(&self.write_fraction) {
+            return Err("probabilities must be in [0,1]".into());
+        }
+        if self.object_size == 0 || self.object_size as u64 > PAGE_SIZE {
+            return Err("object size must be in 1..=4096".into());
+        }
+        for (t, off) in &self.phases {
+            let _ = t;
+            if off + self.hot_pages > self.ws_pages {
+                return Err("phase hot region exceeds working set".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// Pages of the hot region when it sits at `offset`.
+    pub fn hot_range_at(&self, offset: u64) -> std::ops::Range<Vpn> {
+        self.base_vpn + offset..self.base_vpn + offset + self.hot_pages
+    }
+
+    /// Pages of the initial hot region.
+    pub fn hot_range(&self) -> std::ops::Range<Vpn> {
+        self.hot_range_at(self.hot_offset)
+    }
+
+    /// Pages of the whole working set.
+    pub fn ws_range(&self) -> std::ops::Range<Vpn> {
+        self.base_vpn..self.base_vpn + self.ws_pages
+    }
+}
+
+/// One GUPS thread: an infinite stream of read-update accesses.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::AccessStream;
+/// use simkit::SimTime;
+/// use workloads::gups::{GupsConfig, GupsStream};
+///
+/// let cfg = GupsConfig::paper_default(0);
+/// let mut s = GupsStream::new(cfg).unwrap();
+/// let mut rng = simkit::rng::seed_from(1, 0);
+/// let a = s.next(SimTime::ZERO, &mut rng);
+/// assert_eq!(a.size, 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GupsStream {
+    cfg: GupsConfig,
+    cur_offset: u64,
+    next_phase: usize,
+    objects_per_page: u64,
+}
+
+impl GupsStream {
+    /// Creates a stream; fails if the configuration is inconsistent.
+    pub fn new(cfg: GupsConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(GupsStream {
+            cur_offset: cfg.hot_offset,
+            next_phase: 0,
+            objects_per_page: PAGE_SIZE / cfg.object_size.next_power_of_two().max(64) as u64,
+            cfg,
+        })
+    }
+
+    fn advance_phase(&mut self, now: SimTime) {
+        while self.next_phase < self.cfg.phases.len() && self.cfg.phases[self.next_phase].0 <= now {
+            self.cur_offset = self.cfg.phases[self.next_phase].1;
+            self.next_phase += 1;
+        }
+    }
+
+    /// Current hot region (moves when phases fire).
+    pub fn current_hot_range(&self) -> std::ops::Range<Vpn> {
+        self.cfg.hot_range_at(self.cur_offset)
+    }
+}
+
+impl AccessStream for GupsStream {
+    fn next(&mut self, now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        self.advance_phase(now);
+        let page = if rng.gen_bool(self.cfg.hot_prob) {
+            self.cfg.base_vpn + self.cur_offset + rng.gen_range(0..self.cfg.hot_pages)
+        } else {
+            self.cfg.base_vpn + rng.gen_range(0..self.cfg.ws_pages)
+        };
+        // Objects are size-aligned within the page.
+        let slot = rng.gen_range(0..self.objects_per_page);
+        let stride = PAGE_SIZE / self.objects_per_page;
+        ObjectAccess {
+            vaddr: page * PAGE_SIZE + slot * stride,
+            size: self.cfg.object_size,
+            is_write: rng.gen_bool(self.cfg.write_fraction),
+            dependent: false,
+            llc_hit_prob: self.cfg.llc_hit_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::seed_from;
+
+    fn small_cfg() -> GupsConfig {
+        GupsConfig {
+            base_vpn: 100,
+            ws_pages: 1000,
+            hot_pages: 200,
+            hot_offset: 0,
+            hot_prob: 0.9,
+            object_size: 64,
+            write_fraction: 1.0,
+            llc_hit_prob: 0.0,
+            phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn paper_default_sizes() {
+        let cfg = GupsConfig::paper_default(0);
+        assert_eq!(cfg.ws_pages, 18_432);
+        assert_eq!(cfg.hot_pages, 6_144);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn accesses_stay_in_working_set() {
+        let mut s = GupsStream::new(small_cfg()).unwrap();
+        let mut rng = seed_from(1, 0);
+        for _ in 0..10_000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let vpn = a.vaddr / PAGE_SIZE;
+            assert!((100..1100).contains(&vpn), "vpn {vpn} out of range");
+            assert!(a.is_write);
+        }
+    }
+
+    #[test]
+    fn hot_set_receives_ninety_percent() {
+        let mut s = GupsStream::new(small_cfg()).unwrap();
+        let mut rng = seed_from(2, 0);
+        let mut hot = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let vpn = a.vaddr / PAGE_SIZE;
+            if (100..300).contains(&vpn) {
+                hot += 1;
+            }
+        }
+        // 90% hot draws + 10% * 20% uniform draws landing in the hot range.
+        let expected = 0.9 + 0.1 * 0.2;
+        let got = hot as f64 / n as f64;
+        assert!((got - expected).abs() < 0.01, "hot share {got}");
+    }
+
+    #[test]
+    fn phase_moves_hot_set() {
+        let mut cfg = small_cfg();
+        cfg.phases = vec![(SimTime::from_us(100.0), 500)];
+        let mut s = GupsStream::new(cfg).unwrap();
+        let mut rng = seed_from(3, 0);
+        // Before the switch.
+        let mut early_hot = 0;
+        for _ in 0..10_000 {
+            let a = s.next(SimTime::from_us(50.0), &mut rng);
+            if (100..300).contains(&(a.vaddr / PAGE_SIZE)) {
+                early_hot += 1;
+            }
+        }
+        assert!(early_hot > 8_000);
+        // After the switch the new region [600, 800) is hot.
+        let mut late_new = 0;
+        for _ in 0..10_000 {
+            let a = s.next(SimTime::from_us(200.0), &mut rng);
+            if (600..800).contains(&(a.vaddr / PAGE_SIZE)) {
+                late_new += 1;
+            }
+        }
+        assert!(late_new > 8_000, "new hot region share {late_new}/10000");
+        assert_eq!(s.current_hot_range(), 600..800);
+    }
+
+    #[test]
+    fn object_sizes_align() {
+        let mut cfg = small_cfg();
+        cfg.object_size = 4096;
+        let mut s = GupsStream::new(cfg).unwrap();
+        let mut rng = seed_from(4, 0);
+        for _ in 0..1000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            assert_eq!(a.vaddr % 4096, 0);
+            assert_eq!(a.num_lines(), 64);
+        }
+    }
+
+    #[test]
+    fn write_fraction_zero_yields_reads() {
+        let mut cfg = small_cfg();
+        cfg.write_fraction = 0.0;
+        let mut s = GupsStream::new(cfg).unwrap();
+        let mut rng = seed_from(5, 0);
+        for _ in 0..1000 {
+            assert!(!s.next(SimTime::ZERO, &mut rng).is_write);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = small_cfg();
+        cfg.hot_pages = 2000;
+        assert!(cfg.validate().is_err());
+        let mut cfg = small_cfg();
+        cfg.hot_offset = 900;
+        assert!(cfg.validate().is_err());
+        let mut cfg = small_cfg();
+        cfg.object_size = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = small_cfg();
+        cfg.phases = vec![(SimTime::ZERO, 900)];
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! CacheLib running the HeMemKV CacheBench workload (paper §5.3,
+//! Figure 11c).
+//!
+//! "The key and the value sizes are fixed to 64B and 4KB, respectively, 20%
+//! of keys are in the hot set, and remaining are in the cold set. The hot
+//! set is accessed uniformly at random with 90% probability, and cold set
+//! with 10% probability. The GET/UPDATE ratio is 90/10. We populate 15
+//! million KV pairs leading to working set size of ~75GB."
+//!
+//! Scaled 1024×: ~15 K pairs, ~75 MB (values dominate: one 4 KB page per
+//! value, plus a hash-index region). Each GET reads the index entry and then
+//! the whole 4 KB value (dependent on the index lookup, internally
+//! prefetched); UPDATEs additionally dirty the value.
+
+use memsim::{AccessStream, ObjectAccess, Vpn, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::SimTime;
+
+/// Configuration of one CacheBench worker thread.
+#[derive(Debug, Clone)]
+pub struct KvCacheConfig {
+    /// First page of the hash-index region.
+    pub base_vpn: Vpn,
+    /// Number of KV pairs (one 4 KB value page each).
+    pub items: u64,
+    /// Fraction of keys in the hot set (paper: 0.2).
+    pub hot_fraction: f64,
+    /// Probability a request targets the hot set (paper: 0.9).
+    pub hot_prob: f64,
+    /// Fraction of UPDATE operations (paper: 0.1).
+    pub update_fraction: f64,
+    /// LLC hit probability of index entries.
+    pub index_llc_hit_prob: f32,
+}
+
+impl KvCacheConfig {
+    /// The paper's HeMemKV setup, scaled 1024×: 18 K items ≈ 75 MB.
+    pub fn paper_default(base_vpn: Vpn) -> Self {
+        KvCacheConfig {
+            base_vpn,
+            items: 18_000,
+            hot_fraction: 0.2,
+            hot_prob: 0.9,
+            update_fraction: 0.1,
+            index_llc_hit_prob: 0.3,
+        }
+    }
+
+    /// Pages of the hash-index region (64 B entry per item).
+    pub fn index_range(&self) -> std::ops::Range<Vpn> {
+        self.base_vpn..self.base_vpn + self.index_pages()
+    }
+
+    fn index_pages(&self) -> u64 {
+        self.items * 64 / PAGE_SIZE + 1
+    }
+
+    /// Pages of the value region (one page per item).
+    pub fn value_range(&self) -> std::ops::Range<Vpn> {
+        let start = self.base_vpn + self.index_pages();
+        start..start + self.items
+    }
+
+    /// Full working set.
+    pub fn ws_range(&self) -> std::ops::Range<Vpn> {
+        self.index_range().start..self.value_range().end
+    }
+}
+
+/// One CacheBench worker: GET/UPDATE requests over the KV pool.
+pub struct KvCacheStream {
+    cfg: KvCacheConfig,
+    hot_items: u64,
+    /// Pending value access (item, is_update) after the index read.
+    pending_value: Option<(u64, bool)>,
+}
+
+impl KvCacheStream {
+    /// Creates a stream from its configuration.
+    pub fn new(cfg: KvCacheConfig) -> Self {
+        KvCacheStream {
+            hot_items: ((cfg.items as f64) * cfg.hot_fraction) as u64,
+            pending_value: None,
+            cfg,
+        }
+    }
+
+    /// The hot items occupy the first `hot_items` value pages. CacheBench
+    /// draws hot keys uniformly; placing them contiguously loses no
+    /// generality because placement operates on whole pages and every value
+    /// is exactly one page.
+    fn sample_item<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if rng.gen_bool(self.cfg.hot_prob) {
+            rng.gen_range(0..self.hot_items)
+        } else {
+            self.hot_items + rng.gen_range(0..self.cfg.items - self.hot_items)
+        }
+    }
+}
+
+impl AccessStream for KvCacheStream {
+    fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        if let Some((item, is_update)) = self.pending_value.take() {
+            let vpn = self.cfg.value_range().start + item;
+            return ObjectAccess {
+                vaddr: vpn * PAGE_SIZE,
+                size: PAGE_SIZE as u32,
+                is_write: is_update,
+                dependent: true,
+                llc_hit_prob: 0.02,
+            };
+        }
+        let item = self.sample_item(rng);
+        let is_update = rng.gen_bool(self.cfg.update_fraction);
+        self.pending_value = Some((item, is_update));
+        ObjectAccess {
+            vaddr: self.cfg.index_range().start * PAGE_SIZE + item * 64,
+            size: 64,
+            is_write: false,
+            dependent: false,
+            llc_hit_prob: self.cfg.index_llc_hit_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::seed_from;
+
+    #[test]
+    fn working_set_is_about_75mb() {
+        let cfg = KvCacheConfig::paper_default(0);
+        let pages = cfg.ws_range().end - cfg.ws_range().start;
+        let mb = pages * PAGE_SIZE / (1 << 20);
+        assert!((70..80).contains(&mb), "ws = {mb} MB");
+    }
+
+    #[test]
+    fn regions_are_disjoint() {
+        let cfg = KvCacheConfig::paper_default(10);
+        assert_eq!(cfg.index_range().end, cfg.value_range().start);
+        assert!(cfg.index_range().start >= 10);
+    }
+
+    #[test]
+    fn gets_alternate_index_and_value() {
+        let mut s = KvCacheStream::new(KvCacheConfig::paper_default(0));
+        let mut rng = seed_from(1, 0);
+        for _ in 0..100 {
+            let idx = s.next(SimTime::ZERO, &mut rng);
+            assert_eq!(idx.size, 64);
+            assert!(!idx.is_write);
+            let val = s.next(SimTime::ZERO, &mut rng);
+            assert_eq!(val.size as u64, PAGE_SIZE);
+            assert!(val.dependent);
+            assert_eq!(val.vaddr % PAGE_SIZE, 0);
+        }
+    }
+
+    #[test]
+    fn update_ratio_is_about_ten_percent() {
+        let mut s = KvCacheStream::new(KvCacheConfig::paper_default(0));
+        let mut rng = seed_from(2, 0);
+        let mut updates = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            let _idx = s.next(SimTime::ZERO, &mut rng);
+            let val = s.next(SimTime::ZERO, &mut rng);
+            if val.is_write {
+                updates += 1;
+            }
+        }
+        let frac = updates as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.02, "update fraction {frac}");
+    }
+
+    #[test]
+    fn hot_values_get_ninety_percent() {
+        let cfg = KvCacheConfig::paper_default(0);
+        let hot_end = cfg.value_range().start + (cfg.items as f64 * 0.2) as u64;
+        let mut s = KvCacheStream::new(cfg.clone());
+        let mut rng = seed_from(3, 0);
+        let mut hot = 0;
+        let n = 50_000;
+        for _ in 0..n {
+            let _idx = s.next(SimTime::ZERO, &mut rng);
+            let val = s.next(SimTime::ZERO, &mut rng);
+            if (cfg.value_range().start..hot_end).contains(&(val.vaddr / PAGE_SIZE)) {
+                hot += 1;
+            }
+        }
+        let share = hot as f64 / n as f64;
+        assert!((share - 0.9).abs() < 0.02, "hot share {share}");
+    }
+
+    #[test]
+    fn accesses_stay_in_working_set() {
+        let cfg = KvCacheConfig::paper_default(777);
+        let range = cfg.ws_range();
+        let mut s = KvCacheStream::new(cfg);
+        let mut rng = seed_from(4, 0);
+        for _ in 0..10_000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let first = a.vaddr / PAGE_SIZE;
+            let last = (a.vaddr + a.size as u64 - 1) / PAGE_SIZE;
+            assert!(range.contains(&first) && range.contains(&last));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generators for the Colloid reproduction.
+//!
+//! Each workload implements [`memsim::AccessStream`] and reproduces the
+//! *memory access distribution over pages* of the corresponding application
+//! in the paper's evaluation (skew, object size, read/write mix, dependence
+//! structure) — see DESIGN.md §2 for the substitution argument.
+//!
+//! - [`gups::GupsStream`] — the GUPS microbenchmark from HeMem adapted as in
+//!   paper §2.1: hot-set/working-set split, configurable object size,
+//!   read-update behaviour, and a schedule of hot-set moves for the
+//!   convergence experiments (Figure 9).
+//! - [`antagonist::AntagonistStream`] — the sequential 1:1 read/write memory
+//!   antagonist pinned to the default tier that generates controlled memory
+//!   interconnect contention.
+//! - [`graph::PageRankStream`] — GAPBS PageRank on a power-law (Twitter-like)
+//!   graph: streaming edge reads plus degree-skewed random rank reads.
+//! - [`silo::SiloStream`] — Silo running YCSB-C: Zipfian key lookups with
+//!   dependent B⁺-tree descents and small value reads.
+//! - [`kvcache::KvCacheStream`] — CacheLib running the HeMemKV CacheBench
+//!   workload: 64 B keys, 4 KB values, 20 % hot keys, 90/10 GET/UPDATE.
+//! - [`trace`] — record the accesses any stream produces and replay them
+//!   verbatim (A/B comparisons with identical access sequences, imported
+//!   traces, debugging).
+
+pub mod antagonist;
+pub mod graph;
+pub mod gups;
+pub mod kvcache;
+pub mod silo;
+pub mod trace;
+
+pub use antagonist::{AntagonistConfig, AntagonistStream};
+pub use graph::{PageRankConfig, PageRankStream};
+pub use gups::{GupsConfig, GupsStream};
+pub use kvcache::{KvCacheConfig, KvCacheStream};
+pub use silo::{SiloConfig, SiloStream};
+pub use trace::{Trace, TraceRecord, TraceRecorder, TraceReplayer};

@@ -1,0 +1,192 @@
+//! Silo (in-memory transactional database) running YCSB-C (paper §5.3,
+//! Figure 11b).
+//!
+//! "The working set consists of 400 million key-value pairs with 64 byte
+//! keys and 100 byte values; the total working set size is thus ~60GB. [...]
+//! 15 billion lookup operations using a Zipfian access distribution."
+//!
+//! Scaled 1024×: ~400 K records, ~64 MB working set. Each lookup walks a
+//! Masstree-style index: the upper levels are effectively always cached, so
+//! a lookup costs one dependent leaf-node read plus one dependent record
+//! read. Hot keys are scattered over the key space (YCSB hashes keys), which
+//! [`SiloStream`] reproduces with a scrambled Zipfian sampler.
+
+use memsim::{AccessStream, ObjectAccess, Vpn, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use simkit::rng::ScrambledZipf;
+use simkit::SimTime;
+
+/// Bytes per record: 64 B key + 100 B value (padded to 164 B slots).
+const RECORD_BYTES: u64 = 164;
+
+/// Configuration of one Silo worker thread.
+#[derive(Debug, Clone)]
+pub struct SiloConfig {
+    /// First page of the record heap.
+    pub base_vpn: Vpn,
+    /// Number of key-value records.
+    pub records: u64,
+    /// Zipfian skew of YCSB-C lookups (YCSB default 0.99).
+    pub theta: f64,
+    /// LLC hit probability of the leaf index node (upper tree levels are
+    /// modelled as always cached and elided).
+    pub leaf_llc_hit_prob: f32,
+    /// Fraction of operations that update the record (YCSB-C: 0, read-only).
+    pub update_fraction: f64,
+}
+
+impl SiloConfig {
+    /// The paper's YCSB-C setup, scaled 1024×: 400 K records (~64 MB).
+    pub fn paper_default(base_vpn: Vpn) -> Self {
+        SiloConfig {
+            base_vpn,
+            records: 400_000,
+            theta: 0.99,
+            leaf_llc_hit_prob: 0.4,
+            update_fraction: 0.0,
+        }
+    }
+
+    /// Pages of the record heap.
+    pub fn ws_range(&self) -> std::ops::Range<Vpn> {
+        self.base_vpn..self.base_vpn + self.ws_pages()
+    }
+
+    /// Working-set size in pages.
+    pub fn ws_pages(&self) -> u64 {
+        self.records * RECORD_BYTES / PAGE_SIZE + 1
+    }
+}
+
+/// One Silo worker: Zipfian lookups with dependent index + record reads.
+pub struct SiloStream {
+    cfg: SiloConfig,
+    zipf: ScrambledZipf,
+    /// Pending record read for the in-progress lookup.
+    pending_record: Option<u64>,
+}
+
+impl SiloStream {
+    /// Creates a stream from its configuration.
+    pub fn new(cfg: SiloConfig) -> Self {
+        SiloStream {
+            zipf: ScrambledZipf::new(cfg.records, cfg.theta),
+            pending_record: None,
+            cfg,
+        }
+    }
+
+    fn record_vaddr(&self, record: u64) -> u64 {
+        self.cfg.base_vpn * PAGE_SIZE + record * RECORD_BYTES
+    }
+}
+
+impl AccessStream for SiloStream {
+    fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        use rand::Rng;
+        if let Some(record) = self.pending_record.take() {
+            // Second half of the lookup: read (or update) the record.
+            return ObjectAccess {
+                vaddr: self.record_vaddr(record),
+                size: RECORD_BYTES as u32,
+                is_write: rng.gen_bool(self.cfg.update_fraction),
+                dependent: true,
+                llc_hit_prob: 0.02,
+            };
+        }
+        // First half: the leaf index node read. The leaf sits near the
+        // record (Masstree leaves cluster by key hash); model it as a line
+        // in the record's page neighbourhood.
+        let record = self.zipf.sample(rng);
+        self.pending_record = Some(record);
+        ObjectAccess {
+            vaddr: self.record_vaddr(record) / 64 * 64,
+            size: 64,
+            is_write: false,
+            dependent: true,
+            llc_hit_prob: self.cfg.leaf_llc_hit_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::seed_from;
+
+    #[test]
+    fn working_set_is_about_64mb() {
+        let cfg = SiloConfig::paper_default(0);
+        let mb = cfg.ws_pages() * PAGE_SIZE / (1 << 20);
+        assert!((60..66).contains(&mb), "ws = {mb} MB");
+    }
+
+    #[test]
+    fn lookups_alternate_index_and_record() {
+        let mut s = SiloStream::new(SiloConfig::paper_default(0));
+        let mut rng = seed_from(1, 0);
+        for _ in 0..100 {
+            let idx = s.next(SimTime::ZERO, &mut rng);
+            assert_eq!(idx.size, 64);
+            assert!(idx.dependent);
+            let rec = s.next(SimTime::ZERO, &mut rng);
+            assert_eq!(rec.size, 164);
+            assert!(rec.dependent);
+            assert!(!rec.is_write, "YCSB-C is read-only");
+            // The record access lands within a line of the index access.
+            assert!(rec.vaddr >= idx.vaddr && rec.vaddr < idx.vaddr + 64);
+        }
+    }
+
+    #[test]
+    fn accesses_stay_in_working_set() {
+        let cfg = SiloConfig::paper_default(500);
+        let range = cfg.ws_range();
+        let mut s = SiloStream::new(cfg);
+        let mut rng = seed_from(2, 0);
+        for _ in 0..20_000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            let first = a.vaddr / PAGE_SIZE;
+            let last = (a.vaddr + a.size as u64 - 1) / PAGE_SIZE;
+            assert!(range.contains(&first) && range.contains(&last));
+        }
+    }
+
+    #[test]
+    fn access_distribution_is_skewed_but_scattered() {
+        let cfg = SiloConfig::paper_default(0);
+        let pages = cfg.ws_pages() as usize;
+        let mut s = SiloStream::new(cfg);
+        let mut rng = seed_from(3, 0);
+        let mut counts = vec![0u32; pages];
+        for _ in 0..200_000 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            counts[(a.vaddr / PAGE_SIZE) as usize] += 1;
+        }
+        // Zipf over records creates page-level skew: the top 10% of pages
+        // should carry well above 10% of accesses...
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        let top_decile: u64 = sorted[..pages / 10].iter().map(|&c| c as u64).sum();
+        let share = top_decile as f64 / total as f64;
+        assert!(share > 0.2, "top-decile share {share}");
+        // ...but the very hottest pages must not be adjacent (scrambling).
+        let hottest = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let mut rest = counts.clone();
+        rest[hottest] = 0;
+        let second = rest.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        assert!((hottest as i64 - second as i64).abs() > 1);
+    }
+
+    #[test]
+    fn update_fraction_produces_writes() {
+        let mut cfg = SiloConfig::paper_default(0);
+        cfg.update_fraction = 1.0;
+        let mut s = SiloStream::new(cfg);
+        let mut rng = seed_from(4, 0);
+        let _idx = s.next(SimTime::ZERO, &mut rng);
+        let rec = s.next(SimTime::ZERO, &mut rng);
+        assert!(rec.is_write);
+    }
+}

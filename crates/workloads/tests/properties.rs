@@ -1,0 +1,119 @@
+//! Property-based tests for the workload generators: every access must land
+//! inside the workload's declared working set, for arbitrary valid
+//! configurations — a page placed outside its range would corrupt another
+//! experiment region (or panic the machine on an unmapped page).
+
+use memsim::machine::AccessStream;
+use memsim::PAGE_SIZE;
+use proptest::prelude::*;
+use simkit::rng::seed_from;
+use simkit::SimTime;
+use workloads::{
+    AntagonistConfig, AntagonistStream, GupsConfig, GupsStream, KvCacheConfig, KvCacheStream,
+    PageRankConfig, PageRankStream, SiloConfig, SiloStream,
+};
+
+fn contains_object(range: &std::ops::Range<u64>, vaddr: u64, size: u32) -> bool {
+    let first = vaddr / PAGE_SIZE;
+    let last = (vaddr + size as u64 - 1) / PAGE_SIZE;
+    range.contains(&first) && range.contains(&last)
+}
+
+proptest! {
+    #[test]
+    fn gups_respects_bounds(
+        base in 0u64..10_000,
+        ws in 64u64..4_096,
+        hot_frac in 0.05f64..0.9,
+        offset_frac in 0.0f64..1.0,
+        object_log in 6u32..13, // 64..4096 bytes
+        seed in 0u64..100,
+    ) {
+        let hot = ((ws as f64 * hot_frac) as u64).max(1);
+        let offset = ((ws - hot) as f64 * offset_frac) as u64;
+        let cfg = GupsConfig {
+            base_vpn: base,
+            ws_pages: ws,
+            hot_pages: hot,
+            hot_offset: offset,
+            hot_prob: 0.9,
+            object_size: 1 << object_log,
+            write_fraction: 0.5,
+            llc_hit_prob: 0.0,
+            phases: vec![],
+        };
+        prop_assert!(cfg.validate().is_ok());
+        let range = cfg.ws_range();
+        let mut s = GupsStream::new(cfg).unwrap();
+        let mut rng = seed_from(seed, 0);
+        for _ in 0..200 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            prop_assert!(contains_object(&range, a.vaddr, a.size));
+        }
+    }
+
+    #[test]
+    fn antagonist_respects_bounds(
+        base in 0u64..10_000,
+        pages in 1u64..512,
+        chunk_log in 6u32..13,
+        thread in 0u64..32,
+        seed in 0u64..100,
+    ) {
+        let cfg = AntagonistConfig {
+            base_vpn: base,
+            buffer_pages: pages,
+            chunk_bytes: 1 << chunk_log,
+            start_offset: thread * 64 % (pages * PAGE_SIZE),
+        };
+        let range = cfg.range();
+        let mut s = AntagonistStream::new(cfg);
+        let mut rng = seed_from(seed, 1);
+        for _ in 0..300 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            prop_assert!(contains_object(&range, a.vaddr, a.size));
+        }
+    }
+
+    #[test]
+    fn silo_respects_bounds(records in 100u64..100_000, seed in 0u64..50) {
+        let cfg = SiloConfig {
+            records,
+            ..SiloConfig::paper_default(123)
+        };
+        let range = cfg.ws_range();
+        let mut s = SiloStream::new(cfg);
+        let mut rng = seed_from(seed, 2);
+        for _ in 0..200 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            prop_assert!(contains_object(&range, a.vaddr, a.size));
+        }
+    }
+
+    #[test]
+    fn kvcache_respects_bounds(items in 16u64..50_000, seed in 0u64..50) {
+        let cfg = KvCacheConfig {
+            items,
+            ..KvCacheConfig::paper_default(77)
+        };
+        let range = cfg.ws_range();
+        let mut s = KvCacheStream::new(cfg);
+        let mut rng = seed_from(seed, 3);
+        for _ in 0..200 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            prop_assert!(contains_object(&range, a.vaddr, a.size));
+        }
+    }
+
+    #[test]
+    fn pagerank_respects_bounds(thread in 0u64..64, seed in 0u64..50) {
+        let cfg = PageRankConfig::paper_default(5_000);
+        let range = cfg.ws_range();
+        let mut s = PageRankStream::new(cfg, thread);
+        let mut rng = seed_from(seed, 4);
+        for _ in 0..300 {
+            let a = s.next(SimTime::ZERO, &mut rng);
+            prop_assert!(contains_object(&range, a.vaddr, a.size));
+        }
+    }
+}

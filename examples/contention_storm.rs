@@ -1,0 +1,55 @@
+//! Contention storm: a noisy neighbour switches on mid-run.
+//!
+//! Reproduces the paper's Figure 9 (right column) scenario interactively:
+//! GUPS runs alone, then 15 antagonist cores start hammering the default
+//! tier. A contention-oblivious system (vanilla HeMem) stays at its
+//! degraded throughput; HeMem+Colloid detects the latency imbalance,
+//! migrates the hot set to the alternate tier, and recovers.
+//!
+//! ```text
+//! cargo run --release --example contention_storm
+//! ```
+
+use experiments::runner::{run, RunConfig};
+use experiments::scenario::{build_gups, GupsScenario, Policy};
+use simkit::SimTime;
+use tiersys::SystemKind;
+
+fn main() {
+    let tick = SimTime::from_us(100.0);
+    let pre_ticks = 250usize;
+    let post_ticks = 350usize;
+
+    for colloid in [false, true] {
+        let name = if colloid { "HeMem+Colloid" } else { "HeMem" };
+        println!("==> {name}: antagonist switches on at t = 25 ms");
+
+        let mut scenario = GupsScenario::intensity(0);
+        scenario.antagonist_change = Some((tick * pre_ticks as u64, 15));
+        let mut exp = build_gups(&scenario, Policy::System {
+            kind: SystemKind::Hemem,
+            colloid,
+        });
+        let result = run(&mut exp, &RunConfig::timeline(pre_ticks + post_ticks));
+
+        // Print a compact timeline: mean throughput per 3 ms bucket.
+        let bucket = 30;
+        for chunk in result.series.chunks(bucket) {
+            let t_ms = chunk[0].t.as_ns() / 1e6;
+            let mops =
+                chunk.iter().map(|s| s.ops_per_sec).sum::<f64>() / chunk.len() as f64 / 1e6;
+            let bar = "#".repeat((mops / 12.0) as usize);
+            println!("    t={t_ms:5.1}ms {mops:7.1} Mops/s {bar}");
+        }
+        let before = &result.series[pre_ticks - bucket..pre_ticks];
+        let after = &result.series[result.series.len() - bucket..];
+        let mean = |s: &[experiments::TickSample]| {
+            s.iter().map(|x| x.ops_per_sec).sum::<f64>() / s.len() as f64 / 1e6
+        };
+        println!(
+            "    before storm: {:.1} Mops/s | after storm (steady): {:.1} Mops/s\n",
+            mean(before),
+            mean(after)
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Umbrella crate for the Colloid reproduction workspace.
+//!
+//! This crate re-exports the workspace's public crates so that the
+//! repository-level examples (`examples/`) and integration tests (`tests/`)
+//! can exercise the whole stack through one dependency. See `README.md` for
+//! an architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! The layering, bottom to top:
+//!
+//! 1. [`simkit`] — discrete-event simulation kernel (clock, events, RNG,
+//!    statistics).
+//! 2. [`memsim`] — the tiered-memory hardware model: cores with bounded
+//!    memory-level parallelism, CHA with occupancy/arrival counters, per-tier
+//!    memory controllers (channels × banks), and interconnect links.
+//! 3. [`tierctl`] — the page-management substrate: placement maps, the
+//!    migration engine, and access-tracking primitives (PEBS-style sampling,
+//!    page-table scanning with hint faults).
+//! 4. [`colloid`] — the paper's contribution: per-tier access-latency
+//!    measurement via Little's Law + EWMA, and the balancing-access-latencies
+//!    page-placement algorithm (Algorithms 1 and 2).
+//! 5. [`tiersys`] — HeMem, TPP, and MEMTIS reimplementations, each with a
+//!    Colloid-integrated variant.
+//! 6. [`workloads`] — GUPS, the memory antagonist, and the three
+//!    application-shaped workloads (GAPBS PageRank, Silo YCSB-C, CacheLib).
+//! 7. [`experiments`] — the evaluation harness that regenerates every figure
+//!    of the paper.
+
+pub use colloid;
+pub use experiments;
+pub use memsim;
+pub use simkit;
+pub use tierctl;
+pub use tiersys;
+pub use workloads;

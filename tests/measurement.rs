@@ -1,0 +1,137 @@
+//! Cross-crate validation of the measurement pipeline: the Little's-Law
+//! latency estimates that drive Colloid must agree with the simulator's
+//! ground-truth per-request latencies across workload shapes — the in-depth
+//! validation the paper cites from "Understanding the Host Network"
+//! (SIGCOMM '24).
+
+use experiments::runner::{run, RunConfig};
+use experiments::scenario::{build_gups, GupsScenario, Policy};
+use memsim::{CoreConfig, Machine, MachineConfig, TierId, TrafficClass};
+use tiersys::SystemKind;
+use simkit::SimTime;
+use workloads::{
+    GupsConfig, GupsStream, KvCacheConfig, KvCacheStream, PageRankConfig, PageRankStream,
+    SiloConfig, SiloStream,
+};
+
+/// Runs a machine for a while and asserts the CHA-derived latency matches
+/// the measured per-request latency within `tol` on every busy tier.
+fn assert_littles_law(machine: &mut Machine, tol: f64, label: &str) {
+    machine.run_tick(SimTime::from_us(100.0)); // warm up
+    let rep = machine.run_tick(SimTime::from_us(400.0));
+    for tier in [TierId::DEFAULT, TierId::ALTERNATE] {
+        let est = rep.littles_latency_ns(tier);
+        let truth = rep.true_latency_ns[tier.index()];
+        if let (Some(est), Some(truth)) = (est, truth) {
+            let rel = (est - truth).abs() / truth;
+            assert!(
+                rel < tol,
+                "{label}: tier {tier:?} Little's law {est:.1} ns vs true {truth:.1} ns ({rel:.3})"
+            );
+        }
+    }
+}
+
+/// A machine with the first 16 K pages in the default tier (the caller
+/// places the rest).
+fn two_tier_machine() -> Machine {
+    let mut m = Machine::new(MachineConfig::icelake_two_tier());
+    m.place_range(0..8_192, TierId::DEFAULT);
+    m.place_range(8_192..16_384, TierId::ALTERNATE);
+    m
+}
+
+#[test]
+fn littles_law_holds_for_gups() {
+    let mut m = two_tier_machine();
+    m.place_range(16_384..32_768, TierId::ALTERNATE);
+    let mut cfg = GupsConfig::paper_default(0);
+    cfg.ws_pages = 32_768;
+    cfg.hot_pages = 8_192;
+    cfg.hot_offset = 12_288; // straddles both tiers
+    for _ in 0..10 {
+        m.add_core(
+            Box::new(GupsStream::new(cfg.clone()).unwrap()),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
+    }
+    assert_littles_law(&mut m, 0.08, "gups");
+}
+
+#[test]
+fn littles_law_holds_for_pagerank() {
+    let mut m = two_tier_machine();
+    m.place_range(16_384..32_768, TierId::ALTERNATE);
+    let cfg = PageRankConfig::paper_default(0);
+    for i in 0..10 {
+        m.add_core(
+            Box::new(PageRankStream::new(cfg.clone(), i)),
+            CoreConfig::default(),
+            TrafficClass::App,
+        );
+    }
+    assert_littles_law(&mut m, 0.08, "pagerank");
+}
+
+#[test]
+fn littles_law_holds_for_silo() {
+    let mut m = two_tier_machine();
+    m.place_range(16_384..32_768, TierId::ALTERNATE);
+    let cfg = SiloConfig::paper_default(0);
+    for _ in 0..10 {
+        m.add_core(
+            Box::new(SiloStream::new(cfg.clone())),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
+    }
+    assert_littles_law(&mut m, 0.08, "silo");
+}
+
+#[test]
+fn littles_law_holds_for_kvcache() {
+    let mut m = two_tier_machine();
+    m.place_range(16_384..32_768, TierId::ALTERNATE);
+    let cfg = KvCacheConfig::paper_default(0);
+    for _ in 0..10 {
+        m.add_core(
+            Box::new(KvCacheStream::new(cfg.clone())),
+            CoreConfig {
+                demand_slots: 4,
+                prefetch_slots: 30,
+                think_time: SimTime::ZERO,
+            },
+            TrafficClass::App,
+        );
+    }
+    assert_littles_law(&mut m, 0.08, "kvcache");
+}
+
+#[test]
+fn tier_bandwidth_accounting_is_consistent() {
+    // App + antagonist + migration bytes must all be attributed, and only
+    // to the tiers that actually carry them.
+    let scenario = GupsScenario::intensity(1);
+    let mut e = build_gups(&scenario, Policy::System {
+        kind: SystemKind::Hemem,
+        colloid: true,
+    });
+    let rc = RunConfig {
+        min_warmup_ticks: 80,
+        max_warmup_ticks: 80,
+        measure_ticks: 40,
+        window: 40,
+        tolerance: 0.0,
+        collect_series: false,
+    };
+    let r = run(&mut e, &rc);
+    let app = TrafficClass::App.index();
+    let ant = TrafficClass::Antagonist.index();
+    // The application touches both tiers.
+    assert!(r.bytes_by_tier_class[0][app] > 0);
+    assert!(r.bytes_by_tier_class[1][app] > 0);
+    // The antagonist's buffer is pinned to the default tier.
+    assert!(r.bytes_by_tier_class[0][ant] > 0);
+    assert_eq!(r.bytes_by_tier_class[1][ant], 0);
+}
