@@ -1,0 +1,426 @@
+//! Vendored minimal stand-in for the `proptest` crate, used because this
+//! workspace builds fully offline (no registry access).
+//!
+//! Supported surface (exactly what the workspace's property tests use):
+//!
+//! - the [`proptest!`] macro with `fn name(arg in strategy, ...) { .. }`
+//!   items, including outer attributes and doc comments;
+//! - range strategies over the primitive integers and floats (`a..b` and
+//!   `a..=b`), tuple strategies (2- and 3-tuples), `Just`,
+//!   [`prop::collection::vec`], [`prop::bool::ANY`], [`prop_oneof!`] and
+//!   [`Strategy::prop_map`];
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from the real crate: cases are sampled deterministically
+//! from a per-test seed (no persistence files), there is **no shrinking**,
+//! and the case count comes from `PROPTEST_CASES` (default 64).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// RNG used to drive sampling. Deterministic per (test, case index).
+pub type TestRng = SmallRng;
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assumption failed; the case is skipped, not failed.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Result type the generated test bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+///
+/// Unlike the real crate there is no value tree: strategies sample directly
+/// and nothing shrinks.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates an empty union (must be populated before sampling).
+    pub fn empty() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds one alternative.
+    pub fn push<S: Strategy<Value = T> + 'static>(&mut self, s: S) {
+        self.arms.push(Box::new(s));
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy modules mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// An inclusive range of collection sizes, converted from the
+        /// range forms `proptest` accepts (`a..b`, `a..=b`, `n`).
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            min: usize,
+            max_inclusive: usize,
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    min: r.start,
+                    max_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max_inclusive: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_inclusive: n,
+                }
+            }
+        }
+
+        /// A `Vec` strategy with element strategy `element` and a length
+        /// drawn from `size` (typically a `Range<usize>`).
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                use rand::Rng;
+                let n = rng.gen_range(self.size.min..=self.size.max_inclusive);
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::{Strategy, TestRng};
+
+        /// A uniformly random boolean.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The canonical boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                use rand::Rng;
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+}
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Builds the deterministic RNG for one case of one named test.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9E37_79B9))
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Asserts a condition inside a property body (fails the case, with the
+/// sampled inputs echoed by the harness).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)*);
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let mut u = $crate::Union::empty();
+        $(u.push($arm);)+
+        u
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that samples its arguments for a number of deterministic cases
+/// and runs the body; `prop_assert*`/`prop_assume` control the outcome.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let strategies = ($($strat,)+);
+                let mut ran = 0u32;
+                let mut attempts = 0u32;
+                let total = $crate::cases();
+                while ran < total {
+                    attempts += 1;
+                    assert!(
+                        attempts < total.saturating_mul(20).max(1000),
+                        "too many rejected cases in {}", stringify!($name)
+                    );
+                    let mut rng = $crate::case_rng(stringify!($name), attempts);
+                    #[allow(non_snake_case)]
+                    let ($($arg,)+) = {
+                        let ($(ref $arg,)+) = strategies;
+                        ($($arg.sample(&mut rng),)+)
+                    };
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)+),
+                        $(&$arg),+
+                    );
+                    let outcome = (|| -> $crate::TestCaseResult {
+                        $(let $arg = $arg;)+
+                        { $body }
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {}
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {}: {}\ninputs: {}",
+                                stringify!($name), ran, msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths(xs in prop::collection::vec(0u32..5, 2..9)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 9);
+            for x in xs {
+                prop_assert!(x < 5);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            (0u64..10).prop_map(|x| x * 2),
+            Just(99u64),
+        ]) {
+            prop_assert!(v == 99 || (v % 2 == 0 && v < 20));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn tuples_and_bools(pair in (0u8..4, prop::bool::ANY)) {
+            prop_assert!(pair.0 < 4);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_case() {
+        use crate::Strategy;
+        let s = 0u64..1000;
+        let a = s.sample(&mut crate::case_rng("t", 1));
+        let b = s.sample(&mut crate::case_rng("t", 1));
+        assert_eq!(a, b);
+    }
+}
