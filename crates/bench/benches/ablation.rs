@@ -45,13 +45,22 @@ fn print_reset_ablation() {
         let mut p = 0.9;
         drive(&mut ctl, 0.3, &mut p, 80);
         drive(&mut ctl, 0.8, &mut p, 150);
-        println!("  {label}: final p = {p:.3} (target 0.8), resets = {}", ctl.resets());
+        println!(
+            "  {label}: final p = {p:.3} (target 0.8), resets = {}",
+            ctl.resets()
+        );
     }
 }
 
 fn print_sensitivity() {
     println!("\n== ablation: epsilon/delta sensitivity (toy model, p* = 0.6) ==");
-    for (eps, delta) in [(0.005, 0.02), (0.01, 0.02), (0.05, 0.02), (0.01, 0.005), (0.01, 0.1)] {
+    for (eps, delta) in [
+        (0.005, 0.02),
+        (0.01, 0.02),
+        (0.05, 0.02),
+        (0.01, 0.005),
+        (0.01, 0.1),
+    ] {
         let mut ctl = ShiftController::new(eps, delta);
         let mut p: f64 = 1.0;
         let mut quanta = 0;
@@ -61,7 +70,11 @@ fn print_sensitivity() {
                 quanta = q;
             }
             let dp = ctl.compute_shift(p, l_d, l_a);
-            p = if l_d < l_a { (p + dp).min(1.0) } else { (p - dp).max(0.0) };
+            p = if l_d < l_a {
+                (p + dp).min(1.0)
+            } else {
+                (p - dp).max(0.0)
+            };
         }
         let (l_d, l_a) = latencies(0.6, p);
         println!(

@@ -15,10 +15,15 @@ fn bench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
     for app in AppKind::ALL {
-        let mut exp = build_app(app, 10, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: true,
-        }, 7);
+        let mut exp = build_app(
+            app,
+            10,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: true,
+            },
+            7,
+        );
         let rc = RunConfig {
             min_warmup_ticks: 40,
             max_warmup_ticks: 120,

@@ -23,7 +23,11 @@ fn bench(c: &mut Criterion) {
                 let l_d = 150.0 + 250.0 * (p - 0.6);
                 let l_a = 150.0 - 120.0 * (p - 0.6);
                 let dp = ctl.compute_shift(p, l_d.max(1.0), l_a.max(1.0));
-                p = if l_d < l_a { (p + dp).min(1.0) } else { (p - dp).max(0.0) };
+                p = if l_d < l_a {
+                    (p + dp).min(1.0)
+                } else {
+                    (p - dp).max(0.0)
+                };
             }
             p
         })

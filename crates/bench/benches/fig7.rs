@@ -17,11 +17,18 @@ fn bench(c: &mut Criterion) {
     for colloid in [false, true] {
         let mut sc = GupsScenario::intensity(3);
         sc.alt_latency_ratio = 2.7;
-        let mut exp = converged_scenario(&sc, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid,
-        });
-        let label = if colloid { "alt2.7x/colloid" } else { "alt2.7x/vanilla" };
+        let mut exp = converged_scenario(
+            &sc,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid,
+            },
+        );
+        let label = if colloid {
+            "alt2.7x/colloid"
+        } else {
+            "alt2.7x/vanilla"
+        };
         g.bench_function(label, |b| b.iter(|| one_quantum(&mut exp)));
     }
     g.finish();

@@ -17,10 +17,13 @@ fn bench(c: &mut Criterion) {
     for size in [64u32, 4096] {
         let mut sc = GupsScenario::intensity(0);
         sc.object_size = size;
-        let mut exp = converged_scenario(&sc, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: true,
-        });
+        let mut exp = converged_scenario(
+            &sc,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: true,
+            },
+        );
         g.bench_function(format!("object{size}B@0x/quantum"), |b| {
             b.iter(|| one_quantum(&mut exp))
         });

@@ -20,11 +20,18 @@ fn bench(c: &mut Criterion) {
         // measures quanta during re-convergence.
         let mut sc = GupsScenario::intensity(0);
         sc.phases = vec![(SimTime::from_ms(25.0), 0)];
-        let mut exp = converged_scenario(&sc, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid,
-        });
-        let label = if colloid { "transition/colloid" } else { "transition/vanilla" };
+        let mut exp = converged_scenario(
+            &sc,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid,
+            },
+        );
+        let label = if colloid {
+            "transition/colloid"
+        } else {
+            "transition/vanilla"
+        };
         g.bench_function(label, |b| b.iter(|| one_quantum(&mut exp)));
     }
     g.finish();

@@ -30,12 +30,38 @@ impl TierMeasurement {
         occupancy: 0.0,
         rate_per_ns: 0.0,
     };
+
+    /// True when the pair could plausibly have come from real counters:
+    /// finite, non-negative, and below the absurdity bounds. Corrupt
+    /// windows (NaN from a dropped register read, negative from a wrapped
+    /// subtraction, garbage magnitudes) must not poison the EWMA state.
+    pub fn is_plausible(&self) -> bool {
+        self.occupancy.is_finite()
+            && self.rate_per_ns.is_finite()
+            && self.occupancy >= 0.0
+            && self.rate_per_ns >= 0.0
+            && self.occupancy <= MAX_OCCUPANCY
+            && self.rate_per_ns <= MAX_RATE
+    }
 }
 
 /// Rates below this (requests/ns) are treated as "tier idle": Little's Law
 /// is undefined without arrivals, so the monitor reports the unloaded
 /// latency instead.
 const IDLE_RATE: f64 = 1e-6;
+
+/// Occupancy above this is physically impossible for any real read queue
+/// (hardware queues hold at most a few hundred entries); treat as corrupt.
+const MAX_OCCUPANCY: f64 = 1e9;
+
+/// Arrival rates above this (requests/ns) would mean >64 TB/s of demand
+/// traffic on one tier; treat as corrupt.
+const MAX_RATE: f64 = 1e3;
+
+/// Consecutive implausible windows a tier tolerates while holding its
+/// last-good smoothed state. Beyond this the held estimate is discarded and
+/// the tier falls back to its unloaded latency.
+pub const MAX_STALE_QUANTA: u32 = 8;
 
 /// Smoothed per-tier latency estimation.
 ///
@@ -59,6 +85,10 @@ pub struct LatencyMonitor {
     unloaded_ns: Vec<f64>,
     occupancy: Vec<Ewma>,
     rate: Vec<Ewma>,
+    /// Consecutive implausible windows per tier (resets on a good window).
+    stale: Vec<u32>,
+    /// Total windows rejected as implausible, across tiers.
+    rejected: u64,
 }
 
 impl LatencyMonitor {
@@ -67,11 +97,17 @@ impl LatencyMonitor {
     /// `alpha` the EWMA smoothing factor.
     pub fn new(unloaded_ns: Vec<f64>, alpha: f64) -> Self {
         assert!(!unloaded_ns.is_empty());
+        assert!(
+            unloaded_ns.iter().all(|l| l.is_finite() && *l > 0.0),
+            "unloaded latencies must be finite and positive"
+        );
         let n = unloaded_ns.len();
         LatencyMonitor {
             unloaded_ns,
             occupancy: vec![Ewma::new(alpha); n],
             rate: vec![Ewma::new(alpha); n],
+            stale: vec![0; n],
+            rejected: 0,
         }
     }
 
@@ -82,14 +118,32 @@ impl LatencyMonitor {
 
     /// Feeds one quantum of raw measurements (one entry per tier).
     ///
+    /// Implausible measurements (see [`TierMeasurement::is_plausible`]) are
+    /// rejected without touching the smoothed state: the tier *holds* its
+    /// last-good latency estimate. After [`MAX_STALE_QUANTA`] consecutive
+    /// rejections the held state is discarded and the tier reports its
+    /// unloaded latency until believable counters return.
+    ///
     /// # Panics
     ///
     /// Panics if `window.len()` differs from the tier count.
     pub fn update(&mut self, window: &[TierMeasurement]) {
         assert_eq!(window.len(), self.tiers(), "one measurement per tier");
         for (i, w) in window.iter().enumerate() {
-            self.occupancy[i].update(w.occupancy);
-            self.rate[i].update(w.rate_per_ns);
+            if w.is_plausible() {
+                self.stale[i] = 0;
+                self.occupancy[i].update(w.occupancy);
+                self.rate[i].update(w.rate_per_ns);
+            } else {
+                self.rejected += 1;
+                self.stale[i] = self.stale[i].saturating_add(1);
+                if self.stale[i] >= MAX_STALE_QUANTA {
+                    // The hold expired without a believable measurement:
+                    // stop trusting stale state.
+                    self.occupancy[i].reset();
+                    self.rate[i].reset();
+                }
+            }
         }
     }
 
@@ -131,6 +185,16 @@ impl LatencyMonitor {
     /// True once at least one update has been fed.
     pub fn is_warm(&self) -> bool {
         self.rate[0].is_initialized()
+    }
+
+    /// Total counter windows rejected as implausible.
+    pub fn rejected_windows(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Consecutive implausible windows tier `i` has currently absorbed.
+    pub fn stale_quanta(&self, i: usize) -> u32 {
+        self.stale[i]
     }
 }
 
@@ -207,5 +271,78 @@ mod tests {
     fn wrong_arity_panics() {
         let mut m = LatencyMonitor::new(vec![70.0, 135.0], 0.3);
         m.update(&[meas(1.0, 0.1)]);
+    }
+
+    #[test]
+    fn implausible_windows_hold_last_good_estimate() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 1.0);
+        m.update(&[meas(20.0, 0.2), meas(13.5, 0.1)]);
+        assert!((m.latency_ns(0) - 100.0).abs() < 1e-9);
+        // NaN, negative, and absurd windows are all rejected; the smoothed
+        // estimate holds.
+        for bad in [
+            meas(f64::NAN, 0.2),
+            meas(20.0, f64::INFINITY),
+            meas(-5.0, 0.2),
+            meas(20.0, -0.1),
+            meas(1e30, 0.2),
+            meas(20.0, 1e9),
+        ] {
+            m.update(&[bad, meas(13.5, 0.1)]);
+            assert!(
+                (m.latency_ns(0) - 100.0).abs() < 1e-9,
+                "held through {bad:?}"
+            );
+        }
+        assert_eq!(m.rejected_windows(), 6);
+        assert_eq!(m.stale_quanta(0), 6);
+        // Tier 1 kept updating normally throughout.
+        assert_eq!(m.stale_quanta(1), 0);
+        assert!((m.latency_ns(1) - 135.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hold_expires_to_unloaded_after_max_stale_quanta() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 1.0);
+        m.update(&[meas(20.0, 0.2), meas(13.5, 0.1)]);
+        for _ in 0..MAX_STALE_QUANTA {
+            m.update(&[meas(f64::NAN, f64::NAN), meas(13.5, 0.1)]);
+        }
+        // The held estimate expired: back to the unloaded latency and no
+        // share attributed to the distrusted tier.
+        assert_eq!(m.latency_ns(0), 70.0);
+        assert_eq!(m.default_share(), 0.0);
+        // A good window immediately restores measurement.
+        m.update(&[meas(20.0, 0.2), meas(13.5, 0.1)]);
+        assert!((m.latency_ns(0) - 100.0).abs() < 1e-9);
+        assert_eq!(m.stale_quanta(0), 0);
+    }
+
+    #[test]
+    fn outputs_stay_finite_under_garbage_input() {
+        let mut m = LatencyMonitor::new(vec![70.0, 135.0], 0.3);
+        let garbage = [
+            meas(f64::NAN, f64::NAN),
+            meas(f64::NEG_INFINITY, 1e300),
+            meas(1e300, f64::INFINITY),
+            meas(-1.0, -1.0),
+        ];
+        for (i, g) in garbage.iter().cycle().take(50).enumerate() {
+            let good = meas(10.0 + (i % 7) as f64, 0.1);
+            m.update(&[*g, good]);
+            for t in 0..2 {
+                assert!(m.latency_ns(t).is_finite());
+                assert!(m.latency_ns(t) > 0.0);
+            }
+            assert!(m.default_share().is_finite());
+            assert!((0.0..=1.0).contains(&m.default_share()));
+            assert!(m.total_rate_per_ns().is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonfinite_unloaded_latency() {
+        let _ = LatencyMonitor::new(vec![70.0, f64::NAN], 0.3);
     }
 }

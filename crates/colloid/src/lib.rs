@@ -27,6 +27,6 @@ pub mod multitier;
 pub mod placement;
 pub mod shift;
 
-pub use latency::{LatencyMonitor, TierMeasurement};
+pub use latency::{LatencyMonitor, TierMeasurement, MAX_STALE_QUANTA};
 pub use placement::{ColloidConfig, ColloidController, Mode, PageFinder, PlacementDecision};
 pub use shift::ShiftController;

@@ -121,7 +121,11 @@ impl MultiTierBalancer {
         if delta_p <= 0.0 {
             return Vec::new();
         }
-        let mode = if l_u < l_l { Mode::Promote } else { Mode::Demote };
+        let mode = if l_u < l_l {
+            Mode::Promote
+        } else {
+            Mode::Demote
+        };
         let dynamic = delta_p * pair_rate * 64.0 * self.quantum_ns;
         vec![PairDecision {
             upper,
@@ -166,9 +170,9 @@ mod tests {
     fn hot_default_demotes_towards_middle_tier() {
         let mut b = balancer(3);
         let ds = b.on_quantum(&[
-            meas(90.0, 0.3),  // 300 ns
-            meas(14.0, 0.1),  // 140 ns
-            meas(4.0, 0.02),  // 200 ns
+            meas(90.0, 0.3), // 300 ns
+            meas(14.0, 0.1), // 140 ns
+            meas(4.0, 0.02), // 200 ns
         ]);
         // Pair 0-1 (300 vs 140 ns) is more imbalanced than 1-2 (140 vs
         // 200 ns), so it acts this quantum, demoting out of the default.
@@ -198,9 +202,7 @@ mod tests {
         let mut b = MultiTierBalancer::new(unloaded.to_vec(), 0.01, 0.02, 1.0, 1 << 30, 1e5);
         let total_rate = 0.3;
         for _ in 0..400 {
-            let lat: Vec<f64> = (0..3)
-                .map(|i| unloaded[i] + slope[i] * shares[i])
-                .collect();
+            let lat: Vec<f64> = (0..3).map(|i| unloaded[i] + slope[i] * shares[i]).collect();
             let window: Vec<TierMeasurement> = (0..3)
                 .map(|i| meas(lat[i] * shares[i] * total_rate, shares[i] * total_rate))
                 .collect();
@@ -214,9 +216,7 @@ mod tests {
                 shares[to] += moved;
             }
         }
-        let lat: Vec<f64> = (0..3)
-            .map(|i| unloaded[i] + slope[i] * shares[i])
-            .collect();
+        let lat: Vec<f64> = (0..3).map(|i| unloaded[i] + slope[i] * shares[i]).collect();
         let max = lat.iter().cloned().fold(f64::MIN, f64::max);
         let min = lat.iter().cloned().fold(f64::MAX, f64::min);
         assert!(

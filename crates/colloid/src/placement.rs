@@ -137,6 +137,10 @@ impl ColloidController {
     /// Panics if fewer than two tiers are configured.
     pub fn new(cfg: ColloidConfig) -> Self {
         assert!(cfg.unloaded_ns.len() >= 2, "Colloid needs at least 2 tiers");
+        assert!(
+            cfg.quantum_ns.is_finite() && cfg.quantum_ns > 0.0,
+            "quantum_ns must be finite and positive"
+        );
         ColloidController {
             monitor: LatencyMonitor::new(cfg.unloaded_ns.clone(), cfg.ewma_alpha),
             shift: ShiftController::new(cfg.epsilon, cfg.delta),
@@ -149,6 +153,12 @@ impl ColloidController {
     ///
     /// Returns `None` when no migration is needed this quantum (balanced
     /// latencies, or no traffic yet).
+    ///
+    /// Robust to corrupt counter windows: implausible measurements are
+    /// rejected by the [`LatencyMonitor`] (which holds its last-good
+    /// estimate), and any decision returned has a finite `delta_p` in
+    /// `(0, 1]` and `byte_limit <= static_limit_bytes` — never a panic or a
+    /// NaN, whatever the input.
     pub fn on_quantum(&mut self, window: &[TierMeasurement]) -> Option<PlacementDecision> {
         self.monitor.update(window);
         self.quanta += 1;
@@ -159,13 +169,21 @@ impl ColloidController {
         let l_d = self.monitor.latency_ns(0);
         let l_a = self.alternate_latency_ns();
         let p = self.monitor.default_share();
-        let mode = if l_d < l_a { Mode::Promote } else { Mode::Demote };
+        let mode = if l_d < l_a {
+            Mode::Promote
+        } else {
+            Mode::Demote
+        };
         let delta_p = self.shift.compute_shift(p, l_d, l_a);
-        if delta_p <= 0.0 {
+        // The NaN check keeps a corrupt shift from ever reaching a decision.
+        if delta_p.is_nan() || delta_p <= 0.0 {
             return None;
         }
+        let delta_p = delta_p.min(1.0);
         // Dynamic migration limit: Δp·(R_D+R_A) requests/ns worth of pages,
         // 64 B per request, over one quantum — capped by the static limit.
+        // (An `f64 as u64` cast saturates, and maps NaN to 0, so the cap
+        // holds even for degenerate products.)
         let byte_limit = if self.cfg.dynamic_limit {
             let dynamic = delta_p * total_rate * 64.0 * self.cfg.quantum_ns;
             (dynamic as u64).min(self.cfg.static_limit_bytes)
@@ -308,6 +326,44 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_windows_never_panic_and_decisions_stay_bounded() {
+        let mut c = ColloidController::new(cfg());
+        // Establish a normal imbalance first.
+        c.on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1)]);
+        let garbage = [
+            meas(f64::NAN, f64::NAN),
+            meas(f64::INFINITY, 0.3),
+            meas(-90.0, -0.3),
+            meas(1e300, 1e300),
+        ];
+        for g in garbage {
+            if let Some(d) = c.on_quantum(&[g, meas(14.0, 0.1)]) {
+                assert!(d.delta_p.is_finite());
+                assert!(d.delta_p > 0.0 && d.delta_p <= 1.0);
+                assert!(d.byte_limit <= 1 << 20);
+                assert!(d.l_default_ns.is_finite());
+                assert!(d.l_alternate_ns.is_finite());
+                assert!(d.p.is_finite());
+            }
+        }
+        assert_eq!(c.monitor().rejected_windows(), 4);
+    }
+
+    #[test]
+    fn sustained_counter_loss_parks_the_controller() {
+        // When every window is corrupt for long enough, the monitor forgets
+        // its held state; with no believable traffic the controller stops
+        // issuing decisions instead of acting on garbage.
+        let mut c = ColloidController::new(cfg());
+        c.on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1)]);
+        let bad = [meas(f64::NAN, f64::NAN), meas(f64::NAN, f64::NAN)];
+        for _ in 0..crate::latency::MAX_STALE_QUANTA {
+            c.on_quantum(&bad);
+        }
+        assert!(c.on_quantum(&bad).is_none());
+    }
+
+    #[test]
     fn three_tier_alternate_latency_is_rate_weighted() {
         let mut c = ColloidController::new(ColloidConfig {
             unloaded_ns: vec![70.0, 135.0, 250.0],
@@ -315,9 +371,9 @@ mod tests {
         });
         let d = c
             .on_quantum(&[
-                meas(90.0, 0.3),             // L_D = 300
-                meas(13.5, 0.1),             // 135 ns
-                meas(25.0, 0.1),             // 250 ns
+                meas(90.0, 0.3), // L_D = 300
+                meas(13.5, 0.1), // 135 ns
+                meas(25.0, 0.1), // 250 ns
             ])
             .expect("decision");
         assert!((d.l_alternate_ns - 192.5).abs() < 1.0);

@@ -37,6 +37,7 @@ pub struct ShiftController {
     delta: f64,
     resets: u64,
     reset_enabled: bool,
+    rejected: u64,
 }
 
 impl ShiftController {
@@ -56,6 +57,7 @@ impl ShiftController {
             delta,
             resets: 0,
             reset_enabled: true,
+            rejected: 0,
         }
     }
 
@@ -72,8 +74,18 @@ impl ShiftController {
     /// One quantum of Algorithm 2. `p` is the current default-tier access
     /// probability share; `l_d`/`l_a` the measured tier latencies (ns).
     /// Returns the desired |Δp| (0 when balanced within `delta`).
+    ///
+    /// Corrupt inputs are tolerated: a non-finite or non-positive latency
+    /// (or a non-finite `p`) cannot say which tier is faster, so the
+    /// watermarks are left untouched and the shift is 0. A finite `p`
+    /// outside `[0, 1]` is clamped. The returned shift is always finite and
+    /// in `[0, 1]`.
     pub fn compute_shift(&mut self, p: f64, l_d: f64, l_a: f64) -> f64 {
-        debug_assert!((0.0..=1.0).contains(&p), "p must be a probability");
+        if !l_d.is_finite() || !l_a.is_finite() || l_d <= 0.0 || l_a <= 0.0 || !p.is_finite() {
+            self.rejected += 1;
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 1.0);
         if (l_d - l_a).abs() < self.delta * l_d {
             return 0.0;
         }
@@ -109,6 +121,11 @@ impl ShiftController {
     /// Number of watermark resets performed (equilibrium moves detected).
     pub fn resets(&self) -> u64 {
         self.resets
+    }
+
+    /// Number of quanta whose inputs were rejected as corrupt.
+    pub fn rejected_inputs(&self) -> u64 {
+        self.rejected
     }
 
     /// The collapse threshold ε.
@@ -212,7 +229,12 @@ mod tests {
         let mut p = 1.0;
         for _ in 0..100 {
             p = step(&mut c, &toy, p);
-            assert!(c.p_lo() <= c.p_hi() + 1e-12, "lo {} hi {}", c.p_lo(), c.p_hi());
+            assert!(
+                c.p_lo() <= c.p_hi() + 1e-12,
+                "lo {} hi {}",
+                c.p_lo(),
+                c.p_hi()
+            );
         }
     }
 
@@ -250,7 +272,10 @@ mod tests {
         for _ in 0..120 {
             p = step(&mut c, &toy, p);
         }
-        assert!((p - 0.8).abs() < 0.05, "re-convergence after p* move, p={p}");
+        assert!(
+            (p - 0.8).abs() < 0.05,
+            "re-convergence after p* move, p={p}"
+        );
         assert!(c.resets() > resets_before, "a watermark reset must fire");
     }
 
@@ -267,6 +292,41 @@ mod tests {
             p = step(&mut c, &toy, p);
         }
         assert!((p - 0.2).abs() < 0.05, "p={p}");
+    }
+
+    #[test]
+    fn corrupt_latencies_leave_watermarks_untouched() {
+        let mut c = ShiftController::new(0.01, 0.05);
+        c.compute_shift(0.3, 80.0, 160.0); // establish p_lo = 0.3
+        let (lo, hi) = (c.p_lo(), c.p_hi());
+        for (l_d, l_a) in [
+            (f64::NAN, 160.0),
+            (80.0, f64::NAN),
+            (f64::INFINITY, 160.0),
+            (80.0, f64::NEG_INFINITY),
+            (-80.0, 160.0),
+            (0.0, 160.0),
+        ] {
+            assert_eq!(c.compute_shift(0.5, l_d, l_a), 0.0);
+            assert_eq!(c.p_lo(), lo);
+            assert_eq!(c.p_hi(), hi);
+        }
+        assert_eq!(c.rejected_inputs(), 6);
+    }
+
+    #[test]
+    fn nan_p_is_rejected_and_out_of_range_p_clamped() {
+        let mut c = ShiftController::new(0.01, 0.05);
+        assert_eq!(c.compute_shift(f64::NAN, 80.0, 160.0), 0.0);
+        assert_eq!(c.rejected_inputs(), 1);
+        // p = 1.7 clamps to 1.0: default faster -> p_lo = 1.0, shift 0.
+        let dp = c.compute_shift(1.7, 80.0, 160.0);
+        assert!(dp.is_finite() && (0.0..=1.0).contains(&dp));
+        assert!(c.p_lo() <= 1.0);
+        // p = -3.0 clamps to 0.0.
+        let dp = c.compute_shift(-3.0, 200.0, 100.0);
+        assert!(dp.is_finite() && (0.0..=1.0).contains(&dp));
+        assert!(c.p_hi() >= 0.0);
     }
 
     #[test]

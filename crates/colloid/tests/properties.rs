@@ -7,6 +7,22 @@
 use colloid::{ColloidConfig, ColloidController, Mode, ShiftController, TierMeasurement};
 use proptest::prelude::*;
 
+/// Degenerate measurement values: NaN, infinities, negatives, absurd
+/// magnitudes — everything a glitched PMU read could hand the controller —
+/// mixed with an ordinary range so valid and garbage windows interleave.
+fn wild() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-1.0),
+        Just(1e300),
+        Just(0.0),
+        -1e12f64..1e12,
+        0.0f64..200.0,
+    ]
+}
+
 proptest! {
     /// p_lo <= p_hi must hold after any sequence of updates, including ones
     /// with inconsistent (noisy) latency observations.
@@ -110,6 +126,67 @@ proptest! {
                 prop_assert!(d.l_alternate_ns >= 67.5 - 1e-9);
             }
         }
+    }
+
+    /// Arbitrary garbage fed straight into `on_quantum` must never panic,
+    /// and any decision that does come out stays within its documented
+    /// bounds: finite `delta_p` in (0, 1], `byte_limit` capped by the
+    /// static limit, finite non-negative latencies.
+    #[test]
+    fn garbage_measurements_never_panic_or_escape_bounds(
+        windows in prop::collection::vec(((wild(), wild()), (wild(), wild())), 1..150),
+        static_limit in 1u64..10_000_000,
+    ) {
+        let cfg = ColloidConfig {
+            static_limit_bytes: static_limit,
+            ..ColloidConfig::paper_default(70.0, 135.0, 0, 100_000.0)
+        };
+        let mut ctl = ColloidController::new(cfg);
+        for ((o_d, r_d), (o_a, r_a)) in windows {
+            let d = ctl.on_quantum(&[
+                TierMeasurement { occupancy: o_d, rate_per_ns: r_d },
+                TierMeasurement { occupancy: o_a, rate_per_ns: r_a },
+            ]);
+            if let Some(d) = d {
+                prop_assert!(d.delta_p.is_finite() && d.delta_p > 0.0 && d.delta_p <= 1.0,
+                    "delta_p = {}", d.delta_p);
+                prop_assert!(d.byte_limit <= static_limit,
+                    "byte_limit {} > static {}", d.byte_limit, static_limit);
+                prop_assert!((0.0..=1.0).contains(&d.p), "p = {}", d.p);
+                prop_assert!(d.l_default_ns.is_finite() && d.l_default_ns >= 0.0);
+                prop_assert!(d.l_alternate_ns.is_finite() && d.l_alternate_ns >= 0.0);
+            }
+        }
+    }
+
+    /// A burst of garbage windows (long enough to expire the hold-last-good
+    /// state) never wedges the controller: plausible imbalanced windows
+    /// afterwards produce decisions again.
+    #[test]
+    fn controller_recovers_after_garbage_burst(
+        burst in prop::collection::vec((wild(), wild()), 1..40),
+    ) {
+        let cfg = ColloidConfig::paper_default(70.0, 135.0, 240_000, 100_000.0);
+        let mut ctl = ColloidController::new(cfg);
+        for (o, r) in burst {
+            let _ = ctl.on_quantum(&[
+                TierMeasurement { occupancy: o, rate_per_ns: r },
+                TierMeasurement { occupancy: o, rate_per_ns: r },
+            ]);
+        }
+        // Default tier heavily loaded, alternate idle: a hardened
+        // controller must eventually demand a demotion shift.
+        let mut decided = false;
+        for _ in 0..50 {
+            if let Some(d) = ctl.on_quantum(&[
+                TierMeasurement { occupancy: 120.0, rate_per_ns: 0.4 },
+                TierMeasurement { occupancy: 2.0, rate_per_ns: 0.1 },
+            ]) {
+                prop_assert!(d.delta_p.is_finite() && d.delta_p > 0.0);
+                decided = true;
+            }
+        }
+        prop_assert!(decided, "controller wedged after garbage burst");
     }
 
     /// After convergence, a sudden move of the equilibrium point is always

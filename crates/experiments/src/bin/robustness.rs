@@ -1,0 +1,6 @@
+//! Runs the robustness matrix (fault injection vs. tiering systems). Pass
+//! `--quick` (or set `COLLOID_QUICK=1`) for shortened runs.
+
+fn main() {
+    experiments::robustness::run(experiments::quick_requested());
+}

@@ -22,9 +22,8 @@ pub fn sensitivity(quick: bool) -> String {
     } else {
         RunConfig::steady_state()
     };
-    let mut out = String::from(
-        "== Extended: epsilon/delta sensitivity (HeMem+Colloid, GUPS @ 2x) ==\n",
-    );
+    let mut out =
+        String::from("== Extended: epsilon/delta sensitivity (HeMem+Colloid, GUPS @ 2x) ==\n");
     let mut t = Table::new(vec!["eps", "delta", "Mops/s", "L_D/L_A"]);
     for (eps, delta) in [
         (0.01, 0.05), // paper defaults
@@ -71,17 +70,23 @@ pub fn core_counts(quick: bool) -> String {
         let mut sc = GupsScenario::intensity(2);
         sc.app_cores = cores;
         let vanilla = {
-            let mut e = build_gups(&sc, Policy::System {
-                kind: SystemKind::Hemem,
-                colloid: false,
-            });
+            let mut e = build_gups(
+                &sc,
+                Policy::System {
+                    kind: SystemKind::Hemem,
+                    colloid: false,
+                },
+            );
             run_exp(&mut e, &rc).ops_per_sec
         };
         let colloid = {
-            let mut e = build_gups(&sc, Policy::System {
-                kind: SystemKind::Hemem,
-                colloid: true,
-            });
+            let mut e = build_gups(
+                &sc,
+                Policy::System {
+                    kind: SystemKind::Hemem,
+                    colloid: true,
+                },
+            );
             run_exp(&mut e, &rc).ops_per_sec
         };
         t.row(vec![
@@ -110,10 +115,14 @@ pub fn rw_ratios(quick: bool) -> String {
         let with_wf = |colloid: bool| {
             let mut g = sc.gups_config();
             g.write_fraction = wf;
-            let mut e = crate::scenario::build_gups_with_stream(&sc, g, Policy::System {
-                kind: SystemKind::Hemem,
-                colloid,
-            });
+            let mut e = crate::scenario::build_gups_with_stream(
+                &sc,
+                g,
+                Policy::System {
+                    kind: SystemKind::Hemem,
+                    colloid,
+                },
+            );
             run_exp(&mut e, &rc).ops_per_sec
         };
         let vanilla = with_wf(false);
@@ -143,9 +152,12 @@ pub fn effective_mlp(_quick: bool) -> String {
         eprintln!("[ext] effective MLP object={size}B ...");
         let mut sc = GupsScenario::intensity(0);
         sc.object_size = size;
-        let mut e = build_gups(&sc, Policy::Static {
-            hot_default_fraction: 1.0,
-        });
+        let mut e = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 1.0,
+            },
+        );
         e.machine.run_tick(simkit::SimTime::from_us(100.0));
         let rep = e.machine.run_tick(simkit::SimTime::from_us(300.0));
         let occ: f64 = rep.tiers.iter().map(|t| t.occupancy).sum();
@@ -170,8 +182,10 @@ pub fn tpp_thp(quick: bool) -> String {
     } else {
         RunConfig::steady_state()
     };
-    let mut out = String::from("== Extended: TPP with and without THP (GUPS) ==
-");
+    let mut out = String::from(
+        "== Extended: TPP with and without THP (GUPS) ==
+",
+    );
     let mut t = Table::new(vec!["variant", "0x", "3x"]);
     for huge in [true, false] {
         let mut row = vec![if huge { "TPP (THP)" } else { "TPP (4K only)" }.to_string()];
@@ -184,8 +198,10 @@ pub fn tpp_thp(quick: bool) -> String {
         t.row(row);
     }
     out.push_str(&t.render());
-    out.push_str("(THP promotes whole regions per fault: fewer faults per byte migrated)
-");
+    out.push_str(
+        "(THP promotes whole regions per fault: fewer faults per byte migrated)
+",
+    );
     out
 }
 

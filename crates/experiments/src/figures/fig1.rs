@@ -11,11 +11,13 @@ use crate::scenario::Policy;
 
 /// Renders Figure 1 from an already-collected grid.
 pub fn render(grid: &GupsGrid) -> String {
-    let mut out = String::from(
-        "== Figure 1: GUPS throughput (Mops/s), systems vs best-case ==\n",
-    );
+    let mut out = String::from("== Figure 1: GUPS throughput (Mops/s), systems vs best-case ==\n");
     let mut headers = vec!["policy"];
-    let labels: Vec<String> = grid.intensities.iter().map(|&i| intensity_label(i)).collect();
+    let labels: Vec<String> = grid
+        .intensities
+        .iter()
+        .map(|&i| intensity_label(i))
+        .collect();
     headers.extend(labels.iter().map(String::as_str));
     let mut t = Table::new(headers.clone());
 

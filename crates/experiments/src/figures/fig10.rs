@@ -28,7 +28,10 @@ pub fn run(quick: bool) -> String {
                 .collect();
             let peak = pts.iter().map(|p| p.1).fold(0.0, f64::max);
             out.push_str(&series(
-                &format!("{name} | {} | migration MB/s over time (ms)", dynamic.label()),
+                &format!(
+                    "{name} | {} | migration MB/s over time (ms)",
+                    dynamic.label()
+                ),
                 &pts,
                 20,
             ));

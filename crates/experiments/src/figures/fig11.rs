@@ -37,13 +37,27 @@ pub fn run(quick: bool) -> String {
                 let antagonists = i * 5;
                 eprintln!("[fig11] {} {} @ {i}x ...", app.name(), kind.name());
                 let vanilla = {
-                    let mut e =
-                        build_app(app, antagonists, Policy::System { kind, colloid: false }, 7);
+                    let mut e = build_app(
+                        app,
+                        antagonists,
+                        Policy::System {
+                            kind,
+                            colloid: false,
+                        },
+                        7,
+                    );
                     run_exp(&mut e, &rc).ops_per_sec
                 };
                 let colloid = {
-                    let mut e =
-                        build_app(app, antagonists, Policy::System { kind, colloid: true }, 7);
+                    let mut e = build_app(
+                        app,
+                        antagonists,
+                        Policy::System {
+                            kind,
+                            colloid: true,
+                        },
+                        7,
+                    );
                     run_exp(&mut e, &rc).ops_per_sec
                 };
                 vrow.push(mops(vanilla));

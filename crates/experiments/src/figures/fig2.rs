@@ -49,11 +49,13 @@ pub fn render(grid: &GupsGrid) -> String {
         }
     }
 
-    out.push_str(
-        "\n== Figure 2b: share of GUPS bandwidth served by the default tier ==\n",
-    );
+    out.push_str("\n== Figure 2b: share of GUPS bandwidth served by the default tier ==\n");
     let mut headers2 = vec!["policy"];
-    let labels: Vec<String> = grid.intensities.iter().map(|&i| intensity_label(i)).collect();
+    let labels: Vec<String> = grid
+        .intensities
+        .iter()
+        .map(|&i| intensity_label(i))
+        .collect();
     headers2.extend(labels.iter().map(String::as_str));
     let mut b = Table::new(headers2);
     let mut best_row = vec!["best-case".to_string()];

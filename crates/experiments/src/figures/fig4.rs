@@ -43,7 +43,11 @@ fn trace(
     p_star_jump: Option<(usize, f64)>,
 ) {
     let _ = writeln!(out, "-- {label} --");
-    let _ = writeln!(out, "{:>3}  {:>6}  {:>6}  {:>6}  {:>6}", "t", "p", "p_lo", "p_hi", "p*");
+    let _ = writeln!(
+        out,
+        "{:>3}  {:>6}  {:>6}  {:>6}  {:>6}",
+        "t", "p", "p_lo", "p_hi", "p*"
+    );
     let mut c = ShiftController::new(0.01, 0.02);
     let mut p = p0;
     for t in 0..quanta {

@@ -6,9 +6,7 @@
 //! improvements of 1.2–2.3× (HeMem), 1.35–2.35× (TPP), 1.29–2.3× (MEMTIS),
 //! landing within 3 %/8 %/13 % of best-case.
 
-use crate::figures::{
-    all_system_policies, collect_gups_grid, intensity_label, GupsGrid,
-};
+use crate::figures::{all_system_policies, collect_gups_grid, intensity_label, GupsGrid};
 use crate::report::{mops, ratio, Table};
 use crate::scenario::Policy;
 use tiersys::SystemKind;
@@ -18,7 +16,11 @@ pub fn render(grid: &GupsGrid) -> String {
     let mut out =
         String::from("== Figure 5: GUPS throughput (Mops/s) with and without Colloid ==\n");
     let mut headers = vec!["policy"];
-    let labels: Vec<String> = grid.intensities.iter().map(|&i| intensity_label(i)).collect();
+    let labels: Vec<String> = grid
+        .intensities
+        .iter()
+        .map(|&i| intensity_label(i))
+        .collect();
     headers.extend(labels.iter().map(String::as_str));
     let mut t = Table::new(headers.clone());
     let mut best_row = vec!["best-case".to_string()];
@@ -40,8 +42,24 @@ pub fn render(grid: &GupsGrid) -> String {
     for kind in SystemKind::ALL {
         let mut row = vec![kind.name().to_string()];
         for &i in &grid.intensities {
-            let vanilla = grid.get(Policy::System { kind, colloid: false }, i).ops_per_sec;
-            let colloid = grid.get(Policy::System { kind, colloid: true }, i).ops_per_sec;
+            let vanilla = grid
+                .get(
+                    Policy::System {
+                        kind,
+                        colloid: false,
+                    },
+                    i,
+                )
+                .ops_per_sec;
+            let colloid = grid
+                .get(
+                    Policy::System {
+                        kind,
+                        colloid: true,
+                    },
+                    i,
+                )
+                .ops_per_sec;
             row.push(ratio(colloid / vanilla.max(1.0)));
         }
         s.row(row);
@@ -54,7 +72,15 @@ pub fn render(grid: &GupsGrid) -> String {
         let mut row = vec![format!("{}+Colloid", kind.name())];
         for &i in &grid.intensities {
             let best = grid.oracle(i).best_ops_per_sec();
-            let colloid = grid.get(Policy::System { kind, colloid: true }, i).ops_per_sec;
+            let colloid = grid
+                .get(
+                    Policy::System {
+                        kind,
+                        colloid: true,
+                    },
+                    i,
+                )
+                .ops_per_sec;
             row.push(format!("{:+.1}%", (colloid / best - 1.0) * 100.0));
         }
         d.row(row);

@@ -24,7 +24,11 @@ pub fn render(grid: &GupsGrid) -> String {
         "== Figure 6a: share of GUPS bandwidth served by the default tier (with Colloid) ==\n",
     );
     let mut headers = vec!["policy"];
-    let labels: Vec<String> = grid.intensities.iter().map(|&i| intensity_label(i)).collect();
+    let labels: Vec<String> = grid
+        .intensities
+        .iter()
+        .map(|&i| intensity_label(i))
+        .collect();
     headers.extend(labels.iter().map(String::as_str));
     let mut t = Table::new(headers);
     let mut best_row = vec!["best-case".to_string()];

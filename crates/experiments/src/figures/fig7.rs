@@ -25,9 +25,8 @@ pub fn run(quick: bool) -> String {
         RunConfig::steady_state()
     };
 
-    let mut out = String::from(
-        "== Figure 7: Colloid speedup vs alternate-tier unloaded latency ==\n",
-    );
+    let mut out =
+        String::from("== Figure 7: Colloid speedup vs alternate-tier unloaded latency ==\n");
     for kind in SystemKind::ALL {
         out.push_str(&format!("\n-- {} --\n", kind.name()));
         let mut headers = vec!["alt-lat".to_string()];
@@ -40,11 +39,23 @@ pub fn run(quick: bool) -> String {
                 sc.alt_latency_ratio = r;
                 eprintln!("[fig7] {} ratio={r} @ {i}x ...", kind.name());
                 let vanilla = {
-                    let mut e = build_gups(&sc, Policy::System { kind, colloid: false });
+                    let mut e = build_gups(
+                        &sc,
+                        Policy::System {
+                            kind,
+                            colloid: false,
+                        },
+                    );
                     run_exp(&mut e, &rc).ops_per_sec
                 };
                 let colloid = {
-                    let mut e = build_gups(&sc, Policy::System { kind, colloid: true });
+                    let mut e = build_gups(
+                        &sc,
+                        Policy::System {
+                            kind,
+                            colloid: true,
+                        },
+                    );
                     run_exp(&mut e, &rc).ops_per_sec
                 };
                 row.push(ratio(colloid / vanilla.max(1.0)));

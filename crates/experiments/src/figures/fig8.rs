@@ -39,11 +39,23 @@ pub fn run(quick: bool) -> String {
                 sc.object_size = size;
                 eprintln!("[fig8] {} {size}B @ {i}x ...", kind.name());
                 let vanilla = {
-                    let mut e = build_gups(&sc, Policy::System { kind, colloid: false });
+                    let mut e = build_gups(
+                        &sc,
+                        Policy::System {
+                            kind,
+                            colloid: false,
+                        },
+                    );
                     run_exp(&mut e, &rc).ops_per_sec
                 };
                 let colloid = {
-                    let mut e = build_gups(&sc, Policy::System { kind, colloid: true });
+                    let mut e = build_gups(
+                        &sc,
+                        Policy::System {
+                            kind,
+                            colloid: true,
+                        },
+                    );
                     run_exp(&mut e, &rc).ops_per_sec
                 };
                 row.push(ratio(colloid / vanilla.max(1.0)));

@@ -16,6 +16,9 @@
 //!   rows/series the paper reports and returns them as a string. Binaries
 //!   `fig1`…`fig11` (in `src/bin/`) invoke these.
 //! - [`report`] — plain-text table formatting.
+//! - [`robustness`] — the fault-injection matrix (binary `robustness`):
+//!   throughput degradation of every system ± Colloid under graded
+//!   counter/migration/PEBS fault intensities.
 //!
 //! Every driver accepts a *quick* mode (fewer sweep points, shorter
 //! warm-up) used by the Criterion benches; the binaries run full mode by
@@ -24,6 +27,7 @@
 pub mod figures;
 pub mod oracle;
 pub mod report;
+pub mod robustness;
 pub mod runner;
 pub mod scenario;
 
@@ -34,5 +38,7 @@ pub use scenario::{AppKind, Experiment, GupsScenario, Policy};
 /// Whether quick mode was requested on the command line or environment.
 pub fn quick_requested() -> bool {
     std::env::args().any(|a| a == "--quick")
-        || std::env::var("COLLOID_QUICK").map(|v| v != "0").unwrap_or(false)
+        || std::env::var("COLLOID_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false)
 }

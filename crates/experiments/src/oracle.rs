@@ -46,9 +46,12 @@ pub fn best_case_over(
 ) -> OracleResult {
     let mut points = Vec::new();
     for f in fractions {
-        let mut exp = build_gups(scenario, Policy::Static {
-            hot_default_fraction: f,
-        });
+        let mut exp = build_gups(
+            scenario,
+            Policy::Static {
+                hot_default_fraction: f,
+            },
+        );
         let result = run(&mut exp, rc);
         points.push((f, result));
     }

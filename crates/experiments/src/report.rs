@@ -46,8 +46,8 @@ impl Table {
         fn cell(r: &[String], c: usize) -> &str {
             r.get(c).map(String::as_str).unwrap_or("")
         }
-        for c in 0..cols {
-            widths[c] = self
+        for (c, w) in widths.iter_mut().enumerate() {
+            *w = self
                 .rows
                 .iter()
                 .map(|r| cell(r, c).len())
@@ -57,8 +57,8 @@ impl Table {
         }
         let mut out = String::new();
         let write_row = |out: &mut String, r: &[String]| {
-            for c in 0..cols {
-                let _ = write!(out, "{:width$}  ", cell(r, c), width = widths[c]);
+            for (c, width) in widths.iter().enumerate() {
+                let _ = write!(out, "{:width$}  ", cell(r, c), width = *width);
             }
             out.truncate(out.trim_end().len());
             out.push('\n');
@@ -94,6 +94,36 @@ pub fn ratio(x: f64) -> String {
 /// Formats a fraction as a percentage.
 pub fn pct(x: f64) -> String {
     format!("{:.0}%", x * 100.0)
+}
+
+/// Formats run-level injected-fault counters as a compact cell
+/// (`-` when nothing was injected).
+pub fn fault_counts(fs: &memsim::FaultStats) -> String {
+    if fs.total() == 0 {
+        return "-".into();
+    }
+    let mut parts = Vec::new();
+    for (label, n) in [
+        ("noisy", fs.windows_noisy),
+        ("stale", fs.windows_stale),
+        ("drop", fs.windows_dropped),
+        ("mig", fs.migration_failures),
+        ("pebs", fs.pebs_dropped),
+    ] {
+        if n > 0 {
+            parts.push(format!("{label} {n}"));
+        }
+    }
+    parts.join(" ")
+}
+
+/// Formats migration-retry counters as `scheduled/recovered/dropped`
+/// (`-` for policies without a retry queue).
+pub fn retry_counts(rs: Option<&tiersys::RetryStats>) -> String {
+    match rs {
+        Some(r) => format!("{}/{}/{}", r.scheduled, r.recovered, r.dropped),
+        None => "-".into(),
+    }
 }
 
 /// Renders a compact ASCII time series: one `t: value` line per sample
@@ -143,6 +173,25 @@ mod tests {
         assert_eq!(ns(None), "-");
         assert_eq!(ratio(1.234), "1.23x");
         assert_eq!(pct(0.25), "25%");
+    }
+
+    #[test]
+    fn fault_and_retry_cells() {
+        assert_eq!(fault_counts(&memsim::FaultStats::default()), "-");
+        let fs = memsim::FaultStats {
+            windows_noisy: 12,
+            migration_failures: 3,
+            ..Default::default()
+        };
+        assert_eq!(fault_counts(&fs), "noisy 12 mig 3");
+        assert_eq!(retry_counts(None), "-");
+        let rs = tiersys::RetryStats {
+            scheduled: 5,
+            recovered: 4,
+            dropped: 1,
+            ..Default::default()
+        };
+        assert_eq!(retry_counts(Some(&rs)), "5/4/1");
     }
 
     #[test]

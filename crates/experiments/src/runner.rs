@@ -7,8 +7,9 @@
 //! system reaches steady-state, and measure steady-state application
 //! throughput" (§2.1).
 
-use memsim::{TierId, TrafficClass};
+use memsim::{FaultStats, TierId, TrafficClass};
 use simkit::SimTime;
+use tiersys::RetryStats;
 
 use crate::scenario::Experiment;
 
@@ -94,6 +95,32 @@ impl RunConfig {
         self.measure_ticks = (self.measure_ticks / 2).max(20);
         self
     }
+
+    /// Checks the configuration for degenerate values that would silently
+    /// disable parts of the runner. `window == usize::MAX` is the documented
+    /// way to disable convergence detection ([`RunConfig::timeline`] uses
+    /// it); `window == 0` is always a bug (every tick would form its own
+    /// "window" and the tolerance test would run against single samples).
+    /// `measure_ticks == 0` stays legal: warm-up-only runs (the benches)
+    /// use it deliberately, and the zero-duration guard reports 0 ops/s.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("window must be >= 1 (usize::MAX disables convergence checks)".into());
+        }
+        if self.max_warmup_ticks < self.min_warmup_ticks {
+            return Err(format!(
+                "max_warmup_ticks ({}) < min_warmup_ticks ({})",
+                self.max_warmup_ticks, self.min_warmup_ticks
+            ));
+        }
+        if !self.tolerance.is_finite() || self.tolerance < 0.0 {
+            return Err(format!(
+                "tolerance must be finite and >= 0, got {}",
+                self.tolerance
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Aggregated results of one run.
@@ -111,6 +138,12 @@ pub struct RunResult {
     pub measure_duration: SimTime,
     /// Warm-up ticks actually used (after convergence detection).
     pub warmup_ticks_used: usize,
+    /// Injected-fault totals over the whole run, warm-up included (all
+    /// zeros on fault-free machines).
+    pub fault_stats: FaultStats,
+    /// Migration-retry counters from the tiering system at the end of the
+    /// run (`None` for policies without a retry queue, e.g. static).
+    pub retry_stats: Option<RetryStats>,
     /// Per-tick samples (empty unless `collect_series`).
     pub series: Vec<TickSample>,
 }
@@ -130,7 +163,7 @@ impl RunResult {
 }
 
 /// Runs one tick and converts the report into a sample.
-fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u64) {
+fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u64, FaultStats) {
     exp.apply_schedule();
     let report = exp.machine.run_tick(exp.tick);
     exp.system.on_tick(&mut exp.machine, &report);
@@ -148,20 +181,27 @@ fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u
         app_bytes_default: report.tiers[0].bytes_by_class[app],
         app_bytes_alternate: report.tiers[1].bytes_by_class[app],
     };
-    (sample, bytes, report.app_ops)
+    (sample, bytes, report.app_ops, report.fault_stats)
 }
 
 /// Drives the experiment to steady state, then measures.
+///
+/// # Panics
+///
+/// Panics if `rc` fails [`RunConfig::validate`].
 pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
+    rc.validate().expect("invalid RunConfig");
     let mut series = Vec::new();
     let mut warmup_used = 0;
+    let mut fault_stats = FaultStats::default();
 
     // Warm-up with adaptive convergence detection.
     let mut window_ops: Vec<f64> = Vec::new();
     let mut prev_window: Option<f64> = None;
     let mut stable_windows = 0;
     for tick in 0..rc.max_warmup_ticks {
-        let (sample, _, _) = step(exp);
+        let (sample, _, _, faults) = step(exp);
+        fault_stats.absorb(&faults);
         if rc.collect_series {
             series.push(sample);
         }
@@ -194,7 +234,8 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
     let mut l_a_sum = 0.0;
     let mut l_a_n = 0u32;
     for _ in 0..rc.measure_ticks {
-        let (sample, bytes, ops) = step(exp);
+        let (sample, bytes, ops, faults) = step(exp);
+        fault_stats.absorb(&faults);
         if rc.collect_series {
             series.push(sample);
         }
@@ -226,6 +267,8 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
         bytes_by_tier_class: bytes_total,
         measure_duration: dur,
         warmup_ticks_used: warmup_used,
+        fault_stats,
+        retry_stats: exp.system.retry_stats(),
         series,
     }
 }
@@ -238,9 +281,12 @@ mod tests {
     #[test]
     fn static_run_measures_throughput_and_latency() {
         let sc = GupsScenario::intensity(0);
-        let mut exp = build_gups(&sc, Policy::Static {
-            hot_default_fraction: 1.0,
-        });
+        let mut exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 1.0,
+            },
+        );
         let r = run(&mut exp, &RunConfig::static_placement());
         assert!(r.ops_per_sec > 1e6, "ops/s = {}", r.ops_per_sec);
         let l_d = r.l_default_ns.expect("default tier busy");
@@ -254,9 +300,12 @@ mod tests {
     #[test]
     fn series_collection_records_every_tick() {
         let sc = GupsScenario::intensity(0);
-        let mut exp = build_gups(&sc, Policy::Static {
-            hot_default_fraction: 0.5,
-        });
+        let mut exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 0.5,
+            },
+        );
         let r = run(&mut exp, &RunConfig::timeline(30));
         assert_eq!(r.series.len(), 30);
         // Time increases monotonically.
@@ -266,9 +315,12 @@ mod tests {
     #[test]
     fn convergence_detection_stops_early_for_static_load() {
         let sc = GupsScenario::intensity(0);
-        let mut exp = build_gups(&sc, Policy::Static {
-            hot_default_fraction: 1.0,
-        });
+        let mut exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 1.0,
+            },
+        );
         let rc = RunConfig {
             min_warmup_ticks: 30,
             max_warmup_ticks: 500,
@@ -290,5 +342,122 @@ mod tests {
         let rc = RunConfig::steady_state().quick();
         assert!(rc.max_warmup_ticks <= RunConfig::steady_state().max_warmup_ticks / 2);
         assert!(rc.measure_ticks >= 20);
+    }
+
+    #[test]
+    fn every_preset_config_validates() {
+        RunConfig::steady_state().validate().unwrap();
+        RunConfig::static_placement().validate().unwrap();
+        // timeline's window == usize::MAX is the documented convergence
+        // disable, not a bug.
+        RunConfig::timeline(10).validate().unwrap();
+        RunConfig::steady_state().quick().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        let ok = RunConfig::steady_state();
+        let cases: Vec<(&str, RunConfig)> = vec![
+            (
+                "window 0",
+                RunConfig {
+                    window: 0,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "warmup inverted",
+                RunConfig {
+                    min_warmup_ticks: 10,
+                    max_warmup_ticks: 5,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "nan tolerance",
+                RunConfig {
+                    tolerance: f64::NAN,
+                    ..ok.clone()
+                },
+            ),
+            (
+                "negative tolerance",
+                RunConfig {
+                    tolerance: -0.1,
+                    ..ok.clone()
+                },
+            ),
+        ];
+        for (what, rc) in cases {
+            assert!(rc.validate().is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RunConfig")]
+    fn run_panics_on_invalid_config() {
+        let sc = GupsScenario::intensity(0);
+        let mut exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 1.0,
+            },
+        );
+        let rc = RunConfig {
+            window: 0,
+            ..RunConfig::static_placement()
+        };
+        run(&mut exp, &rc);
+    }
+
+    #[test]
+    fn fault_free_run_reports_zero_fault_stats() {
+        let sc = GupsScenario::intensity(0);
+        let mut exp = build_gups(
+            &sc,
+            Policy::System {
+                kind: tiersys::SystemKind::Hemem,
+                colloid: false,
+            },
+        );
+        let r = run(&mut exp, &RunConfig::timeline(30));
+        assert_eq!(r.fault_stats.total(), 0);
+        // The system carries a retry queue, but without faults nothing is
+        // ever captured into it.
+        let rs = r.retry_stats.expect("HeMem drives a retry queue");
+        assert_eq!(rs.scheduled, 0);
+        assert_eq!(rs.dropped, 0);
+    }
+
+    #[test]
+    fn static_policy_has_no_retry_stats() {
+        let sc = GupsScenario::intensity(0);
+        let mut exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 1.0,
+            },
+        );
+        let r = run(&mut exp, &RunConfig::timeline(5));
+        assert!(r.retry_stats.is_none());
+    }
+
+    #[test]
+    fn app_share_of_idle_run_is_zero_not_nan() {
+        // Pin the division guard: an all-zero byte matrix must yield 0.0,
+        // not NaN (0/0).
+        let r = RunResult {
+            ops_per_sec: 0.0,
+            l_default_ns: None,
+            l_alternate_ns: None,
+            bytes_by_tier_class: [[0; TrafficClass::COUNT]; 2],
+            measure_duration: SimTime::ZERO,
+            warmup_ticks_used: 0,
+            fault_stats: FaultStats::default(),
+            retry_stats: None,
+            series: Vec::new(),
+        };
+        assert_eq!(r.default_tier_app_share(), 0.0);
+        assert!(r.default_tier_app_share().is_finite());
     }
 }

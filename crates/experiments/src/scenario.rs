@@ -8,7 +8,7 @@
 //! working set.
 
 use memsim::{
-    CoreConfig, CoreId, Machine, MachineConfig, TierId, TrafficClass, Vpn, PAGE_SIZE,
+    CoreConfig, CoreId, FaultPlan, Machine, MachineConfig, TierId, TrafficClass, Vpn, PAGE_SIZE,
 };
 use simkit::SimTime;
 use tiersys::{
@@ -86,6 +86,10 @@ pub struct GupsScenario {
     /// Scheduled antagonist-intensity change: at the given time, activate
     /// exactly `usize` antagonist cores (Figure 9 right column).
     pub antagonist_change: Option<(SimTime, usize)>,
+    /// Fault-injection plan (robustness experiments; defaults to injecting
+    /// nothing, which leaves every run bit-identical to the fault-free
+    /// machine).
+    pub faults: FaultPlan,
     /// Root RNG seed.
     pub seed: u64,
 }
@@ -101,6 +105,7 @@ impl GupsScenario {
             hot_offset: 9216,
             phases: Vec::new(),
             antagonist_change: None,
+            faults: FaultPlan::none(),
             seed: 0xC0_11_01,
         }
     }
@@ -247,8 +252,7 @@ fn build_policy(
     match policy {
         Policy::Static { .. } => Box::new(StaticPlacement),
         Policy::System { kind, colloid } => {
-            let mut params =
-                SystemParams::new(managed, colloid.then(ColloidParams::default));
+            let mut params = SystemParams::new(managed, colloid.then(ColloidParams::default));
             params.unloaded_ns = machine
                 .config()
                 .tiers
@@ -267,7 +271,13 @@ pub fn build_gups_with_colloid(
     kind: SystemKind,
     colloid: ColloidParams,
 ) -> Experiment {
-    let mut exp = build_gups(scenario, Policy::System { kind, colloid: false });
+    let mut exp = build_gups(
+        scenario,
+        Policy::System {
+            kind,
+            colloid: false,
+        },
+    );
     let gups = scenario.gups_config();
     let mut params = SystemParams::new(vec![gups.ws_range()], Some(colloid));
     params.unloaded_ns = exp
@@ -289,15 +299,15 @@ pub fn build_gups(scenario: &GupsScenario, policy: Policy) -> Experiment {
 /// Assembles the GUPS experiment under TPP with explicit THP and Colloid
 /// choices (the paper evaluates TPP both with and without THP).
 pub fn build_tpp_variant(scenario: &GupsScenario, huge: bool, colloid: bool) -> Experiment {
-    let mut exp = build_gups(scenario, Policy::System {
-        kind: SystemKind::Tpp,
-        colloid: false,
-    });
-    let gups = scenario.gups_config();
-    let mut params = SystemParams::new(
-        vec![gups.ws_range()],
-        colloid.then(ColloidParams::default),
+    let mut exp = build_gups(
+        scenario,
+        Policy::System {
+            kind: SystemKind::Tpp,
+            colloid: false,
+        },
     );
+    let gups = scenario.gups_config();
+    let mut params = SystemParams::new(vec![gups.ws_range()], colloid.then(ColloidParams::default));
     params.unloaded_ns = exp
         .machine
         .config()
@@ -305,10 +315,13 @@ pub fn build_tpp_variant(scenario: &GupsScenario, huge: bool, colloid: bool) -> 
         .iter()
         .map(|t| t.unloaded_latency().as_ns())
         .collect();
-    exp.system = Box::new(tiersys::tpp::Tpp::new(params, tiersys::tpp::TppConfig {
-        huge,
-        ..tiersys::tpp::TppConfig::default()
-    }));
+    exp.system = Box::new(tiersys::tpp::Tpp::new(
+        params,
+        tiersys::tpp::TppConfig {
+            huge,
+            ..tiersys::tpp::TppConfig::default()
+        },
+    ));
     exp
 }
 
@@ -322,6 +335,7 @@ pub fn build_gups_with_stream(
 ) -> Experiment {
     let mut cfg = MachineConfig::with_alt_latency_ratio(scenario.alt_latency_ratio);
     cfg.seed = scenario.seed;
+    cfg.faults = scenario.faults.clone();
     let mut machine = Machine::new(cfg);
     let antagonist_core_ids = add_antagonist(&mut machine, scenario.antagonist_cores);
 
@@ -346,12 +360,7 @@ pub fn build_gups_with_stream(
 /// Assembles one of the §5.3 application experiments; the default tier is
 /// sized to one third of the application's working set (plus the pinned
 /// antagonist buffer).
-pub fn build_app(
-    app: AppKind,
-    antagonist_cores: usize,
-    policy: Policy,
-    seed: u64,
-) -> Experiment {
+pub fn build_app(app: AppKind, antagonist_cores: usize, policy: Policy, seed: u64) -> Experiment {
     // Working-set shape per application.
     let (ws_pages, core_cfg): (u64, CoreConfig) = match app {
         AppKind::PageRank => {
@@ -430,9 +439,12 @@ mod tests {
     #[test]
     fn static_placement_splits_hot_set() {
         let sc = GupsScenario::intensity(0);
-        let exp = build_gups(&sc, Policy::Static {
-            hot_default_fraction: 0.5,
-        });
+        let exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 0.5,
+            },
+        );
         let g = sc.gups_config();
         let hot = g.hot_range();
         let in_default = hot
@@ -448,10 +460,13 @@ mod tests {
     #[test]
     fn first_touch_fills_default_first() {
         let sc = GupsScenario::intensity(0);
-        let exp = build_gups(&sc, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: false,
-        });
+        let exp = build_gups(
+            &sc,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: false,
+            },
+        );
         let g = sc.gups_config();
         // The first working-set page lands in the default tier, the last in
         // the alternate tier, and the hot region starts fully alternate.
@@ -485,10 +500,15 @@ mod tests {
     #[test]
     fn apps_build_with_third_sized_default_tier() {
         for app in AppKind::ALL {
-            let exp = build_app(app, 0, Policy::System {
-                kind: SystemKind::Hemem,
-                colloid: true,
-            }, 1);
+            let exp = build_app(
+                app,
+                0,
+                Policy::System {
+                    kind: SystemKind::Hemem,
+                    colloid: true,
+                },
+                1,
+            );
             let cap = exp.machine.config().tiers[0].capacity_pages();
             // Default tier full after first-touch (ws >= 3x default).
             assert_eq!(exp.machine.free_pages(TierId::DEFAULT), 0, "{app:?}");
@@ -500,9 +520,12 @@ mod tests {
     fn antagonist_change_applies_at_time() {
         let mut sc = GupsScenario::intensity(0);
         sc.antagonist_change = Some((SimTime::from_us(200.0), 15));
-        let mut exp = build_gups(&sc, Policy::Static {
-            hot_default_fraction: 1.0,
-        });
+        let mut exp = build_gups(
+            &sc,
+            Policy::Static {
+                hot_default_fraction: 1.0,
+            },
+        );
         // Before the scheduled time nothing changes.
         exp.apply_schedule();
         assert!(exp.antagonist_change.is_some());
@@ -514,11 +537,18 @@ mod tests {
     #[test]
     fn policy_names() {
         assert_eq!(
-            Policy::Static { hot_default_fraction: 0.3 }.name(),
+            Policy::Static {
+                hot_default_fraction: 0.3
+            }
+            .name(),
             "static(30%)"
         );
         assert_eq!(
-            Policy::System { kind: SystemKind::Tpp, colloid: true }.name(),
+            Policy::System {
+                kind: SystemKind::Tpp,
+                colloid: true
+            }
+            .name(),
             "TPP+Colloid"
         );
     }

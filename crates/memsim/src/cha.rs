@@ -137,8 +137,11 @@ impl Cha {
             0.0
         };
         let mut bytes = [0u64; TrafficClass::COUNT];
-        for i in 0..TrafficClass::COUNT {
-            bytes[i] = cur.bytes_by_class[i] - prev.bytes_by_class[i];
+        for (b, (c, p)) in bytes
+            .iter_mut()
+            .zip(cur.bytes_by_class.iter().zip(prev.bytes_by_class.iter()))
+        {
+            *b = c - p;
         }
         TierWindow {
             occupancy,
@@ -203,6 +206,19 @@ mod tests {
         let s0 = cha.snapshot(TierId::ALTERNATE, SimTime::ZERO);
         let s1 = cha.snapshot(TierId::ALTERNATE, SimTime::from_us(1.0));
         let w = Cha::window(&s0, &s1, SimTime::ZERO, SimTime::from_us(1.0));
+        assert!(w.littles_latency_ns().is_none());
+    }
+
+    #[test]
+    fn zero_rate_window_has_no_latency_estimate() {
+        // Pin the division guard: arrivals recorded but a zero rate (e.g. a
+        // perturbed window) must yield `None`, never a division by zero.
+        let w = TierWindow {
+            occupancy: 5.0,
+            arrivals: 3,
+            rate_per_ns: 0.0,
+            bytes_by_class: [0; TrafficClass::COUNT],
+        };
         assert!(w.littles_latency_ns().is_none());
     }
 

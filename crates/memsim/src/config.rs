@@ -11,6 +11,7 @@
 
 use simkit::SimTime;
 
+use crate::faults::FaultPlan;
 use crate::request::PAGE_SIZE;
 
 /// Configuration of the DRAM devices behind one memory controller.
@@ -193,6 +194,9 @@ pub struct MachineConfig {
     pub hint_fault_cost: SimTime,
     /// Root seed; every core derives its RNG stream from it.
     pub seed: u64,
+    /// Fault-injection plan (defaults to injecting nothing; see
+    /// [`crate::faults`]). The plan's RNG stream also derives from `seed`.
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -224,6 +228,7 @@ impl MachineConfig {
             migration_bandwidth: 2.4e9,
             hint_fault_cost: SimTime::from_us(0.4),
             seed: 0xC01_101D,
+            faults: FaultPlan::none(),
         }
     }
 

@@ -265,7 +265,7 @@ mod tests {
         let lines_per_row = mc.config().row_bytes / 64;
         let mut conflicting = None;
         for row in 1..1_000 {
-            let a = MemoryController::mix(0 ^ 0x9E37_79B9) % 2;
+            let a = MemoryController::mix(0x9E37_79B9) % 2;
             let b = MemoryController::mix(row ^ 0x9E37_79B9) % 2;
             if a == b {
                 conflicting = Some(row);

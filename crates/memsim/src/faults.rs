@@ -1,0 +1,486 @@
+//! Fault injection: perturbs what the control software *observes*.
+//!
+//! The paper's argument is that Colloid is robust where hotness-based
+//! policies are fragile — but a reproduction that only ever feeds the
+//! controllers perfect CHA counters and an infallible migration engine
+//! cannot test that claim. [`FaultPlan`] (configured via
+//! [`crate::MachineConfig::faults`]) injects the failure modes a real
+//! tiered-memory node exhibits:
+//!
+//! - **Counter noise / staleness / dropped windows** — uncore PMU reads
+//!   race the counters they sample; a busy PMU driver returns the previous
+//!   window or zeros. Modeled as multiplicative noise on the reported
+//!   [`crate::TierWindow`]s, replaying the previous tick's window, or
+//!   zeroing a window outright. The machine's internal counters stay
+//!   exact: only the [`crate::TickReport`] the tiering system sees is
+//!   perturbed, and `TickReport::true_latency_ns` remains ground truth.
+//! - **Transient migration failures** — page migration is a failable
+//!   transaction (refcount pinning, concurrent unmaps): a queued `MigJob`
+//!   aborts with probability [`FaultPlan::migration_fail_prob`] when the
+//!   engine picks it up. The reserved destination frame is released and
+//!   the failure reported in `TickReport::failed_migrations` so tiering
+//!   systems can retry.
+//! - **Migration-bandwidth degradation phases** — the kernel copy path
+//!   competes with other work; during a [`BandwidthPhase`] the migration
+//!   engine is paced at `factor ×` the configured bandwidth.
+//! - **PEBS sample loss** — the sampling buffer overflows under load;
+//!   each sample is dropped with probability [`FaultPlan::pebs_loss_prob`].
+//!
+//! All faults are deterministic: the injector draws from a dedicated RNG
+//! stream derived from `MachineConfig::seed`, so the same seed + plan
+//! yields identical `TickReport` streams. With every probability at zero
+//! and no phases, the injector draws nothing and perturbs nothing — runs
+//! are bit-identical to a machine without fault injection.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::rng::seed_from;
+use simkit::SimTime;
+
+use crate::cha::TierWindow;
+use crate::request::{TierId, Vpn};
+
+/// RNG stream id reserved for fault injection (cores use 0, 1, 2, …).
+const FAULT_RNG_STREAM: u64 = 0xFA17_0000_0000_0001;
+
+/// One migration-bandwidth degradation window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthPhase {
+    /// Phase start (inclusive, simulated time).
+    pub start: SimTime,
+    /// Phase end (exclusive).
+    pub end: SimTime,
+    /// Multiplier on `MachineConfig::migration_bandwidth` while active;
+    /// must be in `(0, 1]`.
+    pub factor: f64,
+}
+
+/// What to inject. The default plan injects nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Amplitude of multiplicative noise on reported CHA windows: each
+    /// reported occupancy and arrival rate is scaled by `1 + a·u` with `u`
+    /// uniform in `[-1, 1]`. `0` disables.
+    pub counter_noise: f64,
+    /// Probability that a tier's reported window is replaced by the
+    /// previous tick's reported window (stale PMU read).
+    pub counter_stale_prob: f64,
+    /// Probability that a tier's reported window is zeroed (dropped PMU
+    /// read). Checked after staleness.
+    pub counter_drop_prob: f64,
+    /// Probability that a queued migration aborts when the engine starts
+    /// it (transient migration failure).
+    pub migration_fail_prob: f64,
+    /// Probability that a captured PEBS sample is lost before the tiering
+    /// system sees it.
+    pub pebs_loss_prob: f64,
+    /// Migration-bandwidth degradation phases (may overlap; the smallest
+    /// active factor wins).
+    pub bandwidth_phases: Vec<BandwidthPhase>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault is configured at all.
+    pub fn is_active(&self) -> bool {
+        self.counter_noise > 0.0
+            || self.counter_stale_prob > 0.0
+            || self.counter_drop_prob > 0.0
+            || self.migration_fail_prob > 0.0
+            || self.pebs_loss_prob > 0.0
+            || !self.bandwidth_phases.is_empty()
+    }
+
+    /// Whether any counter-observation fault is configured.
+    fn perturbs_counters(&self) -> bool {
+        self.counter_noise > 0.0 || self.counter_stale_prob > 0.0 || self.counter_drop_prob > 0.0
+    }
+
+    /// Validates probabilities and phases.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("counter_stale_prob", self.counter_stale_prob),
+            ("counter_drop_prob", self.counter_drop_prob),
+            ("migration_fail_prob", self.migration_fail_prob),
+            ("pebs_loss_prob", self.pebs_loss_prob),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(format!("{name} must be in [0, 1], got {p}"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.counter_noise) || self.counter_noise.is_nan() {
+            return Err(format!(
+                "counter_noise must be in [0, 1], got {}",
+                self.counter_noise
+            ));
+        }
+        for (i, ph) in self.bandwidth_phases.iter().enumerate() {
+            if ph.end <= ph.start {
+                return Err(format!("bandwidth_phases[{i}]: end <= start"));
+            }
+            if !(ph.factor > 0.0 && ph.factor <= 1.0) {
+                return Err(format!(
+                    "bandwidth_phases[{i}]: factor must be in (0, 1], got {}",
+                    ph.factor
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The bandwidth multiplier active at `t` (1.0 outside all phases).
+    pub fn bandwidth_factor(&self, t: SimTime) -> f64 {
+        let mut f = 1.0;
+        for ph in &self.bandwidth_phases {
+            if t >= ph.start && t < ph.end && ph.factor < f {
+                f = ph.factor;
+            }
+        }
+        f
+    }
+}
+
+/// Per-tick fault counters, reported in [`crate::TickReport`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Migrations aborted by injected transient failures this tick.
+    pub migration_failures: u64,
+    /// Reported tier windows replaced by the previous tick's window.
+    pub windows_stale: u64,
+    /// Reported tier windows zeroed.
+    pub windows_dropped: u64,
+    /// Reported tier windows with multiplicative noise applied.
+    pub windows_noisy: u64,
+    /// PEBS samples lost.
+    pub pebs_dropped: u64,
+}
+
+impl FaultStats {
+    /// Accumulates `other` into `self` (for run-level totals).
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.migration_failures += other.migration_failures;
+        self.windows_stale += other.windows_stale;
+        self.windows_dropped += other.windows_dropped;
+        self.windows_noisy += other.windows_noisy;
+        self.pebs_dropped += other.pebs_dropped;
+    }
+
+    /// Total number of injected events.
+    pub fn total(&self) -> u64 {
+        self.migration_failures
+            + self.windows_stale
+            + self.windows_dropped
+            + self.windows_noisy
+            + self.pebs_dropped
+    }
+}
+
+/// Runtime state of fault injection inside a machine: the plan, a
+/// dedicated RNG stream, per-tick counters, and the last reported windows
+/// (for staleness).
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInjector {
+    plan: FaultPlan,
+    rng: SmallRng,
+    tick_stats: FaultStats,
+    tick_failed: Vec<(Vpn, TierId)>,
+    last_reported: Vec<Option<TierWindow>>,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(plan: FaultPlan, seed: u64, n_tiers: usize) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid FaultPlan: {e}");
+        }
+        FaultInjector {
+            plan,
+            rng: seed_from(seed, FAULT_RNG_STREAM),
+            tick_stats: FaultStats::default(),
+            tick_failed: Vec::new(),
+            last_reported: vec![None; n_tiers],
+        }
+    }
+
+    /// Whether the migration the engine is about to start should abort.
+    /// Never draws when the probability is zero.
+    pub(crate) fn migration_aborts(&mut self, vpn: Vpn, dst: TierId) -> bool {
+        if self.plan.migration_fail_prob <= 0.0 {
+            return false;
+        }
+        if self.rng.gen_bool(self.plan.migration_fail_prob) {
+            self.tick_stats.migration_failures += 1;
+            self.tick_failed.push((vpn, dst));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the PEBS sample about to be buffered should be lost.
+    pub(crate) fn pebs_sample_lost(&mut self) -> bool {
+        if self.plan.pebs_loss_prob <= 0.0 {
+            return false;
+        }
+        if self.rng.gen_bool(self.plan.pebs_loss_prob) {
+            self.tick_stats.pebs_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Effective migration bandwidth at `t` given the configured base.
+    pub(crate) fn migration_bandwidth_at(&self, base: f64, t: SimTime) -> f64 {
+        if self.plan.bandwidth_phases.is_empty() {
+            base
+        } else {
+            base * self.plan.bandwidth_factor(t)
+        }
+    }
+
+    /// Perturbs the reported tier windows for one tick. The input windows
+    /// are the exact measurements; the return value is what the control
+    /// software sees. Identity when no counter fault is configured.
+    pub(crate) fn perturb_windows(&mut self, windows: Vec<TierWindow>) -> Vec<TierWindow> {
+        if !self.plan.perturbs_counters() {
+            return windows;
+        }
+        let reported: Vec<TierWindow> = windows
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| self.perturb_one(i, w))
+            .collect();
+        for (slot, w) in self.last_reported.iter_mut().zip(reported.iter()) {
+            *slot = Some(*w);
+        }
+        reported
+    }
+
+    fn perturb_one(&mut self, tier: usize, w: TierWindow) -> TierWindow {
+        // Stale read: replay the previous reported window.
+        if self.plan.counter_stale_prob > 0.0 && self.rng.gen_bool(self.plan.counter_stale_prob) {
+            if let Some(prev) = self.last_reported[tier] {
+                self.tick_stats.windows_stale += 1;
+                return prev;
+            }
+        }
+        // Dropped read: all counters come back zero.
+        if self.plan.counter_drop_prob > 0.0 && self.rng.gen_bool(self.plan.counter_drop_prob) {
+            self.tick_stats.windows_dropped += 1;
+            return TierWindow {
+                occupancy: 0.0,
+                arrivals: 0,
+                rate_per_ns: 0.0,
+                bytes_by_class: [0; crate::TrafficClass::COUNT],
+            };
+        }
+        // Multiplicative noise on occupancy and rate (arrivals scale with
+        // the rate so Little's-Law consumers see a consistent pair).
+        if self.plan.counter_noise > 0.0 {
+            self.tick_stats.windows_noisy += 1;
+            let a = self.plan.counter_noise;
+            let occ_scale = 1.0 + a * (self.rng.gen::<f64>() * 2.0 - 1.0);
+            let rate_scale = 1.0 + a * (self.rng.gen::<f64>() * 2.0 - 1.0);
+            return TierWindow {
+                occupancy: (w.occupancy * occ_scale).max(0.0),
+                arrivals: (w.arrivals as f64 * rate_scale).round().max(0.0) as u64,
+                rate_per_ns: (w.rate_per_ns * rate_scale).max(0.0),
+                bytes_by_class: w.bytes_by_class,
+            };
+        }
+        w
+    }
+
+    /// Drains the per-tick counters and failed-migration list.
+    pub(crate) fn take_tick(&mut self) -> (FaultStats, Vec<(Vpn, TierId)>) {
+        (
+            std::mem::take(&mut self.tick_stats),
+            std::mem::take(&mut self.tick_failed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(occ: f64, arrivals: u64, rate: f64) -> TierWindow {
+        TierWindow {
+            occupancy: occ,
+            arrivals,
+            rate_per_ns: rate,
+            bytes_by_class: [0; crate::TrafficClass::COUNT],
+        }
+    }
+
+    #[test]
+    fn inactive_plan_is_identity_and_draws_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::none(), 7, 2);
+        let rng_before = format!("{:?}", inj.rng);
+        assert!(!inj.migration_aborts(1, TierId::ALTERNATE));
+        assert!(!inj.pebs_sample_lost());
+        let ws = vec![window(1.5, 10, 0.01), window(0.0, 0, 0.0)];
+        let out = inj.perturb_windows(ws.clone());
+        assert_eq!(out[0].occupancy, ws[0].occupancy);
+        assert_eq!(out[0].arrivals, ws[0].arrivals);
+        assert_eq!(
+            inj.migration_bandwidth_at(2.4e9, SimTime::from_us(5.0)),
+            2.4e9
+        );
+        // No RNG draws happened: state unchanged.
+        assert_eq!(format!("{:?}", inj.rng), rng_before);
+        let (stats, failed) = inj.take_tick();
+        assert_eq!(stats, FaultStats::default());
+        assert!(failed.is_empty());
+    }
+
+    #[test]
+    fn migration_failures_are_counted_and_reported() {
+        let plan = FaultPlan {
+            migration_fail_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 7, 2);
+        assert!(inj.migration_aborts(42, TierId::DEFAULT));
+        let (stats, failed) = inj.take_tick();
+        assert_eq!(stats.migration_failures, 1);
+        assert_eq!(failed, vec![(42, TierId::DEFAULT)]);
+        // Drained: next tick starts clean.
+        let (stats2, failed2) = inj.take_tick();
+        assert_eq!(stats2.migration_failures, 0);
+        assert!(failed2.is_empty());
+    }
+
+    #[test]
+    fn dropped_windows_are_zeroed() {
+        let plan = FaultPlan {
+            counter_drop_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 7, 1);
+        let out = inj.perturb_windows(vec![window(3.0, 100, 0.5)]);
+        assert_eq!(out[0].occupancy, 0.0);
+        assert_eq!(out[0].arrivals, 0);
+        assert!(out[0].littles_latency_ns().is_none());
+        assert_eq!(inj.take_tick().0.windows_dropped, 1);
+    }
+
+    #[test]
+    fn stale_windows_replay_previous_report() {
+        let plan = FaultPlan {
+            counter_stale_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 7, 1);
+        // First tick: no previous window exists, so the real one passes
+        // through (and is remembered).
+        let first = inj.perturb_windows(vec![window(3.0, 100, 0.5)]);
+        assert_eq!(first[0].arrivals, 100);
+        // Second tick: replay of tick one, not the new measurement.
+        let second = inj.perturb_windows(vec![window(9.0, 500, 2.5)]);
+        assert_eq!(second[0].arrivals, 100);
+        assert_eq!(second[0].occupancy, 3.0);
+        let (stats, _) = inj.take_tick();
+        assert_eq!(stats.windows_stale, 1);
+    }
+
+    #[test]
+    fn noise_stays_within_amplitude_and_nonnegative() {
+        let plan = FaultPlan {
+            counter_noise: 0.2,
+            ..FaultPlan::none()
+        };
+        let mut inj = FaultInjector::new(plan, 7, 1);
+        for _ in 0..200 {
+            let out = inj.perturb_windows(vec![window(2.0, 100, 1.0)]);
+            assert!(out[0].occupancy >= 2.0 * 0.8 - 1e-9 && out[0].occupancy <= 2.0 * 1.2 + 1e-9);
+            assert!(out[0].rate_per_ns >= 0.8 - 1e-9 && out[0].rate_per_ns <= 1.2 + 1e-9);
+            // Arrivals scale with the rate.
+            assert!(out[0].arrivals >= 80 && out[0].arrivals <= 120);
+        }
+    }
+
+    #[test]
+    fn bandwidth_phases_pick_smallest_active_factor() {
+        let plan = FaultPlan {
+            bandwidth_phases: vec![
+                BandwidthPhase {
+                    start: SimTime::from_us(10.0),
+                    end: SimTime::from_us(20.0),
+                    factor: 0.5,
+                },
+                BandwidthPhase {
+                    start: SimTime::from_us(15.0),
+                    end: SimTime::from_us(30.0),
+                    factor: 0.25,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(5.0)), 1.0);
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(12.0)), 0.5);
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(17.0)), 0.25);
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(25.0)), 0.25);
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(30.0)), 1.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_decisions() {
+        let plan = FaultPlan {
+            migration_fail_prob: 0.3,
+            pebs_loss_prob: 0.2,
+            counter_noise: 0.1,
+            ..FaultPlan::none()
+        };
+        let mut a = FaultInjector::new(plan.clone(), 99, 2);
+        let mut b = FaultInjector::new(plan, 99, 2);
+        for i in 0..100 {
+            assert_eq!(
+                a.migration_aborts(i, TierId::DEFAULT),
+                b.migration_aborts(i, TierId::DEFAULT)
+            );
+            assert_eq!(a.pebs_sample_lost(), b.pebs_sample_lost());
+            let wa = a.perturb_windows(vec![window(1.0, 50, 0.5), window(2.0, 60, 0.6)]);
+            let wb = b.perturb_windows(vec![window(1.0, 50, 0.5), window(2.0, 60, 0.6)]);
+            assert_eq!(wa[0].occupancy, wb[0].occupancy);
+            assert_eq!(wa[1].rate_per_ns, wb[1].rate_per_ns);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_plans() {
+        let bad_prob = FaultPlan {
+            migration_fail_prob: 1.5,
+            ..FaultPlan::none()
+        };
+        assert!(bad_prob.validate().is_err());
+        let bad_noise = FaultPlan {
+            counter_noise: f64::NAN,
+            ..FaultPlan::none()
+        };
+        assert!(bad_noise.validate().is_err());
+        let bad_phase = FaultPlan {
+            bandwidth_phases: vec![BandwidthPhase {
+                start: SimTime::from_us(2.0),
+                end: SimTime::from_us(1.0),
+                factor: 0.5,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(bad_phase.validate().is_err());
+        let zero_factor = FaultPlan {
+            bandwidth_phases: vec![BandwidthPhase {
+                start: SimTime::ZERO,
+                end: SimTime::from_us(1.0),
+                factor: 0.0,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(zero_factor.validate().is_err());
+    }
+}

@@ -18,15 +18,20 @@
 //!   arrival counters per tier, the vantage point Colloid measures from.
 //! - [`machine`]: the event loop gluing cores, tiers, the CHA, page
 //!   placement, the migration DMA engine, and access-tracking hardware.
+//! - [`faults`]: deterministic fault injection — counter
+//!   noise/staleness/drops, transient migration failures, bandwidth
+//!   degradation phases, and PEBS sample loss.
 
 pub mod cha;
 pub mod config;
 pub mod controller;
+pub mod faults;
 pub mod machine;
 pub mod request;
 
 pub use cha::{Cha, ChaCounters, TierWindow};
 pub use config::{CoreConfig, DramConfig, LinkConfig, MachineConfig, TierConfig};
+pub use faults::{BandwidthPhase, FaultPlan, FaultStats};
 pub use machine::{AccessStream, CoreId, Machine, TickReport};
 pub use request::{
     AccessKind, HintFault, ObjectAccess, PebsSample, TierId, TrafficClass, Vpn, LINES_PER_PAGE,

@@ -34,6 +34,7 @@ use std::collections::VecDeque;
 use crate::cha::{Cha, ChaCounters, TierWindow};
 use crate::config::{CoreConfig, MachineConfig};
 use crate::controller::{Link, MemoryController};
+use crate::faults::{FaultInjector, FaultStats};
 use crate::request::{
     AccessKind, HintFault, ObjectAccess, PebsSample, TierId, TrafficClass, Vpn, LINES_PER_PAGE,
     LINE_SIZE, PAGE_SIZE,
@@ -182,7 +183,8 @@ impl TierHw {
             Some(l) => l.send_request(t + self.t_req),
             None => t + self.t_req,
         };
-        self.controller.schedule(at_mc, line_addr, AccessKind::Write);
+        self.controller
+            .schedule(at_mc, line_addr, AccessKind::Write);
     }
 }
 
@@ -213,6 +215,8 @@ struct Shared {
     mig_inflight_to: Vec<u64>,
     migrated_pages: u64,
     migrated_bytes: u64,
+    // Fault injection (no-op unless cfg.faults configures something).
+    faults: FaultInjector,
     // Telemetry.
     lat_hist: Vec<LatencyHist>,
     hint_fault_cost: SimTime,
@@ -248,8 +252,15 @@ pub struct TickReport {
     pub migration_backlog: usize,
     /// Mean *measured per-request* read latency per tier this tick, in ns
     /// (ground truth for validating Little's-Law estimates); `None` if the
-    /// tier was idle.
+    /// tier was idle. Unlike [`TickReport::tiers`], never perturbed by
+    /// fault injection.
     pub true_latency_ns: Vec<Option<f64>>,
+    /// Faults injected during this tick (all-zero without a fault plan).
+    pub fault_stats: FaultStats,
+    /// Migrations aborted by injected transient failures this tick; the
+    /// page stays at its source and the destination reservation has been
+    /// released. Tiering systems should retry these.
+    pub failed_migrations: Vec<(Vpn, TierId)>,
 }
 
 impl TickReport {
@@ -320,6 +331,7 @@ impl Machine {
             mig_inflight_to: vec![0; n_tiers],
             migrated_pages: 0,
             migrated_bytes: 0,
+            faults: FaultInjector::new(cfg.faults.clone(), cfg.seed, n_tiers),
             lat_hist: vec![LatencyHist::new(); n_tiers],
             hint_fault_cost: cfg.hint_fault_cost,
             llc_hit_latency: cfg.llc_hit_latency,
@@ -542,6 +554,9 @@ impl Machine {
                 Cha::window(&snap_before[i], &after, t_start, t_end)
             })
             .collect();
+        // Counter faults perturb only what the control software sees; the
+        // CHA's internal counters (and true_latency_ns below) stay exact.
+        let tiers = self.sh.faults.perturb_windows(tiers);
         let true_latency_ns = self
             .sh
             .lat_hist
@@ -557,6 +572,7 @@ impl Machine {
             })
             .collect();
 
+        let (fault_stats, failed_migrations) = self.sh.faults.take_tick();
         TickReport {
             t_start,
             t_end,
@@ -567,6 +583,8 @@ impl Machine {
             migrated_bytes: self.tick_mig_bytes,
             migration_backlog: self.sh.mig_queue.len(),
             true_latency_ns,
+            fault_stats,
+            failed_migrations,
         }
     }
 
@@ -652,7 +670,8 @@ impl Machine {
             // Respect think time between objects.
             if t < core.think_until {
                 if !core.wake_scheduled {
-                    sh.events.push(core.think_until, Ev::CoreWake { core: core_id });
+                    sh.events
+                        .push(core.think_until, Ev::CoreWake { core: core_id });
                     core.wake_scheduled = true;
                 }
                 return;
@@ -691,7 +710,16 @@ impl Machine {
                     return;
                 }
                 let line_addr = st.vaddr / LINE_SIZE + i as u64;
-                Self::issue_line(core, sh, core_id, t, line_addr, demand, idx, st.llc_hit_prob);
+                Self::issue_line(
+                    core,
+                    sh,
+                    core_id,
+                    t,
+                    line_addr,
+                    demand,
+                    idx,
+                    st.llc_hit_prob,
+                );
                 i += 1;
             }
             core.objects[idx as usize].lines_issued = i;
@@ -753,7 +781,7 @@ impl Machine {
         // PEBS sampling of application demand misses.
         if demand && core.class == TrafficClass::App && sh.pebs_period > 0 {
             sh.pebs_counter += 1;
-            if sh.pebs_counter.is_multiple_of(sh.pebs_period) {
+            if sh.pebs_counter.is_multiple_of(sh.pebs_period) && !sh.faults.pebs_sample_lost() {
                 sh.pebs_buf.push(PebsSample {
                     vpn,
                     is_write: core.objects[obj as usize].is_write,
@@ -807,6 +835,15 @@ impl Machine {
             self.sh.events.push(t, Ev::MigStart);
             return;
         }
+        // Transient migration failure: the copy aborts before touching the
+        // DMA engine. The reserved destination frame is released and the
+        // failure is surfaced in the next TickReport so control software can
+        // retry.
+        if self.sh.faults.migration_aborts(vpn, dst) {
+            self.sh.mig_inflight_to[dst.index()] -= 1;
+            self.sh.events.push(t, Ev::MigStart);
+            return;
+        }
         let job = MigJob {
             vpn,
             dst,
@@ -821,8 +858,13 @@ impl Machine {
             self.sh.mig_jobs.push(job);
             (self.sh.mig_jobs.len() - 1) as u32
         };
-        // Pace the copy at the configured migration bandwidth.
-        let page_time = SimTime::from_ns(PAGE_SIZE as f64 / self.sh.cfg.migration_bandwidth * 1e9);
+        // Pace the copy at the configured migration bandwidth (possibly
+        // degraded by an active fault phase).
+        let bw = self
+            .sh
+            .faults
+            .migration_bandwidth_at(self.sh.cfg.migration_bandwidth, t);
+        let page_time = SimTime::from_ns(PAGE_SIZE as f64 / bw * 1e9);
         self.sh.mig_engine_free = t + page_time;
         self.sh.events.push(t, Ev::MigRead { job: id });
         // The next page starts when the engine has bandwidth budget again.
@@ -842,10 +884,14 @@ impl Machine {
         j.lines_read += 1;
         if (j.lines_read as u64) < LINES_PER_PAGE {
             // Space the copy's reads evenly across the page's time budget.
-            let spacing =
-                SimTime::from_ns(PAGE_SIZE as f64 / self.sh.cfg.migration_bandwidth * 1e9)
-                    / LINES_PER_PAGE;
-            self.sh.events.push(t + spacing, Ev::MigRead { job: job_id });
+            let bw = self
+                .sh
+                .faults
+                .migration_bandwidth_at(self.sh.cfg.migration_bandwidth, t);
+            let spacing = SimTime::from_ns(PAGE_SIZE as f64 / bw * 1e9) / LINES_PER_PAGE;
+            self.sh
+                .events
+                .push(t + spacing, Ev::MigRead { job: job_id });
         }
     }
 
@@ -988,7 +1034,10 @@ mod tests {
         let rep = m.run_tick(SimTime::from_us(200.0));
         let l_def = rep.littles_latency_ns(TierId::DEFAULT).unwrap();
         let l_alt = rep.littles_latency_ns(TierId::ALTERNATE).unwrap();
-        assert!(l_alt > l_def * 1.6, "default {l_def}ns, alternate {l_alt}ns");
+        assert!(
+            l_alt > l_def * 1.6,
+            "default {l_def}ns, alternate {l_alt}ns"
+        );
         assert!(l_alt < 150.0, "alternate unloaded {l_alt}ns");
     }
 
@@ -1292,5 +1341,200 @@ mod tests {
         let app = TrafficClass::App.index();
         assert!(rep.tiers[1].bytes_by_class[app] > 0);
         assert_eq!(rep.tiers[0].bytes_by_class[app], 0);
+    }
+
+    // ---- Fault injection ----------------------------------------------------
+
+    #[test]
+    fn certain_migration_failure_aborts_and_releases_reservation() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.faults.migration_fail_prob = 1.0;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..8, TierId::DEFAULT);
+        for vpn in 0..8 {
+            assert!(m.enqueue_migration(vpn, TierId::ALTERNATE));
+        }
+        let rep = m.run_tick(SimTime::from_ms(1.0));
+        // Every migration aborted: pages stay put, reservations are released,
+        // and every failure is reported for the control software to retry.
+        assert_eq!(m.migrated_pages(), 0);
+        assert_eq!(m.used_pages(TierId::ALTERNATE), 0);
+        assert_eq!(rep.migrated_bytes, 0);
+        assert_eq!(rep.failed_migrations.len(), 8);
+        assert_eq!(rep.fault_stats.migration_failures, 8);
+        for (vpn, dst) in &rep.failed_migrations {
+            assert!(*vpn < 8);
+            assert_eq!(*dst, TierId::ALTERNATE);
+            assert_eq!(m.tier_of(*vpn), Some(TierId::DEFAULT));
+        }
+        // Released frames are immediately reusable.
+        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+    }
+
+    #[test]
+    fn partial_migration_failure_is_reported_per_page() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.faults.migration_fail_prob = 0.5;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..64, TierId::DEFAULT);
+        for vpn in 0..64 {
+            assert!(m.enqueue_migration(vpn, TierId::ALTERNATE));
+        }
+        let rep = m.run_tick(SimTime::from_ms(2.0));
+        let failed = rep.failed_migrations.len() as u64;
+        assert_eq!(rep.fault_stats.migration_failures, failed);
+        assert!(failed > 0 && failed < 64, "expected a mix, got {failed}");
+        assert_eq!(m.migrated_pages() + failed, 64);
+        // A failed page is still at the source; a migrated one at the dest.
+        for (vpn, _) in &rep.failed_migrations {
+            assert_eq!(m.tier_of(*vpn), Some(TierId::DEFAULT));
+        }
+    }
+
+    #[test]
+    fn counter_faults_do_not_perturb_execution() {
+        // Counter noise corrupts only what the control software reads; the
+        // machine itself (app progress, true latency) is bit-identical.
+        let mut noisy_cfg = MachineConfig::icelake_two_tier();
+        noisy_cfg.faults.counter_noise = 0.5;
+        noisy_cfg.faults.counter_drop_prob = 0.2;
+        noisy_cfg.faults.counter_stale_prob = 0.2;
+        let mut clean = machine_one_core(10);
+        let mut noisy = Machine::new(noisy_cfg);
+        noisy.place_range(0..1024, TierId::DEFAULT);
+        noisy.add_core(
+            Box::new(RandomPages {
+                start: 0,
+                pages: 1024,
+            }),
+            CoreConfig {
+                demand_slots: 10,
+                prefetch_slots: 0,
+                think_time: SimTime::ZERO,
+            },
+            TrafficClass::App,
+        );
+        let mut saw_perturbed = false;
+        for _ in 0..20 {
+            let a = clean.run_tick(SimTime::from_us(50.0));
+            let b = noisy.run_tick(SimTime::from_us(50.0));
+            assert_eq!(a.app_ops, b.app_ops);
+            assert_eq!(a.true_latency_ns, b.true_latency_ns);
+            if b.fault_stats.total() > 0 {
+                saw_perturbed = true;
+            }
+        }
+        assert!(saw_perturbed, "fault plan never fired in 20 ticks");
+    }
+
+    #[test]
+    fn bandwidth_degradation_phase_slows_migration() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.migration_bandwidth = 1e9; // 1 GB/s nominal
+        cfg.faults
+            .bandwidth_phases
+            .push(crate::faults::BandwidthPhase {
+                start: SimTime::ZERO,
+                end: SimTime::from_ms(10.0),
+                factor: 0.25,
+            });
+        let mut m = Machine::new(cfg);
+        m.place_range(0..2048, TierId::DEFAULT);
+        for vpn in 0..2048 {
+            m.enqueue_migration(vpn, TierId::ALTERNATE);
+        }
+        let rep = m.run_tick(SimTime::from_ms(1.0));
+        // Degraded to 250 MB/s: one millisecond moves ~0.25 MB.
+        let mb = rep.migrated_bytes as f64 / 1e6;
+        assert!(
+            (mb - 0.25).abs() < 0.05,
+            "migrated {mb} MB under 0.25x phase"
+        );
+    }
+
+    #[test]
+    fn pebs_loss_thins_samples_without_changing_execution() {
+        let mut lossy_cfg = MachineConfig::icelake_two_tier();
+        lossy_cfg.faults.pebs_loss_prob = 0.5;
+        let mut clean = machine_one_core(10);
+        clean.set_pebs_period(64);
+        let mut lossy = Machine::new(lossy_cfg);
+        lossy.place_range(0..1024, TierId::DEFAULT);
+        lossy.add_core(
+            Box::new(RandomPages {
+                start: 0,
+                pages: 1024,
+            }),
+            CoreConfig {
+                demand_slots: 10,
+                prefetch_slots: 0,
+                think_time: SimTime::ZERO,
+            },
+            TrafficClass::App,
+        );
+        lossy.set_pebs_period(64);
+        let a = clean.run_tick(SimTime::from_ms(1.0));
+        let b = lossy.run_tick(SimTime::from_ms(1.0));
+        assert_eq!(a.app_ops, b.app_ops);
+        assert!(b.pebs.len() < a.pebs.len());
+        assert!(
+            b.pebs.len() + b.fault_stats.pebs_dropped as usize == a.pebs.len(),
+            "dropped + delivered must equal the fault-free sample count"
+        );
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let build = || {
+            let mut cfg = MachineConfig::icelake_two_tier();
+            cfg.faults.counter_noise = 0.3;
+            cfg.faults.counter_stale_prob = 0.1;
+            cfg.faults.counter_drop_prob = 0.05;
+            cfg.faults.migration_fail_prob = 0.2;
+            cfg.faults.pebs_loss_prob = 0.3;
+            let mut m = Machine::new(cfg);
+            m.place_range(0..1024, TierId::DEFAULT);
+            m.add_core(
+                Box::new(RandomPages {
+                    start: 0,
+                    pages: 1024,
+                }),
+                CoreConfig::default(),
+                TrafficClass::App,
+            );
+            m.set_pebs_period(64);
+            m
+        };
+        let (mut a, mut b) = (build(), build());
+        for i in 0..10 {
+            if i % 3 == 0 {
+                a.enqueue_migration(i, TierId::ALTERNATE);
+                b.enqueue_migration(i, TierId::ALTERNATE);
+            }
+            let ra = a.run_tick(SimTime::from_us(100.0));
+            let rb = b.run_tick(SimTime::from_us(100.0));
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"), "tick {i} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_duration_report_has_zero_ops_rate() {
+        // Pin the division guard: a degenerate zero-length tick reports
+        // 0 ops/s, never NaN or infinity.
+        let rep = TickReport {
+            t_start: SimTime::from_us(5.0),
+            t_end: SimTime::from_us(5.0),
+            tiers: Vec::new(),
+            pebs: Vec::new(),
+            faults: Vec::new(),
+            app_ops: 1234,
+            migrated_bytes: 0,
+            migration_backlog: 0,
+            true_latency_ns: Vec::new(),
+            fault_stats: FaultStats::default(),
+            failed_migrations: Vec::new(),
+        };
+        assert_eq!(rep.app_ops_per_sec(), 0.0);
+        assert!(rep.app_ops_per_sec().is_finite());
     }
 }

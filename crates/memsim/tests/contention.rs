@@ -91,7 +91,10 @@ fn latency_rises_monotonically_with_load() {
         last = l;
     }
     // The end of the sweep must be well into the contention regime.
-    assert!(last > 120.0, "24 random cores should contend, got {last} ns");
+    assert!(
+        last > 120.0,
+        "24 random cores should contend, got {last} ns"
+    );
 }
 
 #[test]
@@ -105,7 +108,9 @@ fn latency_inflates_before_bus_saturates() {
         })
     });
     let (l, bw) = measure(&mut m);
-    let peak = MachineConfig::icelake_two_tier().tiers[0].dram.peak_bandwidth();
+    let peak = MachineConfig::icelake_two_tier().tiers[0]
+        .dram
+        .peak_bandwidth();
     assert!(l > 100.0, "latency inflated ({l} ns)");
     assert!(
         bw < 0.75 * peak,
@@ -188,7 +193,10 @@ fn link_bandwidth_caps_alternate_tier() {
         "link must cap read bandwidth at ~10 GB/s, got {:.1} GB/s",
         read_bw / 1e9
     );
-    assert!(read_bw > 8.0e9, "and the link should saturate under 24 cores");
+    assert!(
+        read_bw > 8.0e9,
+        "and the link should saturate under 24 cores"
+    );
     // Latency balloons as the closed loop queues on the link.
     let l = rep.littles_latency_ns(TierId::ALTERNATE).unwrap();
     assert!(l > 400.0, "link queueing should dominate, got {l} ns");

@@ -377,7 +377,10 @@ mod tests {
         i.add(SimTime::from_ns(0.0), 2.0);
         i.add(SimTime::from_ns(10.0), -1.0);
         assert_eq!(i.current(), 1.0);
-        assert_eq!(i.integral_at(SimTime::from_ns(20.0)), 2.0 * 10.0 + 1.0 * 10.0);
+        assert_eq!(
+            i.integral_at(SimTime::from_ns(20.0)),
+            2.0 * 10.0 + 1.0 * 10.0
+        );
     }
 
     #[test]

@@ -139,8 +139,7 @@ impl TierBins {
         let bin = slot.bin;
         self.remove(vpn);
         // Smallest count that maps back into `bin`.
-        let count =
-            (bin as u32 * self.cooling_threshold).div_ceil(self.n_bins as u32);
+        let count = (bin as u32 * self.cooling_threshold).div_ceil(self.n_bins as u32);
         self.insert(vpn, dst, count);
         debug_assert_eq!(
             self.slots[&vpn].bin, bin,

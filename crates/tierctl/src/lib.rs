@@ -17,6 +17,9 @@
 //! - [`budget::MigrationBudget`] — per-quantum migration byte budgeting
 //!   (the static rate limits every system configures).
 
+// Managed-page region lists are genuinely one range in most tests.
+#![allow(clippy::single_range_in_vec_init)]
+
 pub mod bins;
 pub mod budget;
 pub mod freq;

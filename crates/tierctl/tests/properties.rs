@@ -40,9 +40,9 @@ proptest! {
         for op in ops {
             match op {
                 Op::Insert(v, t, c) => {
-                    if !model.contains_key(&v) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = model.entry(v) {
                         bins.insert(v, TierId(t), c);
-                        model.insert(v, (t, bins.bin_of_count(c)));
+                        e.insert((t, bins.bin_of_count(c)));
                     }
                 }
                 Op::Remove(v) => {

@@ -21,6 +21,7 @@ use colloid::{ColloidController, Mode, PageFinder};
 use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
 use tierctl::{FreqTracker, MigrationBudget, TierBins};
 
+use crate::retry::{RetryPolicy, RetryQueue, RetryStats};
 use crate::{measurements, SystemParams, TieringSystem};
 
 /// HeMem's cooling threshold (counts halve when any page reaches it).
@@ -122,6 +123,7 @@ pub struct HeMem {
     bins: TierBins,
     budget: MigrationBudget,
     colloid: Option<ColloidController>,
+    retry: RetryQueue,
     initialized: bool,
     stats: HememStats,
 }
@@ -135,6 +137,7 @@ impl HeMem {
             bins: TierBins::new(params.unloaded_ns.len(), N_BINS, COOLING_THRESHOLD),
             budget: MigrationBudget::new(params.migration_limit_per_tick),
             colloid,
+            retry: RetryQueue::new(RetryPolicy::default()),
             initialized: false,
             stats: HememStats::default(),
             params,
@@ -220,7 +223,7 @@ impl HeMem {
                 if !self.budget.try_take_page() {
                     return;
                 }
-                if machine.enqueue_migration(vpn, TierId::DEFAULT) {
+                if self.retry.request(machine, vpn, TierId::DEFAULT) {
                     self.bins.move_tier(vpn, TierId::DEFAULT);
                     self.stats.promoted += 1;
                 }
@@ -250,7 +253,7 @@ impl HeMem {
             if !self.budget.try_take_page() {
                 return;
             }
-            if machine.enqueue_migration(vpn, to) {
+            if self.retry.request(machine, vpn, to) {
                 self.bins.move_tier(vpn, to);
                 match mode {
                     Mode::Promote => self.stats.promoted += 1,
@@ -266,9 +269,28 @@ impl TieringSystem for HeMem {
         if !self.initialized {
             self.initialize(machine);
         }
+        // Migrations that aborted in flight never landed: re-sync the bins
+        // with the page's actual tier and park the move for retry.
+        self.retry.note_failures(report);
+        for &(vpn, _) in &report.failed_migrations {
+            if self.bins.tier_of(vpn).is_some() {
+                if let Some(actual) = machine.tier_of(vpn) {
+                    self.bins.move_tier(vpn, actual);
+                }
+            }
+        }
+        for (vpn, dst) in self.retry.on_tick(machine) {
+            if self.bins.tier_of(vpn).is_some() {
+                self.bins.move_tier(vpn, dst);
+            }
+        }
         self.ingest_samples(report);
         self.budget.refill();
-        match self.colloid.as_mut().map(|c| c.on_quantum(&measurements(report))) {
+        match self
+            .colloid
+            .as_mut()
+            .map(|c| c.on_quantum(&measurements(report)))
+        {
             None => self.vanilla_place(machine),
             Some(None) => {} // Colloid enabled, tiers balanced: no work.
             Some(Some(d)) => self.colloid_place(machine, d.mode, d.delta_p, d.byte_limit),
@@ -281,6 +303,10 @@ impl TieringSystem for HeMem {
         } else {
             "HeMem".into()
         }
+    }
+
+    fn retry_stats(&self) -> Option<RetryStats> {
+        Some(self.retry.stats())
     }
 }
 
@@ -321,7 +347,10 @@ mod tests {
         // Hot pages [0, 32) start in the WRONG tier to exercise promotion.
         m.place_range(0..256, TierId::ALTERNATE);
         m.add_core(
-            Box::new(HotCold { hot: 32, total: 256 }),
+            Box::new(HotCold {
+                hot: 32,
+                total: 256,
+            }),
             CoreConfig::app_default(),
             TrafficClass::App,
         );
@@ -329,10 +358,7 @@ mod tests {
     }
 
     fn params(colloid: bool) -> SystemParams {
-        SystemParams::new(
-            vec![0..256],
-            colloid.then(crate::ColloidParams::default),
-        )
+        SystemParams::new(vec![0..256], colloid.then(crate::ColloidParams::default))
     }
 
     fn run(system: &mut dyn TieringSystem, m: &mut Machine, ticks: usize) {
@@ -401,6 +427,48 @@ mod tests {
     fn colloid_name_reflects_variant() {
         assert_eq!(HeMem::new(params(false)).name(), "HeMem");
         assert_eq!(HeMem::new(params(true)).name(), "HeMem+Colloid");
+    }
+
+    #[test]
+    fn migration_failures_are_retried_until_pages_land() {
+        // 30% of migrations abort in flight; the retry queue must re-drive
+        // them so the hot set still converges into the default tier.
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 1024 * PAGE_SIZE;
+        cfg.pebs_period = 16;
+        cfg.faults.migration_fail_prob = 0.3;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..256, TierId::ALTERNATE);
+        m.add_core(
+            Box::new(HotCold {
+                hot: 32,
+                total: 256,
+            }),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
+        let mut h = HeMem::new(params(false));
+        run(&mut h, &mut m, 300);
+        let retry = h.retry_stats().expect("HeMem drives a retry queue");
+        assert!(retry.scheduled > 0, "faults must have parked retries");
+        assert!(retry.recovered > 0, "retries must have re-driven pages");
+        assert_eq!(retry.dropped, 0, "no migration permanently dropped");
+        let hot_in_default = (0..32)
+            .filter(|&v| m.tier_of(v) == Some(TierId::DEFAULT))
+            .count();
+        assert!(
+            hot_in_default >= 28,
+            "hot set must still converge under migration faults, got {hot_in_default}/32"
+        );
+        // The retry queue drains to (almost) nothing: entries mid-backoff
+        // may linger for up to max_delay_ticks, but nothing accumulates.
+        run(&mut h, &mut m, 50);
+        assert!(
+            h.retry.pending() <= 2,
+            "retry queue must not accumulate, pending = {}",
+            h.retry.pending()
+        );
     }
 
     #[test]

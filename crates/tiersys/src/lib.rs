@@ -15,12 +15,18 @@
 //! how the real implementations reuse each system's existing tracking and
 //! migration mechanisms.
 
+// Managed-page region lists are genuinely one range in most tests.
+#![allow(clippy::single_range_in_vec_init)]
+
 pub mod hemem;
 pub mod memtis;
+pub mod retry;
 pub mod tpp;
 
 use memsim::{Machine, TickReport, Vpn};
 use simkit::SimTime;
+
+pub use retry::{RetryPolicy, RetryQueue, RetryStats};
 
 /// A tiering system driving page placement on a [`Machine`].
 pub trait TieringSystem {
@@ -30,6 +36,12 @@ pub trait TieringSystem {
 
     /// Display name ("HeMem", "HeMem+Colloid", ...).
     fn name(&self) -> String;
+
+    /// Migration-retry counters, for systems that drive a [`RetryQueue`]
+    /// (all three real systems do; placeholders return `None`).
+    fn retry_stats(&self) -> Option<RetryStats> {
+        None
+    }
 }
 
 /// A placement policy that never migrates (used for the best-case oracle's
@@ -163,7 +175,9 @@ pub fn build_system(kind: SystemKind, params: SystemParams) -> Box<dyn TieringSy
     match kind {
         SystemKind::Hemem => Box::new(hemem::HeMem::new(params)),
         SystemKind::Tpp => Box::new(tpp::Tpp::new(params, tpp::TppConfig::default())),
-        SystemKind::Memtis => Box::new(memtis::Memtis::new(params, memtis::MemtisConfig::default())),
+        SystemKind::Memtis => {
+            Box::new(memtis::Memtis::new(params, memtis::MemtisConfig::default()))
+        }
     }
 }
 

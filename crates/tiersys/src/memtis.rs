@@ -28,6 +28,7 @@ use colloid::{ColloidController, Mode};
 use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
 use tierctl::{FreqTracker, MigrationBudget};
 
+use crate::retry::{RetryPolicy, RetryQueue, RetryStats};
 use crate::{SystemParams, TieringSystem};
 
 /// MEMTIS-specific knobs.
@@ -123,6 +124,7 @@ pub struct Memtis {
     // Accumulators for averaging counter windows over a kmigrated quantum.
     acc_meas: Vec<(f64, f64)>,
     acc_ticks: u32,
+    retry: RetryQueue,
     stats: MemtisStats,
 }
 
@@ -143,6 +145,7 @@ impl Memtis {
             coalesce_cursor: 0,
             acc_meas: vec![(0.0, 0.0); tiers],
             acc_ticks: 0,
+            retry: RetryQueue::new(RetryPolicy::default()),
             stats: MemtisStats {
                 pebs_period: 64,
                 ..MemtisStats::default()
@@ -274,9 +277,7 @@ impl Memtis {
                     }
                 } else {
                     let end = (base + rp).min(range.end);
-                    let count: u64 = (base..end)
-                        .map(|p| self.tracker.count(p) as u64)
-                        .sum();
+                    let count: u64 = (base..end).map(|p| self.tracker.count(p) as u64).sum();
                     if let Some(tier) = machine.tier_of(base) {
                         units.push(Unit {
                             first_vpn: base,
@@ -302,7 +303,7 @@ impl Memtis {
             if !self.budget.try_take_page() {
                 break;
             }
-            if machine.enqueue_migration(page, dst) {
+            if self.retry.request(machine, page, dst) {
                 moved += 1;
             }
         }
@@ -435,6 +436,8 @@ impl Memtis {
 
 impl TieringSystem for Memtis {
     fn on_tick(&mut self, machine: &mut Machine, report: &TickReport) {
+        self.retry.note_failures(report);
+        self.retry.on_tick(machine);
         self.adapt_sampling(machine, report.pebs.len());
         for s in &report.pebs {
             if self.params.managed.iter().any(|r| r.contains(&s.vpn)) {
@@ -447,7 +450,7 @@ impl TieringSystem for Memtis {
         }
         self.acc_ticks += 1;
         self.ticks += 1;
-        if self.ticks % self.cfg.quantum_ticks != 0 {
+        if !self.ticks.is_multiple_of(self.cfg.quantum_ticks) {
             return;
         }
 
@@ -460,9 +463,7 @@ impl TieringSystem for Memtis {
         match self.colloid.as_mut().map(|c| c.on_quantum(&window)) {
             None => self.vanilla_place(machine, &units),
             Some(None) => {}
-            Some(Some(d)) => {
-                self.colloid_place(machine, &units, d.mode, d.delta_p, d.byte_limit)
-            }
+            Some(Some(d)) => self.colloid_place(machine, &units, d.mode, d.delta_p, d.byte_limit),
         }
     }
 
@@ -472,6 +473,10 @@ impl TieringSystem for Memtis {
         } else {
             "MEMTIS".into()
         }
+    }
+
+    fn retry_stats(&self) -> Option<RetryStats> {
+        Some(self.retry.stats())
     }
 }
 
@@ -509,7 +514,10 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..256, TierId::ALTERNATE);
         m.add_core(
-            Box::new(HotCold { hot: 32, total: 256 }),
+            Box::new(HotCold {
+                hot: 32,
+                total: 256,
+            }),
             CoreConfig::app_default(),
             TrafficClass::App,
         );
@@ -600,7 +608,11 @@ mod tests {
         cfg.pebs_period = 16;
         let mut m = Machine::new(cfg);
         m.place_range(0..16, TierId::DEFAULT);
-        m.add_core(Box::new(OnePage), CoreConfig::app_default(), TrafficClass::App);
+        m.add_core(
+            Box::new(OnePage),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
         let mut s = Memtis::new(
             SystemParams::new(vec![0..16], None),
             MemtisConfig::default(),
@@ -630,7 +642,11 @@ mod tests {
         cfg.pebs_period = 16;
         let mut m = Machine::new(cfg);
         m.place_range(0..16, TierId::DEFAULT);
-        m.add_core(Box::new(TwoPhase), CoreConfig::app_default(), TrafficClass::App);
+        m.add_core(
+            Box::new(TwoPhase),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
         let mut s = Memtis::new(
             SystemParams::new(vec![0..16], None),
             MemtisConfig {
@@ -660,13 +676,21 @@ mod tests {
         struct OnePageHot;
         impl AccessStream for OnePageHot {
             fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
-                let vpn = if rng.gen_bool(0.9) { 3 } else { rng.gen_range(0..4096) };
+                let vpn = if rng.gen_bool(0.9) {
+                    3
+                } else {
+                    rng.gen_range(0..4096)
+                };
                 ObjectAccess::read_line(
                     vpn * PAGE_SIZE + rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE,
                 )
             }
         }
-        m.add_core(Box::new(OnePageHot), CoreConfig::app_default(), TrafficClass::App);
+        m.add_core(
+            Box::new(OnePageHot),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
         let mut s = Memtis::new(
             SystemParams::new(vec![0..4096], None),
             MemtisConfig::default(), // 64 pages scanned per quantum
@@ -674,7 +698,8 @@ mod tests {
         run(&mut s, &mut m, 100);
         assert!(s.stats().splits >= 1);
         assert_eq!(
-            s.stats().coalesces, 0,
+            s.stats().coalesces,
+            0,
             "a 4096-page space cannot be fully rescanned in 20 quanta"
         );
     }

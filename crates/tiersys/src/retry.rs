@@ -1,0 +1,418 @@
+//! Migration retry with capped exponential backoff.
+//!
+//! The machine's [`Machine::enqueue_migration`] is best-effort: it rejects
+//! requests when the destination tier has no free frames, and — under fault
+//! injection — an accepted migration can still abort in flight (surfaced in
+//! [`TickReport::failed_migrations`]). The tiering systems historically
+//! ignored both outcomes, silently stranding pages on the wrong tier.
+//!
+//! [`RetryQueue`] is the shared remedy: rejected and failed migrations are
+//! parked and re-driven with capped exponential backoff (in ticks), with
+//! retries deferred while the machine's migration engine is backlogged so
+//! recovery traffic never piles onto an already-saturated DMA engine.
+//! Requests that became moot (page unmapped, or already at its destination)
+//! are resolved rather than retried.
+//!
+//! **Determinism contract**: rejection capture engages only while the
+//! machine has an active [`FaultPlan`](memsim::FaultPlan). On a fault-free
+//! machine a transient rejection keeps the legacy drop-on-reject semantics
+//! (counted in [`RetryStats::uncaptured`]), so every fault-free experiment
+//! is bit-identical with and without the retry layer. In-flight failures
+//! can only be produced by fault injection, so ingesting them needs no
+//! gate.
+//!
+//! [`Machine::enqueue_migration`]: memsim::Machine::enqueue_migration
+//! [`TickReport::failed_migrations`]: memsim::TickReport
+
+use std::collections::VecDeque;
+
+use memsim::{Machine, TickReport, TierId, Vpn};
+
+/// Knobs for [`RetryQueue`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Delay before the first retry, in ticks.
+    pub base_delay_ticks: u64,
+    /// Cap on the exponential backoff delay, in ticks.
+    pub max_delay_ticks: u64,
+    /// Attempts before an entry is dropped for good (counted in
+    /// [`RetryStats::dropped`]).
+    pub max_attempts: u32,
+    /// Retries are deferred (not attempted, not aged) while the machine's
+    /// migration backlog exceeds this many pages.
+    pub backlog_threshold: usize,
+    /// Maximum parked entries; beyond this the oldest entry is dropped.
+    pub capacity: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_delay_ticks: 1,
+            max_delay_ticks: 64,
+            max_attempts: 12,
+            backlog_threshold: 4096,
+            capacity: 65_536,
+        }
+    }
+}
+
+/// Counters exposed for tests, telemetry, and experiment reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Entries parked for retry (rejections + in-flight failures).
+    pub scheduled: u64,
+    /// Retry attempts performed.
+    pub attempts: u64,
+    /// Retries that successfully re-enqueued their migration.
+    pub recovered: u64,
+    /// Entries resolved without a migration (page vanished or already at
+    /// its destination by the time the retry came up).
+    pub resolved_moot: u64,
+    /// Entries abandoned: attempt cap reached or queue overflow.
+    pub dropped: u64,
+    /// Ticks on which retries were deferred due to engine backlog.
+    pub deferred_ticks: u64,
+    /// Transient rejections observed on a fault-free machine, where the
+    /// legacy drop-on-reject behavior is preserved for determinism.
+    pub uncaptured: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    vpn: Vpn,
+    dst: TierId,
+    attempts: u32,
+    due: u64,
+}
+
+/// A backoff queue of migrations that could not be enqueued (or failed in
+/// flight), shared by all three tiering systems.
+///
+/// # Examples
+///
+/// ```
+/// use memsim::{Machine, MachineConfig, TierId, PAGE_SIZE};
+/// use tiersys::retry::{RetryPolicy, RetryQueue};
+///
+/// let mut cfg = MachineConfig::icelake_two_tier();
+/// cfg.tiers[1].capacity_bytes = PAGE_SIZE; // one alternate frame
+/// cfg.faults.migration_fail_prob = 0.1; // active plan: capture rejections
+/// let mut m = Machine::new(cfg);
+/// m.place_range(0..4, TierId::DEFAULT);
+///
+/// let mut q = RetryQueue::new(RetryPolicy::default());
+/// assert!(q.request(&mut m, 0, TierId::ALTERNATE)); // fills the frame
+/// assert!(!q.request(&mut m, 1, TierId::ALTERNATE)); // parked for retry
+/// assert_eq!(q.pending(), 1);
+/// ```
+#[derive(Debug)]
+pub struct RetryQueue {
+    policy: RetryPolicy,
+    entries: VecDeque<RetryEntry>,
+    tick: u64,
+    stats: RetryStats,
+}
+
+impl RetryQueue {
+    /// Creates an empty queue with the given policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        assert!(policy.max_attempts > 0, "at least one attempt");
+        assert!(policy.capacity > 0, "capacity must be positive");
+        RetryQueue {
+            policy,
+            entries: VecDeque::new(),
+            tick: 0,
+            stats: RetryStats::default(),
+        }
+    }
+
+    /// Requests a migration, parking it for retry if the machine rejects
+    /// it for a transient reason (destination full). Returns whether the
+    /// migration was enqueued *now* — callers update their placement
+    /// bookkeeping on `true` exactly as they would for a bare
+    /// `enqueue_migration`.
+    pub fn request(&mut self, machine: &mut Machine, vpn: Vpn, dst: TierId) -> bool {
+        if machine.enqueue_migration(vpn, dst) {
+            return true;
+        }
+        match machine.tier_of(vpn) {
+            // Unmapped or already where it should be: nothing to retry.
+            None => self.stats.resolved_moot += 1,
+            Some(t) if t == dst => self.stats.resolved_moot += 1,
+            // Destination full (or page pinned): park for a backoff retry —
+            // but only under an active fault plan (see module docs).
+            Some(_) => {
+                if machine.config().faults.is_active() {
+                    self.schedule(vpn, dst);
+                } else {
+                    self.stats.uncaptured += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Ingests a tick's in-flight migration failures (fault injection):
+    /// each aborted page is parked for retry.
+    pub fn note_failures(&mut self, report: &TickReport) {
+        for &(vpn, dst) in &report.failed_migrations {
+            self.schedule(vpn, dst);
+        }
+    }
+
+    /// One tick of retry processing. Returns the migrations that were
+    /// successfully re-enqueued this tick so the caller can update its
+    /// placement bookkeeping (e.g. HeMem's frequency bins).
+    pub fn on_tick(&mut self, machine: &mut Machine) -> Vec<(Vpn, TierId)> {
+        self.tick += 1;
+        if self.entries.is_empty() {
+            return Vec::new();
+        }
+        // Backlog-aware throttling: while the DMA engine is drowning,
+        // retrying would only deepen the queue it is rejected from.
+        if machine.migration_backlog() > self.policy.backlog_threshold {
+            self.stats.deferred_ticks += 1;
+            return Vec::new();
+        }
+        let mut recovered = Vec::new();
+        for _ in 0..self.entries.len() {
+            let Some(mut e) = self.entries.pop_front() else {
+                break;
+            };
+            if e.due > self.tick {
+                self.entries.push_back(e);
+                continue;
+            }
+            match machine.tier_of(e.vpn) {
+                None => {
+                    self.stats.resolved_moot += 1;
+                    continue;
+                }
+                Some(t) if t == e.dst => {
+                    self.stats.resolved_moot += 1;
+                    continue;
+                }
+                Some(_) => {}
+            }
+            self.stats.attempts += 1;
+            if machine.enqueue_migration(e.vpn, e.dst) {
+                self.stats.recovered += 1;
+                recovered.push((e.vpn, e.dst));
+            } else {
+                e.attempts += 1;
+                if e.attempts >= self.policy.max_attempts {
+                    self.stats.dropped += 1;
+                } else {
+                    e.due = self.tick + self.backoff(e.attempts);
+                    self.entries.push_back(e);
+                }
+            }
+        }
+        recovered
+    }
+
+    /// Entries currently parked.
+    pub fn pending(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    fn backoff(&self, attempts: u32) -> u64 {
+        let exp = attempts.min(32);
+        (self.policy.base_delay_ticks << exp.min(62)).min(self.policy.max_delay_ticks)
+    }
+
+    fn schedule(&mut self, vpn: Vpn, dst: TierId) {
+        // Coalesce: a page already parked keeps its earlier slot (a second
+        // rejection adds no information).
+        if self.entries.iter().any(|e| e.vpn == vpn && e.dst == dst) {
+            return;
+        }
+        if self.entries.len() >= self.policy.capacity {
+            self.entries.pop_front();
+            self.stats.dropped += 1;
+        }
+        self.stats.scheduled += 1;
+        self.entries.push_back(RetryEntry {
+            vpn,
+            dst,
+            attempts: 0,
+            due: self.tick + self.policy.base_delay_ticks,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{MachineConfig, PAGE_SIZE};
+    use simkit::SimTime;
+
+    /// Two-tier machine with `alt` alternate frames and 64 mapped pages.
+    /// The fault plan is active (but harmless here: PEBS is off) so
+    /// rejection capture is engaged.
+    fn machine(alt_frames: u64) -> Machine {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[1].capacity_bytes = alt_frames * PAGE_SIZE;
+        cfg.faults.pebs_loss_prob = 0.5;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..64, TierId::DEFAULT);
+        m
+    }
+
+    #[test]
+    fn immediate_success_needs_no_retry() {
+        let mut m = machine(64);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stats(), RetryStats::default());
+    }
+
+    #[test]
+    fn capacity_rejection_is_parked_and_recovers() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
+        assert_eq!(q.pending(), 1);
+        // Nothing recovers while the frame is taken.
+        m.run_tick(SimTime::from_us(100.0));
+        assert!(q.on_tick(&mut m).is_empty());
+        // Free the frame by migrating page 0 back, then drain it.
+        assert!(m.enqueue_migration(0, TierId::DEFAULT));
+        m.run_tick(SimTime::from_ms(1.0));
+        let mut recovered = Vec::new();
+        for _ in 0..200 {
+            recovered.extend(q.on_tick(&mut m));
+            m.run_tick(SimTime::from_us(100.0));
+            if q.pending() == 0 {
+                break;
+            }
+        }
+        assert_eq!(recovered, vec![(1, TierId::ALTERNATE)]);
+        assert_eq!(m.tier_of(1), Some(TierId::ALTERNATE));
+        assert_eq!(q.stats().recovered, 1);
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn moot_entries_resolve_without_migrating() {
+        let mut m = machine(4);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        // Already at destination.
+        assert!(!q.request(&mut m, 0, TierId::DEFAULT));
+        // Unmapped page.
+        assert!(!q.request(&mut m, 4000, TierId::ALTERNATE));
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stats().resolved_moot, 2);
+    }
+
+    #[test]
+    fn parked_entry_resolves_moot_if_page_arrives_by_other_means() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
+        // Page 0 leaves, page 1 gets migrated directly by someone else.
+        m.run_tick(SimTime::from_ms(1.0));
+        assert!(m.enqueue_migration(0, TierId::DEFAULT));
+        m.run_tick(SimTime::from_ms(1.0));
+        assert!(m.enqueue_migration(1, TierId::ALTERNATE));
+        m.run_tick(SimTime::from_ms(1.0));
+        for _ in 0..10 {
+            assert!(q.on_tick(&mut m).is_empty());
+        }
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stats().resolved_moot, 1);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let q = RetryQueue::new(RetryPolicy {
+            base_delay_ticks: 2,
+            max_delay_ticks: 32,
+            ..RetryPolicy::default()
+        });
+        assert_eq!(q.backoff(1), 4);
+        assert_eq!(q.backoff(2), 8);
+        assert_eq!(q.backoff(3), 16);
+        assert_eq!(q.backoff(4), 32);
+        assert_eq!(q.backoff(20), 32); // capped
+        assert_eq!(q.backoff(63), 32); // no shift overflow
+    }
+
+    #[test]
+    fn attempt_cap_drops_unserviceable_entries() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy {
+            base_delay_ticks: 1,
+            max_delay_ticks: 1,
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        });
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
+        // The frame never frees: the entry must eventually be dropped.
+        for _ in 0..20 {
+            q.on_tick(&mut m);
+        }
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().attempts, 3);
+    }
+
+    #[test]
+    fn fault_free_rejections_keep_legacy_drop_semantics() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[1].capacity_bytes = PAGE_SIZE;
+        let mut m = Machine::new(cfg); // no fault plan
+        m.place_range(0..64, TierId::DEFAULT);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
+        // Nothing parked: fault-free runs stay bit-identical to the
+        // pre-retry behavior.
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stats().scheduled, 0);
+        assert_eq!(q.stats().uncaptured, 1);
+    }
+
+    #[test]
+    fn duplicate_requests_coalesce() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        for _ in 0..5 {
+            assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
+        }
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.stats().scheduled, 1);
+    }
+
+    #[test]
+    fn backlog_defers_retries() {
+        let mut m = machine(64);
+        // Flood the migration queue well past the threshold.
+        let mut q = RetryQueue::new(RetryPolicy {
+            backlog_threshold: 4,
+            ..RetryPolicy::default()
+        });
+        for vpn in 0..32 {
+            m.enqueue_migration(vpn, TierId::ALTERNATE);
+        }
+        assert!(m.migration_backlog() > 4);
+        // Park an entry (destination still has room, so force one in by
+        // filling the queue via a full alternate tier is overkill — park
+        // directly through a failure report instead).
+        q.schedule(40, TierId::ALTERNATE);
+        assert!(q.on_tick(&mut m).is_empty());
+        assert!(q.stats().deferred_ticks >= 1);
+        assert_eq!(q.stats().attempts, 0);
+    }
+}

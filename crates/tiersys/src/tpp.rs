@@ -24,6 +24,7 @@ use colloid::{ColloidController, Mode};
 use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
 use tierctl::{MigrationBudget, RegionScanner};
 
+use crate::retry::{RetryPolicy, RetryQueue, RetryStats};
 use crate::{measurements, SystemParams, TieringSystem};
 
 /// TPP-specific knobs.
@@ -83,6 +84,7 @@ pub struct Tpp {
     /// Flattened managed pages for the kswapd clock hand.
     clock_pages: Vec<Vpn>,
     clock_hand: usize,
+    retry: RetryQueue,
     stats: TppStats,
 }
 
@@ -100,6 +102,7 @@ impl Tpp {
             last_ttf: HashMap::new(),
             clock_pages,
             clock_hand: 0,
+            retry: RetryQueue::new(RetryPolicy::default()),
             stats: TppStats::default(),
             cfg,
             params,
@@ -156,7 +159,7 @@ impl Tpp {
             if !self.budget.try_take_page() {
                 break;
             }
-            if machine.enqueue_migration(page, dst) {
+            if self.retry.request(machine, page, dst) {
                 moved += 1;
             }
         }
@@ -215,7 +218,7 @@ impl Tpp {
             if !self.budget.try_take_page() {
                 break;
             }
-            if machine.enqueue_migration(page, TierId::ALTERNATE) {
+            if self.retry.request(machine, page, TierId::ALTERNATE) {
                 self.stats.demoted += 1;
                 any = true;
             }
@@ -256,6 +259,8 @@ impl Tpp {
 
 impl TieringSystem for Tpp {
     fn on_tick(&mut self, machine: &mut Machine, report: &TickReport) {
+        self.retry.note_failures(report);
+        self.retry.on_tick(machine);
         self.budget.refill();
 
         // Colloid mode/Δp for this quantum (None = vanilla).
@@ -294,8 +299,7 @@ impl TieringSystem for Tpp {
             match (&self.colloid, mode) {
                 // Vanilla: promote hot (fast-faulting) alternate-tier pages.
                 (None, _) => {
-                    if fault.tier != TierId::DEFAULT
-                        && fault.time_to_fault_ns <= self.threshold_ns
+                    if fault.tier != TierId::DEFAULT && fault.time_to_fault_ns <= self.threshold_ns
                     {
                         candidate_bytes += self.unit_pages(fault.vpn).len() as u64 * PAGE_SIZE;
                         let moved = self.migrate_unit(machine, fault.vpn, TierId::DEFAULT);
@@ -364,13 +368,19 @@ impl TieringSystem for Tpp {
             "TPP".into()
         }
     }
+
+    fn retry_stats(&self) -> Option<RetryStats> {
+        Some(self.retry.stats())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use memsim::machine::AccessStream;
-    use memsim::{CoreConfig, MachineConfig, ObjectAccess, TrafficClass, LINES_PER_PAGE, LINE_SIZE};
+    use memsim::{
+        CoreConfig, MachineConfig, ObjectAccess, TrafficClass, LINES_PER_PAGE, LINE_SIZE,
+    };
     use rand::rngs::SmallRng;
     use rand::Rng;
     use simkit::SimTime;
@@ -397,7 +407,10 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..256, TierId::ALTERNATE);
         m.add_core(
-            Box::new(HotCold { hot: 32, total: 256 }),
+            Box::new(HotCold {
+                hot: 32,
+                total: 256,
+            }),
             CoreConfig::app_default(),
             TrafficClass::App,
         );
@@ -447,9 +460,7 @@ mod tests {
         let mut region_aligned = true;
         for region in 0..2 {
             let base = region * REGION_PAGES;
-            let tiers: Vec<_> = (base..base + REGION_PAGES)
-                .map(|v| m.tier_of(v))
-                .collect();
+            let tiers: Vec<_> = (base..base + REGION_PAGES).map(|v| m.tier_of(v)).collect();
             if tiers.windows(2).any(|w| w[0] != w[1]) {
                 region_aligned = false;
             }
@@ -512,7 +523,10 @@ mod tests {
         m.place_range(200..256, TierId::ALTERNATE);
         for _ in 0..24 {
             m.add_core(
-                Box::new(HotCold { hot: 200, total: 256 }),
+                Box::new(HotCold {
+                    hot: 200,
+                    total: 256,
+                }),
                 CoreConfig::default(),
                 TrafficClass::App,
             );

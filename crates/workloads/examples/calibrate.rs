@@ -50,7 +50,10 @@ fn setup(antagonist_cores: usize, with_gups: bool) -> Machine {
         let default_left = m.free_pages(TierId::DEFAULT);
         let cold_start = hot.end;
         m.place_range(cold_start..cold_start + default_left, TierId::DEFAULT);
-        m.place_range(cold_start + default_left..gups.ws_range().end, TierId::ALTERNATE);
+        m.place_range(
+            cold_start + default_left..gups.ws_range().end,
+            TierId::ALTERNATE,
+        );
         for i in 0..APP_CORES {
             let mut c = gups.clone();
             c.hot_offset = 0;

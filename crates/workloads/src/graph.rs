@@ -93,8 +93,7 @@ impl PageRankStream {
         let stride = edge_bytes / 97; // co-prime-ish stagger
         PageRankStream {
             zipf: Zipf::new(cfg.nodes, cfg.theta),
-            edge_cursor: (thread_idx * stride) % edge_bytes
-                / cfg.edge_chunk_bytes as u64
+            edge_cursor: (thread_idx * stride) % edge_bytes / cfg.edge_chunk_bytes as u64
                 * cfg.edge_chunk_bytes as u64,
             rank_reads_left: 0,
             cfg,

@@ -172,7 +172,12 @@ mod tests {
         let share = top_decile as f64 / total as f64;
         assert!(share > 0.2, "top-decile share {share}");
         // ...but the very hottest pages must not be adjacent (scrambling).
-        let hottest = counts.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;
+        let hottest = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .unwrap()
+            .0;
         let mut rest = counts.clone();
         rest[hottest] = 0;
         let second = rest.iter().enumerate().max_by_key(|(_, c)| **c).unwrap().0;

@@ -55,11 +55,7 @@ impl Trace {
 
     /// Distinct pages touched by the trace.
     pub fn touched_pages(&self) -> usize {
-        let mut pages: Vec<u64> = self
-            .records
-            .iter()
-            .map(|r| r.access.first_vpn())
-            .collect();
+        let mut pages: Vec<u64> = self.records.iter().map(|r| r.access.first_vpn()).collect();
         pages.sort_unstable();
         pages.dedup();
         pages.len()

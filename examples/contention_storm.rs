@@ -26,18 +26,20 @@ fn main() {
 
         let mut scenario = GupsScenario::intensity(0);
         scenario.antagonist_change = Some((tick * pre_ticks as u64, 15));
-        let mut exp = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid,
-        });
+        let mut exp = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid,
+            },
+        );
         let result = run(&mut exp, &RunConfig::timeline(pre_ticks + post_ticks));
 
         // Print a compact timeline: mean throughput per 3 ms bucket.
         let bucket = 30;
         for chunk in result.series.chunks(bucket) {
             let t_ms = chunk[0].t.as_ns() / 1e6;
-            let mops =
-                chunk.iter().map(|s| s.ops_per_sec).sum::<f64>() / chunk.len() as f64 / 1e6;
+            let mops = chunk.iter().map(|s| s.ops_per_sec).sum::<f64>() / chunk.len() as f64 / 1e6;
             let bar = "#".repeat((mops / 12.0) as usize);
             println!("    t={t_ms:5.1}ms {mops:7.1} Mops/s {bar}");
         }

@@ -15,14 +15,20 @@ fn main() {
     let scenario = GupsScenario::intensity(2);
 
     for (label, policy) in [
-        ("HeMem (packs hottest pages into the default tier)", Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: false,
-        }),
-        ("HeMem+Colloid (balances access latencies)", Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: true,
-        }),
+        (
+            "HeMem (packs hottest pages into the default tier)",
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: false,
+            },
+        ),
+        (
+            "HeMem+Colloid (balances access latencies)",
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: true,
+            },
+        ),
     ] {
         println!("==> {label}");
         let mut exp = build_gups(&scenario, policy);

@@ -13,7 +13,7 @@
 use colloid::multitier::MultiTierBalancer;
 use colloid::{Mode, TierMeasurement};
 use memsim::{
-    CoreConfig, DramConfig, LinkConfig, Machine, MachineConfig, TierConfig, TierId, TickReport,
+    CoreConfig, DramConfig, LinkConfig, Machine, MachineConfig, TickReport, TierConfig, TierId,
     TrafficClass, PAGE_SIZE,
 };
 use simkit::SimTime;

@@ -33,10 +33,13 @@ fn quick_rc() -> RunConfig {
 fn colloid_beats_vanilla_under_contention() {
     let scenario = GupsScenario::intensity(3);
     let vanilla = {
-        let mut e = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: false,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: false,
+            },
+        );
         // The packing systems converge slowly towards their (bad) steady
         // state; give the vanilla run a full warm-up.
         let mut rc = quick_rc();
@@ -44,10 +47,13 @@ fn colloid_beats_vanilla_under_contention() {
         run(&mut e, &rc).ops_per_sec
     };
     let colloid = {
-        let mut e = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: true,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: true,
+            },
+        );
         run(&mut e, &quick_rc()).ops_per_sec
     };
     assert!(
@@ -62,17 +68,23 @@ fn colloid_beats_vanilla_under_contention() {
 fn colloid_matches_vanilla_without_contention() {
     let scenario = GupsScenario::intensity(0);
     let vanilla = {
-        let mut e = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: false,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: false,
+            },
+        );
         run(&mut e, &quick_rc()).ops_per_sec
     };
     let colloid = {
-        let mut e = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: true,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: true,
+            },
+        );
         run(&mut e, &quick_rc()).ops_per_sec
     };
     let ratio = colloid / vanilla;
@@ -100,10 +112,13 @@ fn best_case_split_moves_out_with_contention() {
 #[test]
 fn colloid_balances_tier_latencies() {
     let scenario = GupsScenario::intensity(1);
-    let mut e = build_gups(&scenario, Policy::System {
-        kind: SystemKind::Memtis,
-        colloid: true,
-    });
+    let mut e = build_gups(
+        &scenario,
+        Policy::System {
+            kind: SystemKind::Memtis,
+            colloid: true,
+        },
+    );
     let r = run(&mut e, &quick_rc());
     let l_d = r.l_default_ns.expect("default busy");
     let l_a = r.l_alternate_ns.expect("alternate busy");
@@ -121,10 +136,13 @@ fn hot_set_change_recovers() {
     let tick = SimTime::from_us(100.0);
     let mut scenario = GupsScenario::intensity(0);
     scenario.phases = vec![(tick * 250, 0)];
-    let mut e = build_gups(&scenario, Policy::System {
-        kind: SystemKind::Hemem,
-        colloid: true,
-    });
+    let mut e = build_gups(
+        &scenario,
+        Policy::System {
+            kind: SystemKind::Hemem,
+            colloid: true,
+        },
+    );
     let r = run(&mut e, &RunConfig::timeline(700));
     let mean = |s: &[experiments::TickSample]| {
         s.iter().map(|x| x.ops_per_sec).sum::<f64>() / s.len() as f64
@@ -149,10 +167,13 @@ fn contention_storm_adaptation() {
     let run_one = |colloid: bool| {
         let mut scenario = GupsScenario::intensity(0);
         scenario.antagonist_change = Some((tick * 200, 15));
-        let mut e = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid,
+            },
+        );
         let r = run(&mut e, &RunConfig::timeline(800));
         r.series[740..800]
             .iter()
@@ -174,10 +195,13 @@ fn contention_storm_adaptation() {
 fn runs_are_deterministic() {
     let scenario = GupsScenario::intensity(1);
     let go = || {
-        let mut e = build_gups(&scenario, Policy::System {
-            kind: SystemKind::Hemem,
-            colloid: true,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid: true,
+            },
+        );
         let rc = RunConfig {
             min_warmup_ticks: 50,
             max_warmup_ticks: 50,
@@ -198,9 +222,12 @@ fn runs_are_deterministic() {
 #[test]
 fn static_placement_never_migrates() {
     let scenario = GupsScenario::intensity(1);
-    let mut e = build_gups(&scenario, Policy::Static {
-        hot_default_fraction: 0.5,
-    });
+    let mut e = build_gups(
+        &scenario,
+        Policy::Static {
+            hot_default_fraction: 0.5,
+        },
+    );
     let r = run(&mut e, &RunConfig::static_placement());
     assert_eq!(e.machine.migrated_pages(), 0);
     let mig = memsim::TrafficClass::Migration.index();
@@ -212,10 +239,13 @@ fn static_placement_never_migrates() {
 fn antagonist_stays_pinned_under_every_system() {
     for kind in SystemKind::ALL {
         let scenario = GupsScenario::intensity(3);
-        let mut e = build_gups(&scenario, Policy::System {
-            kind,
-            colloid: true,
-        });
+        let mut e = build_gups(
+            &scenario,
+            Policy::System {
+                kind,
+                colloid: true,
+            },
+        );
         let rc = RunConfig {
             min_warmup_ticks: 100,
             max_warmup_ticks: 100,

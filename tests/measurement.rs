@@ -7,8 +7,8 @@
 use experiments::runner::{run, RunConfig};
 use experiments::scenario::{build_gups, GupsScenario, Policy};
 use memsim::{CoreConfig, Machine, MachineConfig, TierId, TrafficClass};
-use tiersys::SystemKind;
 use simkit::SimTime;
+use tiersys::SystemKind;
 use workloads::{
     GupsConfig, GupsStream, KvCacheConfig, KvCacheStream, PageRankConfig, PageRankStream,
     SiloConfig, SiloStream,
@@ -113,10 +113,13 @@ fn tier_bandwidth_accounting_is_consistent() {
     // App + antagonist + migration bytes must all be attributed, and only
     // to the tiers that actually carry them.
     let scenario = GupsScenario::intensity(1);
-    let mut e = build_gups(&scenario, Policy::System {
-        kind: SystemKind::Hemem,
-        colloid: true,
-    });
+    let mut e = build_gups(
+        &scenario,
+        Policy::System {
+            kind: SystemKind::Hemem,
+            colloid: true,
+        },
+    );
     let rc = RunConfig {
         min_warmup_ticks: 80,
         max_warmup_ticks: 80,

@@ -255,8 +255,8 @@ pub fn case_rng(test_name: &str, case: u32) -> TestRng {
 /// Everything the property tests import.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Just, Strategy, TestCaseError, TestCaseResult,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy, TestCaseError, TestCaseResult,
     };
 }
 
