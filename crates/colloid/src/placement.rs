@@ -236,6 +236,31 @@ impl ColloidController {
         &self.shift
     }
 
+    /// Freezes or resumes the placement controller (supervisor degraded
+    /// modes): while frozen, `on_quantum` keeps ingesting measurements so
+    /// the latency EWMAs stay warm, but the watermarks never move and no
+    /// placement decision is emitted.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        if frozen {
+            self.shift.freeze();
+        } else {
+            self.shift.resume();
+        }
+    }
+
+    /// Whether the controller is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.shift.is_frozen()
+    }
+
+    /// Re-runs the watermark reset (`p_lo ← 0`, `p_hi ← 1`) so the
+    /// post-fault equilibrium is re-found from scratch — the paper's
+    /// dynamic-shift mechanism applied after a hard fault rather than a
+    /// workload move.
+    pub fn reset_equilibrium(&mut self) {
+        self.shift.reset_watermarks();
+    }
+
     /// Quanta processed so far.
     pub fn quanta(&self) -> u64 {
         self.quanta
@@ -263,6 +288,35 @@ mod tests {
         assert!(c
             .on_quantum(&[TierMeasurement::IDLE, TierMeasurement::IDLE])
             .is_none());
+    }
+
+    #[test]
+    fn frozen_controller_ingests_but_never_decides() {
+        let mut c = ColloidController::new(cfg());
+        c.set_frozen(true);
+        assert!(c.is_frozen());
+        for _ in 0..10 {
+            assert!(c.on_quantum(&[meas(7.0, 0.1), meas(30.0, 0.2)]).is_none());
+        }
+        // Measurements were still ingested while frozen …
+        assert!(c.monitor().total_rate_per_ns() > 0.0);
+        assert_eq!(c.quanta(), 10);
+        // … so the first unfrozen quantum can decide immediately.
+        c.set_frozen(false);
+        let d = c
+            .on_quantum(&[meas(7.0, 0.1), meas(30.0, 0.2)])
+            .expect("decision after resume");
+        assert_eq!(d.mode, Mode::Promote);
+    }
+
+    #[test]
+    fn reset_equilibrium_forwards_to_watermarks() {
+        let mut c = ColloidController::new(cfg());
+        c.on_quantum(&[meas(7.0, 0.1), meas(30.0, 0.2)]);
+        c.reset_equilibrium();
+        assert_eq!(c.shift().p_lo(), 0.0);
+        assert_eq!(c.shift().p_hi(), 1.0);
+        assert!(c.shift().resets() > 0);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub struct ShiftController {
     resets: u64,
     reset_enabled: bool,
     rejected: u64,
+    frozen: bool,
 }
 
 impl ShiftController {
@@ -58,6 +59,7 @@ impl ShiftController {
             resets: 0,
             reset_enabled: true,
             rejected: 0,
+            frozen: false,
         }
     }
 
@@ -81,6 +83,12 @@ impl ShiftController {
     /// outside `[0, 1]` is clamped. The returned shift is always finite and
     /// in `[0, 1]`.
     pub fn compute_shift(&mut self, p: f64, l_d: f64, l_a: f64) -> f64 {
+        if self.frozen {
+            // Frozen (supervisor degraded mode): measurements taken under a
+            // fault regime must not move the watermarks, and no shift is
+            // requested.
+            return 0.0;
+        }
         if !l_d.is_finite() || !l_a.is_finite() || l_d <= 0.0 || l_a <= 0.0 || !p.is_finite() {
             self.rejected += 1;
             return 0.0;
@@ -106,6 +114,38 @@ impl ShiftController {
             self.resets += 1;
         }
         ((self.p_lo + self.p_hi) / 2.0 - p).abs()
+    }
+
+    /// Freezes the controller: while frozen, [`compute_shift`] returns 0
+    /// and leaves all state untouched.
+    ///
+    /// [`compute_shift`]: ShiftController::compute_shift
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// Resumes a frozen controller (watermarks keep their pre-freeze
+    /// values; call [`reset_watermarks`] as well if the equilibrium may
+    /// have moved during the freeze).
+    ///
+    /// [`reset_watermarks`]: ShiftController::reset_watermarks
+    pub fn resume(&mut self) {
+        self.frozen = false;
+    }
+
+    /// Whether the controller is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Re-runs the watermark initialisation (`p_lo ← 0`, `p_hi ← 1`) so the
+    /// binary search restarts from the full interval — used after a hard
+    /// fault has moved the equilibrium in a way the incremental reset logic
+    /// would be slow to discover.
+    pub fn reset_watermarks(&mut self) {
+        self.p_lo = 0.0;
+        self.p_hi = 1.0;
+        self.resets += 1;
     }
 
     /// Low watermark.
@@ -327,6 +367,38 @@ mod tests {
         let dp = c.compute_shift(-3.0, 200.0, 100.0);
         assert!(dp.is_finite() && (0.0..=1.0).contains(&dp));
         assert!(c.p_hi() >= 0.0);
+    }
+
+    #[test]
+    fn freeze_suspends_watermark_movement_and_resume_restores_it() {
+        let mut c = ShiftController::new(0.01, 0.05);
+        c.compute_shift(0.3, 80.0, 160.0); // p_lo = 0.3
+        c.freeze();
+        assert!(c.is_frozen());
+        // Wildly unbalanced inputs while frozen: no shift, no movement,
+        // not even the corrupt-input counter.
+        assert_eq!(c.compute_shift(0.9, 10.0, 500.0), 0.0);
+        assert_eq!(c.compute_shift(f64::NAN, 10.0, 500.0), 0.0);
+        assert_eq!(c.p_lo(), 0.3);
+        assert_eq!(c.p_hi(), 1.0);
+        assert_eq!(c.rejected_inputs(), 0);
+        c.resume();
+        assert!(!c.is_frozen());
+        let dp = c.compute_shift(0.5, 80.0, 160.0);
+        assert!(dp > 0.0, "resumed controller must shift again");
+    }
+
+    #[test]
+    fn reset_watermarks_restarts_the_search_interval() {
+        let mut c = ShiftController::new(0.01, 0.05);
+        c.compute_shift(0.3, 80.0, 160.0);
+        c.compute_shift(0.7, 200.0, 100.0);
+        assert!(c.p_lo() > 0.0 && c.p_hi() < 1.0);
+        let resets = c.resets();
+        c.reset_watermarks();
+        assert_eq!(c.p_lo(), 0.0);
+        assert_eq!(c.p_hi(), 1.0);
+        assert_eq!(c.resets(), resets + 1);
     }
 
     #[test]

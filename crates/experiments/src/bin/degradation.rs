@@ -1,0 +1,10 @@
+//! Graceful-degradation matrix: hard faults × {bare, supervised} systems.
+//!
+//! `--quick` shortens the timelines; `--smoke` restricts the sweep to
+//! HeMem (the CI gate runs `--quick --smoke`).
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    experiments::degradation::run(quick, smoke);
+}

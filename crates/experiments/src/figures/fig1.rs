@@ -7,7 +7,8 @@
 
 use crate::figures::{collect_gups_grid, intensity_label, vanilla_policies, GupsGrid};
 use crate::report::{mops, ratio, Table};
-use crate::scenario::Policy;
+use crate::runner::{run as run_exp, RunConfig};
+use crate::scenario::{build_tpp_with_config, GupsScenario, Policy};
 
 /// Renders Figure 1 from an already-collected grid.
 pub fn render(grid: &GupsGrid) -> String {
@@ -60,11 +61,54 @@ pub fn render(grid: &GupsGrid) -> String {
     out
 }
 
+/// Runs TPP at default and fast-discovery settings across intensities and
+/// renders the comparison: with discovery fast enough to actually pack
+/// the hot set into the default tier (>75 % traffic share, as the
+/// paper's TPP does), TPP degrades under contention like HeMem/MEMTIS —
+/// vanilla TPP's small Figure 1 gap is slow discovery, not robustness.
+pub fn render_fast_discovery(intensities: &[usize], quick: bool) -> String {
+    let rc = if quick {
+        RunConfig::steady_state().quick()
+    } else {
+        RunConfig::steady_state()
+    };
+    let mut out = String::from(
+        "\n-- TPP discovery speed: default vs fast discovery (Mops/s, default-tier traffic share) --\n",
+    );
+    let mut headers = vec!["policy".to_string()];
+    headers.extend(intensities.iter().map(|&i| intensity_label(i)));
+    let mut t = Table::new(headers.iter().map(String::as_str).collect());
+    for fast in [false, true] {
+        let name = if fast { "TPP (fast discovery)" } else { "TPP" };
+        let cfg = if fast {
+            tiersys::tpp::TppConfig::fast_discovery()
+        } else {
+            tiersys::tpp::TppConfig::default()
+        };
+        let mut row = vec![name.to_string()];
+        for &i in intensities {
+            eprintln!("[fig1] {name} @ {i}x ...");
+            let sc = GupsScenario::intensity(i);
+            let mut exp = build_tpp_with_config(&sc, cfg.clone(), false);
+            let r = run_exp(&mut exp, &rc);
+            row.push(format!(
+                "{} ({:.0}%)",
+                mops(r.ops_per_sec),
+                r.default_tier_app_share() * 100.0
+            ));
+        }
+        t.row(row);
+    }
+    out.push_str(&t.render());
+    out
+}
+
 /// Runs the Figure 1 experiments and prints the result.
 pub fn run(quick: bool) -> String {
     let intensities = if quick { vec![0, 3] } else { vec![0, 1, 2, 3] };
     let grid = collect_gups_grid(&vanilla_policies(), &intensities, true, quick);
-    let s = render(&grid);
+    let mut s = render(&grid);
+    s.push_str(&render_fast_discovery(&intensities, quick));
     println!("{s}");
     s
 }

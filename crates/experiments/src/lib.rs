@@ -19,11 +19,15 @@
 //! - [`robustness`] — the fault-injection matrix (binary `robustness`):
 //!   throughput degradation of every system ± Colloid under graded
 //!   counter/migration/PEBS fault intensities.
+//! - [`degradation`] — the hard-fault matrix (binary `degradation`):
+//!   tier shrink, permanent bandwidth collapse, and engine outages, each
+//!   run with and without the [`tiersys::Supervisor`].
 //!
 //! Every driver accepts a *quick* mode (fewer sweep points, shorter
 //! warm-up) used by the Criterion benches; the binaries run full mode by
 //! default and quick mode with `--quick` or `COLLOID_QUICK=1`.
 
+pub mod degradation;
 pub mod figures;
 pub mod oracle;
 pub mod report;

@@ -109,6 +109,8 @@ pub fn fault_counts(fs: &memsim::FaultStats) -> String {
         ("drop", fs.windows_dropped),
         ("mig", fs.migration_failures),
         ("pebs", fs.pebs_dropped),
+        ("evac", fs.pages_evacuated),
+        ("outage", fs.engine_outage_aborts),
     ] {
         if n > 0 {
             parts.push(format!("{label} {n}"));
@@ -117,13 +119,35 @@ pub fn fault_counts(fs: &memsim::FaultStats) -> String {
     parts.join(" ")
 }
 
-/// Formats migration-retry counters as `scheduled/recovered/dropped`
-/// (`-` for policies without a retry queue).
+/// Formats migration-retry counters as
+/// `scheduled/recovered/dropped(gave-up) q=max-depth` — `gave_up` counts
+/// migrations abandoned at the attempt cap (a subset of `dropped`), and
+/// `q=` is the retry queue's high-water depth (`-` for policies without a
+/// retry queue).
 pub fn retry_counts(rs: Option<&tiersys::RetryStats>) -> String {
     match rs {
-        Some(r) => format!("{}/{}/{}", r.scheduled, r.recovered, r.dropped),
+        Some(r) => format!(
+            "{}/{}/{}({}) q={}",
+            r.scheduled, r.recovered, r.dropped, r.gave_up, r.max_pending
+        ),
         None => "-".into(),
     }
+}
+
+/// Formats a supervisor's mode timeline as `mode@ms -> mode@ms ...` with a
+/// trailing `ttr=` time-to-recover when the run recovered (`-` for
+/// unsupervised policies).
+pub fn mode_timeline(sv: Option<&tiersys::SupervisionReport>) -> String {
+    let Some(sv) = sv else { return "-".into() };
+    let mut parts: Vec<String> = sv
+        .timeline
+        .iter()
+        .map(|(t, m)| format!("{}@{:.1}ms", m.name(), t.as_us() / 1000.0))
+        .collect();
+    if let Some(ttr) = sv.time_to_recover {
+        parts.push(format!("ttr={:.1}ms", ttr.as_us() / 1000.0));
+    }
+    parts.join(" -> ")
 }
 
 /// Renders a compact ASCII time series: one `t: value` line per sample
@@ -184,14 +208,48 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(fault_counts(&fs), "noisy 12 mig 3");
+        let hard = memsim::FaultStats {
+            pages_evacuated: 7,
+            engine_outage_aborts: 2,
+            migration_failures: 2,
+            ..Default::default()
+        };
+        assert_eq!(fault_counts(&hard), "mig 2 evac 7 outage 2");
         assert_eq!(retry_counts(None), "-");
         let rs = tiersys::RetryStats {
             scheduled: 5,
             recovered: 4,
             dropped: 1,
+            gave_up: 1,
+            max_pending: 3,
             ..Default::default()
         };
-        assert_eq!(retry_counts(Some(&rs)), "5/4/1");
+        assert_eq!(retry_counts(Some(&rs)), "5/4/1(1) q=3");
+    }
+
+    #[test]
+    fn mode_timeline_cell() {
+        assert_eq!(mode_timeline(None), "-");
+        let sv = tiersys::SupervisionReport {
+            timeline: vec![
+                (simkit::SimTime::ZERO, tiersys::SupervisorMode::Normal),
+                (
+                    simkit::SimTime::from_us(500.0),
+                    tiersys::SupervisorMode::Frozen,
+                ),
+                (
+                    simkit::SimTime::from_us(1500.0),
+                    tiersys::SupervisorMode::Recovered,
+                ),
+            ],
+            time_to_recover: Some(simkit::SimTime::from_us(2000.0)),
+            ..Default::default()
+        };
+        let s = mode_timeline(Some(&sv));
+        assert_eq!(
+            s,
+            "normal@0.0ms -> frozen@0.5ms -> recovered@1.5ms -> ttr=2.0ms"
+        );
     }
 
     #[test]

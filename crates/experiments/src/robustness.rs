@@ -87,9 +87,10 @@ impl FaultLevel {
                 pebs_loss_prob: 0.3,
                 bandwidth_phases: vec![BandwidthPhase {
                     start: tick * 200,
-                    end: tick * 500,
+                    end: Some(tick * 500),
                     factor: 0.25,
                 }],
+                ..FaultPlan::none()
             },
         }
     }
@@ -104,7 +105,7 @@ pub fn combined_faults(tick: SimTime) -> FaultPlan {
         migration_fail_prob: 0.05,
         bandwidth_phases: vec![BandwidthPhase {
             start: tick * 60,
-            end: tick * 120,
+            end: Some(tick * 120),
             factor: 0.5,
         }],
         ..FaultPlan::none()

@@ -144,6 +144,10 @@ pub struct RunResult {
     /// Migration-retry counters from the tiering system at the end of the
     /// run (`None` for policies without a retry queue, e.g. static).
     pub retry_stats: Option<RetryStats>,
+    /// Supervisor report — mode-transition timeline, time-to-recover, probe
+    /// and drain counters — when the policy runs under a
+    /// [`tiersys::Supervisor`] (`None` otherwise).
+    pub supervision: Option<tiersys::SupervisionReport>,
     /// Per-tick samples (empty unless `collect_series`).
     pub series: Vec<TickSample>,
 }
@@ -269,6 +273,7 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
         warmup_ticks_used: warmup_used,
         fault_stats,
         retry_stats: exp.system.retry_stats(),
+        supervision: exp.system.supervision(),
         series,
     }
 }
@@ -455,6 +460,7 @@ mod tests {
             warmup_ticks_used: 0,
             fault_stats: FaultStats::default(),
             retry_stats: None,
+            supervision: None,
             series: Vec::new(),
         };
         assert_eq!(r.default_tier_app_share(), 0.0);

@@ -90,6 +90,11 @@ pub struct GupsScenario {
     /// nothing, which leaves every run bit-identical to the fault-free
     /// machine).
     pub faults: FaultPlan,
+    /// Default-tier frames the first-touch fill leaves free (degradation
+    /// experiments use this headroom as the rescue space for hot pages
+    /// drained off a shrinking alternate tier). Zero — the default — keeps
+    /// the classic "fill the default tier first" layout bit-identical.
+    pub first_touch_headroom: u64,
     /// Root RNG seed.
     pub seed: u64,
 }
@@ -106,6 +111,7 @@ impl GupsScenario {
             phases: Vec::new(),
             antagonist_change: None,
             faults: FaultPlan::none(),
+            first_touch_headroom: 0,
             seed: 0xC0_11_01,
         }
     }
@@ -202,6 +208,7 @@ fn place_working_set(
     ws: std::ops::Range<Vpn>,
     hot: std::ops::Range<Vpn>,
     policy: Policy,
+    headroom: u64,
 ) {
     match policy {
         Policy::Static {
@@ -229,8 +236,9 @@ fn place_working_set(
         }
         Policy::System { .. } => {
             // First-touch: pages allocate from the default tier until it
-            // fills, then from the alternate tier.
-            let mut free = machine.free_pages(TierId::DEFAULT);
+            // fills (minus any requested headroom), then from the
+            // alternate tier.
+            let mut free = machine.free_pages(TierId::DEFAULT).saturating_sub(headroom);
             for vpn in ws {
                 if free > 0 {
                     machine.place(vpn, TierId::DEFAULT);
@@ -299,6 +307,23 @@ pub fn build_gups(scenario: &GupsScenario, policy: Policy) -> Experiment {
 /// Assembles the GUPS experiment under TPP with explicit THP and Colloid
 /// choices (the paper evaluates TPP both with and without THP).
 pub fn build_tpp_variant(scenario: &GupsScenario, huge: bool, colloid: bool) -> Experiment {
+    build_tpp_with_config(
+        scenario,
+        tiersys::tpp::TppConfig {
+            huge,
+            ..tiersys::tpp::TppConfig::default()
+        },
+        colloid,
+    )
+}
+
+/// Builds a GUPS experiment running TPP under an arbitrary configuration
+/// (e.g. [`tiersys::tpp::TppConfig::fast_discovery`]).
+pub fn build_tpp_with_config(
+    scenario: &GupsScenario,
+    cfg: tiersys::tpp::TppConfig,
+    colloid: bool,
+) -> Experiment {
     let mut exp = build_gups(
         scenario,
         Policy::System {
@@ -315,13 +340,7 @@ pub fn build_tpp_variant(scenario: &GupsScenario, huge: bool, colloid: bool) -> 
         .iter()
         .map(|t| t.unloaded_latency().as_ns())
         .collect();
-    exp.system = Box::new(tiersys::tpp::Tpp::new(
-        params,
-        tiersys::tpp::TppConfig {
-            huge,
-            ..tiersys::tpp::TppConfig::default()
-        },
-    ));
+    exp.system = Box::new(tiersys::tpp::Tpp::new(params, cfg));
     exp
 }
 
@@ -339,7 +358,13 @@ pub fn build_gups_with_stream(
     let mut machine = Machine::new(cfg);
     let antagonist_core_ids = add_antagonist(&mut machine, scenario.antagonist_cores);
 
-    place_working_set(&mut machine, gups.ws_range(), gups.hot_range(), policy);
+    place_working_set(
+        &mut machine,
+        gups.ws_range(),
+        gups.hot_range(),
+        policy,
+        scenario.first_touch_headroom,
+    );
     for _ in 0..scenario.app_cores {
         machine.add_core(
             Box::new(GupsStream::new(gups.clone()).expect("valid GUPS config")),
@@ -402,7 +427,7 @@ pub fn build_app(app: AppKind, antagonist_cores: usize, policy: Policy, seed: u6
     let antagonist_core_ids = add_antagonist(&mut machine, antagonist_cores);
 
     let ws = APP_BASE..APP_BASE + ws_pages;
-    place_working_set(&mut machine, ws.clone(), ws.start..ws.start, policy);
+    place_working_set(&mut machine, ws.clone(), ws.start..ws.start, policy, 0);
     for i in 0..APP_CORES {
         let stream: Box<dyn memsim::AccessStream> = match app {
             AppKind::PageRank => Box::new(PageRankStream::new(

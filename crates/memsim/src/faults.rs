@@ -1,4 +1,5 @@
-//! Fault injection: perturbs what the control software *observes*.
+//! Fault injection: perturbs what the control software *observes*, and —
+//! for hard faults — what the hardware can still do.
 //!
 //! The paper's argument is that Colloid is robust where hotness-based
 //! policies are fragile — but a reproduction that only ever feeds the
@@ -22,15 +23,33 @@
 //!   systems can retry.
 //! - **Migration-bandwidth degradation phases** — the kernel copy path
 //!   competes with other work; during a [`BandwidthPhase`] the migration
-//!   engine is paced at `factor ×` the configured bandwidth.
+//!   engine is paced at `factor ×` the configured bandwidth. A phase with
+//!   `end: None` never lifts: a **permanent bandwidth collapse** (link
+//!   retrained at a lower width, persistent thermal throttling).
 //! - **PEBS sample loss** — the sampling buffer overflows under load;
 //!   each sample is dropped with probability [`FaultPlan::pebs_loss_prob`].
 //!
-//! All faults are deterministic: the injector draws from a dedicated RNG
-//! stream derived from `MachineConfig::seed`, so the same seed + plan
-//! yields identical `TickReport` streams. With every probability at zero
-//! and no phases, the injector draws nothing and perturbs nothing — runs
-//! are bit-identical to a machine without fault injection.
+//! The *hard* faults model terminal conditions rather than observation
+//! noise:
+//!
+//! - **Tier capacity loss** ([`TierShrink`]) — at time `at`, frames above
+//!   `new_frames` become permanently unusable (DIMM ECC retirement, a CXL
+//!   device offlining media). Resident pages above the new capacity are
+//!   force-evacuated by the machine to any tier with free frames and
+//!   surfaced in `TickReport::evacuated` so tiering systems can re-sync
+//!   their metadata.
+//! - **Migration-engine outage** ([`EngineOutage`]) — during the window
+//!   every migration the engine picks up aborts (and still burns engine
+//!   time, as a wedged copy thread would), reported both in
+//!   `failed_migrations` and the `engine_outage_aborts` counter.
+//!
+//! All probabilistic faults are deterministic: the injector draws from a
+//! dedicated RNG stream derived from `MachineConfig::seed`, so the same
+//! seed + plan yields identical `TickReport` streams. Hard faults are
+//! purely time-driven and never touch the RNG. With every probability at
+//! zero and no phases/shrinks/outages, the injector draws nothing and
+//! perturbs nothing — runs are bit-identical to a machine without fault
+//! injection.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -48,11 +67,36 @@ const FAULT_RNG_STREAM: u64 = 0xFA17_0000_0000_0001;
 pub struct BandwidthPhase {
     /// Phase start (inclusive, simulated time).
     pub start: SimTime,
-    /// Phase end (exclusive).
-    pub end: SimTime,
+    /// Phase end (exclusive); `None` means the degradation is permanent
+    /// (a hard bandwidth collapse that never lifts).
+    pub end: Option<SimTime>,
     /// Multiplier on `MachineConfig::migration_bandwidth` while active;
     /// must be in `(0, 1]`.
     pub factor: f64,
+}
+
+/// A permanent tier capacity loss: at `at`, the tier's usable capacity
+/// drops to `new_frames` pages and never recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierShrink {
+    /// The tier losing frames.
+    pub tier: TierId,
+    /// When the capacity loss takes effect (applied at the start of the
+    /// first tick at or after this time).
+    pub at: SimTime,
+    /// The tier's new capacity in pages; must be ≥ 1 and strictly smaller
+    /// than the previous capacity.
+    pub new_frames: u64,
+}
+
+/// A migration-engine outage window: every migration started in
+/// `[start, end)` aborts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOutage {
+    /// Outage start (inclusive).
+    pub start: SimTime,
+    /// Outage end (exclusive); must be after `start`.
+    pub end: SimTime,
 }
 
 /// What to inject. The default plan injects nothing.
@@ -77,6 +121,10 @@ pub struct FaultPlan {
     /// Migration-bandwidth degradation phases (may overlap; the smallest
     /// active factor wins).
     pub bandwidth_phases: Vec<BandwidthPhase>,
+    /// Permanent tier capacity losses (hard fault).
+    pub tier_shrinks: Vec<TierShrink>,
+    /// Migration-engine outage windows (hard fault); must not overlap.
+    pub engine_outages: Vec<EngineOutage>,
 }
 
 impl FaultPlan {
@@ -93,6 +141,15 @@ impl FaultPlan {
             || self.migration_fail_prob > 0.0
             || self.pebs_loss_prob > 0.0
             || !self.bandwidth_phases.is_empty()
+            || self.has_hard_faults()
+    }
+
+    /// Whether any *hard* (terminal) fault is configured: a tier shrink,
+    /// an engine outage, or a permanent bandwidth collapse.
+    pub fn has_hard_faults(&self) -> bool {
+        !self.tier_shrinks.is_empty()
+            || !self.engine_outages.is_empty()
+            || self.bandwidth_phases.iter().any(|p| p.end.is_none())
     }
 
     /// Whether any counter-observation fault is configured.
@@ -100,7 +157,7 @@ impl FaultPlan {
         self.counter_noise > 0.0 || self.counter_stale_prob > 0.0 || self.counter_drop_prob > 0.0
     }
 
-    /// Validates probabilities and phases.
+    /// Validates probabilities, phases, and hard-fault plans.
     pub fn validate(&self) -> Result<(), String> {
         let probs = [
             ("counter_stale_prob", self.counter_stale_prob),
@@ -120,13 +177,70 @@ impl FaultPlan {
             ));
         }
         for (i, ph) in self.bandwidth_phases.iter().enumerate() {
-            if ph.end <= ph.start {
-                return Err(format!("bandwidth_phases[{i}]: end <= start"));
+            if let Some(end) = ph.end {
+                if end <= ph.start {
+                    return Err(format!("bandwidth_phases[{i}]: end <= start"));
+                }
             }
             if !(ph.factor > 0.0 && ph.factor <= 1.0) {
                 return Err(format!(
                     "bandwidth_phases[{i}]: factor must be in (0, 1], got {}",
                     ph.factor
+                ));
+            }
+        }
+        for (i, s) in self.tier_shrinks.iter().enumerate() {
+            if s.new_frames == 0 {
+                return Err(format!(
+                    "tier_shrinks[{i}]: new_frames must be >= 1 (a tier cannot shrink \
+                     to zero frames; remove the tier from the config instead)"
+                ));
+            }
+        }
+        // Same-tier shrinks must be consistent: a later shrink cannot
+        // *grow* the tier back (capacity loss is permanent by definition).
+        let mut sorted: Vec<&TierShrink> = self.tier_shrinks.iter().collect();
+        sorted.sort_by_key(|s| (s.tier.index(), s.at));
+        for w in sorted.windows(2) {
+            if w[0].tier == w[1].tier {
+                if w[0].at == w[1].at {
+                    return Err(format!(
+                        "tier_shrinks: two shrinks of tier {} at the same time {:?}; \
+                         merge them into one",
+                        w[0].tier.index(),
+                        w[0].at
+                    ));
+                }
+                if w[1].new_frames >= w[0].new_frames {
+                    return Err(format!(
+                        "tier_shrinks: tier {} shrinks to {} frames at {:?} but a later \
+                         shrink at {:?} sets {} frames; capacity loss is permanent, so \
+                         later shrinks must be strictly smaller",
+                        w[0].tier.index(),
+                        w[0].new_frames,
+                        w[0].at,
+                        w[1].at,
+                        w[1].new_frames
+                    ));
+                }
+            }
+        }
+        let mut outages: Vec<&EngineOutage> = self.engine_outages.iter().collect();
+        outages.sort_by_key(|o| o.start);
+        for (i, o) in outages.iter().enumerate() {
+            if o.end <= o.start {
+                return Err(format!(
+                    "engine_outages: window starting at {:?} has end {:?} <= start",
+                    o.start, o.end
+                ));
+            }
+            if i > 0 && o.start < outages[i - 1].end {
+                return Err(format!(
+                    "engine_outages: window [{:?}, {:?}) overlaps the window ending at \
+                     {:?}; merge overlapping outages into one window",
+                    o.start,
+                    o.end,
+                    outages[i - 1].end
                 ));
             }
         }
@@ -137,18 +251,26 @@ impl FaultPlan {
     pub fn bandwidth_factor(&self, t: SimTime) -> f64 {
         let mut f = 1.0;
         for ph in &self.bandwidth_phases {
-            if t >= ph.start && t < ph.end && ph.factor < f {
+            if t >= ph.start && ph.end.is_none_or(|end| t < end) && ph.factor < f {
                 f = ph.factor;
             }
         }
         f
+    }
+
+    /// Whether a migration-engine outage is active at `t`.
+    pub fn engine_outage_at(&self, t: SimTime) -> bool {
+        self.engine_outages
+            .iter()
+            .any(|o| t >= o.start && t < o.end)
     }
 }
 
 /// Per-tick fault counters, reported in [`crate::TickReport`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
-    /// Migrations aborted by injected transient failures this tick.
+    /// Migrations aborted by injected transient failures this tick
+    /// (includes engine-outage aborts).
     pub migration_failures: u64,
     /// Reported tier windows replaced by the previous tick's window.
     pub windows_stale: u64,
@@ -158,6 +280,11 @@ pub struct FaultStats {
     pub windows_noisy: u64,
     /// PEBS samples lost.
     pub pebs_dropped: u64,
+    /// Pages force-evacuated by tier shrinks this tick.
+    pub pages_evacuated: u64,
+    /// Migrations aborted because the engine was in an outage window
+    /// (also counted in `migration_failures`).
+    pub engine_outage_aborts: u64,
 }
 
 impl FaultStats {
@@ -168,15 +295,19 @@ impl FaultStats {
         self.windows_dropped += other.windows_dropped;
         self.windows_noisy += other.windows_noisy;
         self.pebs_dropped += other.pebs_dropped;
+        self.pages_evacuated += other.pages_evacuated;
+        self.engine_outage_aborts += other.engine_outage_aborts;
     }
 
-    /// Total number of injected events.
+    /// Total number of injected events (outage aborts are already part of
+    /// `migration_failures`).
     pub fn total(&self) -> u64 {
         self.migration_failures
             + self.windows_stale
             + self.windows_dropped
             + self.windows_noisy
             + self.pebs_dropped
+            + self.pages_evacuated
     }
 }
 
@@ -190,6 +321,10 @@ pub(crate) struct FaultInjector {
     tick_stats: FaultStats,
     tick_failed: Vec<(Vpn, TierId)>,
     last_reported: Vec<Option<TierWindow>>,
+    /// Tier shrinks sorted by activation time; `shrink_cursor` indexes the
+    /// next not-yet-applied entry.
+    shrinks: Vec<TierShrink>,
+    shrink_cursor: usize,
 }
 
 impl FaultInjector {
@@ -197,13 +332,30 @@ impl FaultInjector {
         if let Err(e) = plan.validate() {
             panic!("invalid FaultPlan: {e}");
         }
+        for s in &plan.tier_shrinks {
+            assert!(
+                s.tier.index() < n_tiers,
+                "invalid FaultPlan: tier_shrinks names tier {} but the machine has {n_tiers} tiers",
+                s.tier.index()
+            );
+        }
+        let mut shrinks = plan.tier_shrinks.clone();
+        shrinks.sort_by_key(|s| (s.at, s.tier.index()));
         FaultInjector {
             plan,
             rng: seed_from(seed, FAULT_RNG_STREAM),
             tick_stats: FaultStats::default(),
             tick_failed: Vec::new(),
             last_reported: vec![None; n_tiers],
+            shrinks,
+            shrink_cursor: 0,
         }
+    }
+
+    /// Read-only view of the plan (for feasibility checks against machine
+    /// state the plan cannot see, e.g. pinned pages).
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Whether the migration the engine is about to start should abort.
@@ -219,6 +371,37 @@ impl FaultInjector {
         } else {
             false
         }
+    }
+
+    /// Whether the migration the engine is about to start at `t` falls in
+    /// an engine-outage window. Purely time-driven: no RNG draw.
+    pub(crate) fn outage_aborts(&mut self, vpn: Vpn, dst: TierId, t: SimTime) -> bool {
+        if self.plan.engine_outages.is_empty() || !self.plan.engine_outage_at(t) {
+            return false;
+        }
+        self.tick_stats.migration_failures += 1;
+        self.tick_stats.engine_outage_aborts += 1;
+        self.tick_failed.push((vpn, dst));
+        true
+    }
+
+    /// Tier shrinks that become due at or before `t` and have not been
+    /// handed out yet. Purely time-driven: no RNG draw.
+    pub(crate) fn due_shrinks(&mut self, t: SimTime) -> Vec<TierShrink> {
+        if self.shrink_cursor >= self.shrinks.len() {
+            return Vec::new();
+        }
+        let mut due = Vec::new();
+        while self.shrink_cursor < self.shrinks.len() && self.shrinks[self.shrink_cursor].at <= t {
+            due.push(self.shrinks[self.shrink_cursor]);
+            self.shrink_cursor += 1;
+        }
+        due
+    }
+
+    /// Records `n` pages force-evacuated by a tier shrink this tick.
+    pub(crate) fn note_evacuated(&mut self, n: u64) {
+        self.tick_stats.pages_evacuated += n;
     }
 
     /// Whether the PEBS sample about to be buffered should be lost.
@@ -323,7 +506,9 @@ mod tests {
         let mut inj = FaultInjector::new(FaultPlan::none(), 7, 2);
         let rng_before = format!("{:?}", inj.rng);
         assert!(!inj.migration_aborts(1, TierId::ALTERNATE));
+        assert!(!inj.outage_aborts(1, TierId::ALTERNATE, SimTime::from_us(5.0)));
         assert!(!inj.pebs_sample_lost());
+        assert!(inj.due_shrinks(SimTime::from_ms(100.0)).is_empty());
         let ws = vec![window(1.5, 10, 0.01), window(0.0, 0, 0.0)];
         let out = inj.perturb_windows(ws.clone());
         assert_eq!(out[0].occupancy, ws[0].occupancy);
@@ -411,12 +596,12 @@ mod tests {
             bandwidth_phases: vec![
                 BandwidthPhase {
                     start: SimTime::from_us(10.0),
-                    end: SimTime::from_us(20.0),
+                    end: Some(SimTime::from_us(20.0)),
                     factor: 0.5,
                 },
                 BandwidthPhase {
                     start: SimTime::from_us(15.0),
-                    end: SimTime::from_us(30.0),
+                    end: Some(SimTime::from_us(30.0)),
                     factor: 0.25,
                 },
             ],
@@ -427,6 +612,80 @@ mod tests {
         assert_eq!(plan.bandwidth_factor(SimTime::from_us(17.0)), 0.25);
         assert_eq!(plan.bandwidth_factor(SimTime::from_us(25.0)), 0.25);
         assert_eq!(plan.bandwidth_factor(SimTime::from_us(30.0)), 1.0);
+    }
+
+    #[test]
+    fn permanent_bandwidth_collapse_never_lifts() {
+        let plan = FaultPlan {
+            bandwidth_phases: vec![BandwidthPhase {
+                start: SimTime::from_us(10.0),
+                end: None,
+                factor: 0.1,
+            }],
+            ..FaultPlan::none()
+        };
+        plan.validate().unwrap();
+        assert!(plan.has_hard_faults());
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(5.0)), 1.0);
+        assert_eq!(plan.bandwidth_factor(SimTime::from_us(10.0)), 0.1);
+        assert_eq!(plan.bandwidth_factor(SimTime::from_ms(1e6)), 0.1);
+    }
+
+    #[test]
+    fn engine_outage_aborts_every_migration_in_window() {
+        let plan = FaultPlan {
+            engine_outages: vec![EngineOutage {
+                start: SimTime::from_us(10.0),
+                end: SimTime::from_us(20.0),
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active() && plan.has_hard_faults());
+        let mut inj = FaultInjector::new(plan, 7, 2);
+        let rng_before = format!("{:?}", inj.rng);
+        assert!(!inj.outage_aborts(1, TierId::DEFAULT, SimTime::from_us(9.0)));
+        assert!(inj.outage_aborts(1, TierId::DEFAULT, SimTime::from_us(10.0)));
+        assert!(inj.outage_aborts(2, TierId::DEFAULT, SimTime::from_us(19.9)));
+        assert!(!inj.outage_aborts(3, TierId::DEFAULT, SimTime::from_us(20.0)));
+        // Outage checks are time-driven: no RNG draws.
+        assert_eq!(format!("{:?}", inj.rng), rng_before);
+        let (stats, failed) = inj.take_tick();
+        assert_eq!(stats.engine_outage_aborts, 2);
+        assert_eq!(stats.migration_failures, 2);
+        assert_eq!(failed, vec![(1, TierId::DEFAULT), (2, TierId::DEFAULT)]);
+    }
+
+    #[test]
+    fn due_shrinks_hand_out_each_shrink_once_in_time_order() {
+        let plan = FaultPlan {
+            tier_shrinks: vec![
+                TierShrink {
+                    tier: TierId::DEFAULT,
+                    at: SimTime::from_us(50.0),
+                    new_frames: 100,
+                },
+                TierShrink {
+                    tier: TierId::ALTERNATE,
+                    at: SimTime::from_us(20.0),
+                    new_frames: 500,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        assert!(plan.is_active() && plan.has_hard_faults());
+        let mut inj = FaultInjector::new(plan, 7, 2);
+        assert!(inj.due_shrinks(SimTime::from_us(10.0)).is_empty());
+        let first = inj.due_shrinks(SimTime::from_us(20.0));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].tier, TierId::ALTERNATE);
+        // Already handed out: not returned again.
+        assert!(inj.due_shrinks(SimTime::from_us(30.0)).is_empty());
+        let second = inj.due_shrinks(SimTime::from_us(100.0));
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].new_frames, 100);
+        assert!(inj.due_shrinks(SimTime::from_ms(10.0)).is_empty());
+        inj.note_evacuated(3);
+        assert_eq!(inj.take_tick().0.pages_evacuated, 3);
     }
 
     #[test]
@@ -467,7 +726,7 @@ mod tests {
         let bad_phase = FaultPlan {
             bandwidth_phases: vec![BandwidthPhase {
                 start: SimTime::from_us(2.0),
-                end: SimTime::from_us(1.0),
+                end: Some(SimTime::from_us(1.0)),
                 factor: 0.5,
             }],
             ..FaultPlan::none()
@@ -476,11 +735,83 @@ mod tests {
         let zero_factor = FaultPlan {
             bandwidth_phases: vec![BandwidthPhase {
                 start: SimTime::ZERO,
-                end: SimTime::from_us(1.0),
+                end: Some(SimTime::from_us(1.0)),
                 factor: 0.0,
             }],
             ..FaultPlan::none()
         };
         assert!(zero_factor.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_impossible_hard_faults() {
+        let zero_frames = FaultPlan {
+            tier_shrinks: vec![TierShrink {
+                tier: TierId::DEFAULT,
+                at: SimTime::ZERO,
+                new_frames: 0,
+            }],
+            ..FaultPlan::none()
+        };
+        let err = zero_frames.validate().unwrap_err();
+        assert!(err.contains("new_frames"), "unhelpful error: {err}");
+
+        let regrow = FaultPlan {
+            tier_shrinks: vec![
+                TierShrink {
+                    tier: TierId::DEFAULT,
+                    at: SimTime::from_us(10.0),
+                    new_frames: 100,
+                },
+                TierShrink {
+                    tier: TierId::DEFAULT,
+                    at: SimTime::from_us(20.0),
+                    new_frames: 200,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        let err = regrow.validate().unwrap_err();
+        assert!(err.contains("permanent"), "unhelpful error: {err}");
+
+        let overlap = FaultPlan {
+            engine_outages: vec![
+                EngineOutage {
+                    start: SimTime::from_us(10.0),
+                    end: SimTime::from_us(30.0),
+                },
+                EngineOutage {
+                    start: SimTime::from_us(20.0),
+                    end: SimTime::from_us(40.0),
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        let err = overlap.validate().unwrap_err();
+        assert!(err.contains("overlap"), "unhelpful error: {err}");
+
+        let inverted = FaultPlan {
+            engine_outages: vec![EngineOutage {
+                start: SimTime::from_us(10.0),
+                end: SimTime::from_us(10.0),
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(inverted.validate().is_err());
+
+        let unknown_tier_is_machine_checked = FaultPlan {
+            tier_shrinks: vec![TierShrink {
+                tier: TierId(9),
+                at: SimTime::ZERO,
+                new_frames: 10,
+            }],
+            ..FaultPlan::none()
+        };
+        // Plan-level validate cannot know the tier count; the injector
+        // (seeded with the machine's tier count) must reject it.
+        assert!(unknown_tier_is_machine_checked.validate().is_ok());
+        let result =
+            std::panic::catch_unwind(|| FaultInjector::new(unknown_tier_is_machine_checked, 7, 2));
+        assert!(result.is_err());
     }
 }

@@ -20,7 +20,8 @@
 //!   placement, the migration DMA engine, and access-tracking hardware.
 //! - [`faults`]: deterministic fault injection — counter
 //!   noise/staleness/drops, transient migration failures, bandwidth
-//!   degradation phases, and PEBS sample loss.
+//!   degradation phases, PEBS sample loss, and hard faults (permanent
+//!   tier shrinks, engine outages, permanent bandwidth collapse).
 
 pub mod cha;
 pub mod config;
@@ -31,7 +32,7 @@ pub mod request;
 
 pub use cha::{Cha, ChaCounters, TierWindow};
 pub use config::{CoreConfig, DramConfig, LinkConfig, MachineConfig, TierConfig};
-pub use faults::{BandwidthPhase, FaultPlan, FaultStats};
+pub use faults::{BandwidthPhase, EngineOutage, FaultPlan, FaultStats, TierShrink};
 pub use machine::{AccessStream, CoreId, Machine, TickReport};
 pub use request::{
     AccessKind, HintFault, ObjectAccess, PebsSample, TierId, TrafficClass, Vpn, LINES_PER_PAGE,

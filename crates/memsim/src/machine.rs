@@ -124,6 +124,9 @@ struct MigJob {
     lines_read: u16,
     lines_done: u16,
     live: bool,
+    /// When the copy left the queue and the engine started it (for the
+    /// per-page copy-time telemetry in [`TickReport::mig_copy_ns`]).
+    started: SimTime,
 }
 
 /// Simulator events.
@@ -199,6 +202,9 @@ struct Shared {
     /// Pages that must never migrate (e.g. the antagonist's pinned buffer).
     pinned: Vec<bool>,
     used_pages: Vec<u64>,
+    /// Usable frames per tier: starts at the configured capacity and only
+    /// decreases, when a [`crate::TierShrink`] hard fault fires.
+    effective_capacity: Vec<u64>,
     // Access tracking.
     marked: Vec<bool>,
     marked_at: Vec<SimTime>,
@@ -215,6 +221,11 @@ struct Shared {
     mig_inflight_to: Vec<u64>,
     migrated_pages: u64,
     migrated_bytes: u64,
+    /// Migrations admitted (successfully enqueued) this tick.
+    mig_admitted_tick: u64,
+    /// Per-tick cap on admitted migrations (`None` = unlimited); set by a
+    /// supervisor's admission controller.
+    mig_admission_limit: Option<u64>,
     // Fault injection (no-op unless cfg.faults configures something).
     faults: FaultInjector,
     // Telemetry.
@@ -250,6 +261,14 @@ pub struct TickReport {
     pub migrated_bytes: u64,
     /// Pages still waiting in the migration queue at tick end.
     pub migration_backlog: usize,
+    /// Mean wall-clock duration of page copies *completed* this tick, in
+    /// ns, from engine start to mapping flip (`None` if no copy finished).
+    /// The real-world analog is a tiering daemon timing its own
+    /// `move_pages` calls: a healthy engine copies a page in roughly
+    /// `PAGE_SIZE / migration_bandwidth`, so a large ratio between this
+    /// and that expectation is direct, observable evidence of a
+    /// migration-bandwidth collapse.
+    pub mig_copy_ns: Option<f64>,
     /// Mean *measured per-request* read latency per tier this tick, in ns
     /// (ground truth for validating Little's-Law estimates); `None` if the
     /// tier was idle. Unlike [`TickReport::tiers`], never perturbed by
@@ -261,6 +280,10 @@ pub struct TickReport {
     /// page stays at its source and the destination reservation has been
     /// released. Tiering systems should retry these.
     pub failed_migrations: Vec<(Vpn, TierId)>,
+    /// Pages force-evacuated by a tier-shrink hard fault this tick, with
+    /// the tier each page landed in. Tiering systems must re-sync any
+    /// per-page tier metadata with these moves.
+    pub evacuated: Vec<(Vpn, TierId)>,
 }
 
 impl TickReport {
@@ -292,6 +315,8 @@ pub struct Machine {
     now: SimTime,
     tick_app_ops: u64,
     tick_mig_bytes: u64,
+    tick_copy_ns: f64,
+    tick_copies: u64,
     rng_streams: u64,
 }
 
@@ -310,6 +335,7 @@ impl Machine {
             })
             .collect::<Vec<_>>();
         let n_tiers = tiers.len();
+        let effective_capacity = cfg.tiers.iter().map(|t| t.capacity_pages()).collect();
         let sh = Shared {
             events: EventQueue::new(),
             tiers,
@@ -317,6 +343,7 @@ impl Machine {
             placement: vec![u8::MAX; vp],
             pinned: vec![false; vp],
             used_pages: vec![0; n_tiers],
+            effective_capacity,
             marked: vec![false; vp],
             marked_at: vec![SimTime::ZERO; vp],
             pebs_counter: 0,
@@ -331,6 +358,8 @@ impl Machine {
             mig_inflight_to: vec![0; n_tiers],
             migrated_pages: 0,
             migrated_bytes: 0,
+            mig_admitted_tick: 0,
+            mig_admission_limit: None,
             faults: FaultInjector::new(cfg.faults.clone(), cfg.seed, n_tiers),
             lat_hist: vec![LatencyHist::new(); n_tiers],
             hint_fault_cost: cfg.hint_fault_cost,
@@ -343,6 +372,8 @@ impl Machine {
             now: SimTime::ZERO,
             tick_app_ops: 0,
             tick_mig_bytes: 0,
+            tick_copy_ns: 0.0,
+            tick_copies: 0,
             rng_streams: 0,
         }
     }
@@ -423,7 +454,7 @@ impl Machine {
     pub fn place(&mut self, vpn: Vpn, tier: TierId) {
         assert_eq!(self.sh.placement[vpn as usize], u8::MAX, "page remapped");
         assert!(
-            self.sh.used_pages[tier.index()] < self.sh.cfg.tiers[tier.index()].capacity_pages(),
+            self.sh.used_pages[tier.index()] < self.sh.effective_capacity[tier.index()],
             "tier {tier:?} out of capacity"
         );
         self.sh.placement[vpn as usize] = tier.0;
@@ -460,9 +491,52 @@ impl Machine {
 
     /// Free page frames in `tier`, accounting for in-flight migrations.
     pub fn free_pages(&self, tier: TierId) -> u64 {
-        self.sh.cfg.tiers[tier.index()]
-            .capacity_pages()
-            .saturating_sub(self.used_pages(tier))
+        self.sh.effective_capacity[tier.index()].saturating_sub(self.used_pages(tier))
+    }
+
+    /// Currently usable frames in `tier`: the configured capacity, reduced
+    /// by any tier-shrink hard faults that have already fired.
+    pub fn capacity_pages(&self, tier: TierId) -> u64 {
+        self.sh.effective_capacity[tier.index()]
+    }
+
+    /// Checks that this machine's placement can survive the configured
+    /// hard-fault plan: every planned tier shrink must leave room for the
+    /// tier's pinned pages, and the post-shrink machine must still hold
+    /// every mapped page somewhere. Call after initial placement.
+    pub fn validate_fault_feasibility(&self) -> Result<(), String> {
+        let plan = self.sh.faults.plan();
+        if plan.tier_shrinks.is_empty() {
+            return Ok(());
+        }
+        let n_tiers = self.sh.tiers.len();
+        let mut pinned_per_tier = vec![0u64; n_tiers];
+        for (p, &pin) in self.sh.placement.iter().zip(self.sh.pinned.iter()) {
+            if pin && *p != u8::MAX {
+                pinned_per_tier[*p as usize] += 1;
+            }
+        }
+        let mut final_cap: Vec<u64> = self.sh.effective_capacity.clone();
+        for s in &plan.tier_shrinks {
+            let i = s.tier.index();
+            final_cap[i] = final_cap[i].min(s.new_frames);
+            if pinned_per_tier[i] > s.new_frames {
+                return Err(format!(
+                    "tier {i} shrinks to {} frames at {:?} but {} pinned pages reside \
+                     there; pin fewer pages or shrink less",
+                    s.new_frames, s.at, pinned_per_tier[i]
+                ));
+            }
+        }
+        let mapped: u64 = self.sh.used_pages.iter().sum();
+        let total: u64 = final_cap.iter().sum();
+        if mapped > total {
+            return Err(format!(
+                "hard-fault plan leaves {total} total frames for {mapped} mapped pages; \
+                 evacuation would have nowhere to put the overflow"
+            ));
+        }
+        Ok(())
     }
 
     // ---- Access tracking hooks ------------------------------------------
@@ -487,8 +561,8 @@ impl Machine {
     // ---- Migration -------------------------------------------------------
 
     /// Enqueues a page migration to `dst`. Returns `false` (and does
-    /// nothing) if the page is unmapped, pinned, already at `dst`, or `dst`
-    /// has no free frames left.
+    /// nothing) if the page is unmapped, pinned, already at `dst`, `dst`
+    /// has no free frames left, or the per-tick admission limit is reached.
     pub fn enqueue_migration(&mut self, vpn: Vpn, dst: TierId) -> bool {
         let cur = self.sh.placement[vpn as usize];
         if cur == u8::MAX || cur == dst.0 || self.sh.pinned[vpn as usize] {
@@ -497,6 +571,12 @@ impl Machine {
         if self.free_pages(dst) == 0 {
             return false;
         }
+        if let Some(limit) = self.sh.mig_admission_limit {
+            if self.sh.mig_admitted_tick >= limit {
+                return false;
+            }
+        }
+        self.sh.mig_admitted_tick += 1;
         // Reserve the destination frame now so capacity cannot oversubscribe.
         self.sh.mig_inflight_to[dst.index()] += 1;
         self.sh.mig_queue.push_back((vpn, dst));
@@ -511,6 +591,19 @@ impl Machine {
     /// Pages waiting in the migration queue.
     pub fn migration_backlog(&self) -> usize {
         self.sh.mig_queue.len()
+    }
+
+    /// Caps the number of migrations admitted per tick (`None` lifts the
+    /// cap). The counter resets at each `run_tick`; with `Some(0)` every
+    /// `enqueue_migration` is rejected. Admission control is a supervisor
+    /// lever: the machine itself never sets a limit.
+    pub fn set_migration_admission_limit(&mut self, limit: Option<u64>) {
+        self.sh.mig_admission_limit = limit;
+    }
+
+    /// The current per-tick migration admission limit.
+    pub fn migration_admission_limit(&self) -> Option<u64> {
+        self.sh.mig_admission_limit
     }
 
     /// Total pages migrated since construction.
@@ -537,6 +630,24 @@ impl Machine {
             .collect();
         self.tick_app_ops = 0;
         self.tick_mig_bytes = 0;
+        self.tick_copy_ns = 0.0;
+        self.tick_copies = 0;
+        self.sh.mig_admitted_tick = 0;
+
+        // Hard faults fire at tick boundaries: apply due tier shrinks, then
+        // evacuate any tier left over its (new) capacity. The sweep re-runs
+        // every tick while shrinks are configured, so pages deferred one
+        // tick (mid-copy, or no free frames anywhere) leave on a later one.
+        let evacuated = if self.sh.faults.plan().tier_shrinks.is_empty() {
+            Vec::new()
+        } else {
+            for s in self.sh.faults.due_shrinks(t_start) {
+                let i = s.tier.index();
+                let cap = &mut self.sh.effective_capacity[i];
+                *cap = (*cap).min(s.new_frames);
+            }
+            self.evacuate_over_capacity()
+        };
 
         while let Some(t) = self.sh.events.peek_time() {
             if t > t_end {
@@ -582,10 +693,64 @@ impl Machine {
             app_ops: self.tick_app_ops,
             migrated_bytes: self.tick_mig_bytes,
             migration_backlog: self.sh.mig_queue.len(),
+            mig_copy_ns: (self.tick_copies > 0)
+                .then(|| self.tick_copy_ns / self.tick_copies as f64),
             true_latency_ns,
             fault_stats,
             failed_migrations,
+            evacuated,
         }
+    }
+
+    /// Force-moves pages out of any tier holding more than its effective
+    /// capacity (after a shrink), hardware memory-failure style: the page
+    /// teleports to the first other tier with a free frame, synchronously
+    /// and without generating interconnect traffic. Pinned pages never
+    /// move; pages mid-copy in the migration engine are skipped until the
+    /// copy completes (their accounting flips at `mig_line_done`).
+    fn evacuate_over_capacity(&mut self) -> Vec<(Vpn, TierId)> {
+        let n_tiers = self.sh.tiers.len();
+        let mut out = Vec::new();
+        let busy: Vec<Vpn> = self
+            .sh
+            .mig_jobs
+            .iter()
+            .filter(|j| j.live)
+            .map(|j| j.vpn)
+            .collect();
+        for i in 0..n_tiers {
+            let cap = self.sh.effective_capacity[i];
+            let occupied = self.sh.used_pages[i] + self.sh.mig_inflight_to[i];
+            if occupied <= cap {
+                continue;
+            }
+            let mut excess = occupied - cap;
+            let before = out.len();
+            for vpn in 0..self.sh.placement.len() as u64 {
+                if excess == 0 {
+                    break;
+                }
+                if self.sh.placement[vpn as usize] != i as u8
+                    || self.sh.pinned[vpn as usize]
+                    || busy.contains(&vpn)
+                {
+                    continue;
+                }
+                let Some(dst) = (0..n_tiers)
+                    .map(|d| TierId(d as u8))
+                    .find(|&d| d.index() != i && self.free_pages(d) > 0)
+                else {
+                    break; // nowhere to go: defer to a later tick
+                };
+                self.sh.placement[vpn as usize] = dst.0;
+                self.sh.used_pages[i] -= 1;
+                self.sh.used_pages[dst.index()] += 1;
+                out.push((vpn, dst));
+                excess -= 1;
+            }
+            self.sh.faults.note_evacuated((out.len() - before) as u64);
+        }
+        out
     }
 
     fn dispatch(&mut self, t: SimTime, ev: Ev) {
@@ -835,6 +1000,19 @@ impl Machine {
             self.sh.events.push(t, Ev::MigStart);
             return;
         }
+        // Engine outage (hard fault): the copy thread is wedged — the
+        // migration aborts *and still burns the engine's time budget*, so a
+        // backlog builds up exactly as it would behind a hung kthread.
+        if self.sh.faults.outage_aborts(vpn, dst, t) {
+            self.sh.mig_inflight_to[dst.index()] -= 1;
+            let bw = self
+                .sh
+                .faults
+                .migration_bandwidth_at(self.sh.cfg.migration_bandwidth, t);
+            self.sh.mig_engine_free = t + SimTime::from_ns(PAGE_SIZE as f64 / bw * 1e9);
+            self.sh.events.push(self.sh.mig_engine_free, Ev::MigStart);
+            return;
+        }
         // Transient migration failure: the copy aborts before touching the
         // DMA engine. The reserved destination frame is released and the
         // failure is surfaced in the next TickReport so control software can
@@ -850,6 +1028,7 @@ impl Machine {
             lines_read: 0,
             lines_done: 0,
             live: true,
+            started: t,
         };
         let id = if let Some(i) = self.sh.mig_free_jobs.pop() {
             self.sh.mig_jobs[i as usize] = job;
@@ -914,6 +1093,8 @@ impl Machine {
             self.sh.mig_inflight_to[job.dst.index()] -= 1;
             self.sh.migrated_pages += 1;
             self.sh.migrated_bytes += PAGE_SIZE;
+            self.tick_copy_ns += t.saturating_sub(job.started).as_ns();
+            self.tick_copies += 1;
             self.sh.mig_jobs[job_id as usize].live = false;
             self.sh.mig_free_jobs.push(job_id);
         }
@@ -1435,7 +1616,7 @@ mod tests {
             .bandwidth_phases
             .push(crate::faults::BandwidthPhase {
                 start: SimTime::ZERO,
-                end: SimTime::from_ms(10.0),
+                end: Some(SimTime::from_ms(10.0)),
                 factor: 0.25,
             });
         let mut m = Machine::new(cfg);
@@ -1517,6 +1698,193 @@ mod tests {
         }
     }
 
+    /// Recounts placement and checks it against the used-page accounting:
+    /// no page lost or duplicated.
+    fn assert_pages_conserved(m: &Machine, expect_mapped: u64) {
+        let mut by_tier = vec![0u64; m.config().tiers.len()];
+        let mut mapped = 0u64;
+        for vpn in 0..m.config().virtual_pages {
+            if let Some(t) = m.tier_of(vpn) {
+                by_tier[t.index()] += 1;
+                mapped += 1;
+            }
+        }
+        assert_eq!(mapped, expect_mapped, "pages lost or duplicated");
+        for (i, &n) in by_tier.iter().enumerate() {
+            assert_eq!(
+                n, m.sh.used_pages[i],
+                "tier {i} used-page accounting diverged from placement"
+            );
+        }
+    }
+
+    #[test]
+    fn tier_shrink_evacuates_resident_pages() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 1024 * PAGE_SIZE;
+        cfg.faults.tier_shrinks.push(crate::TierShrink {
+            tier: TierId::DEFAULT,
+            at: SimTime::from_us(100.0),
+            new_frames: 16,
+        });
+        let mut m = Machine::new(cfg);
+        m.place_range(0..64, TierId::DEFAULT);
+        m.place_range(64..128, TierId::ALTERNATE);
+        m.validate_fault_feasibility().unwrap();
+
+        // Before the shrink fires, nothing moves.
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        assert!(rep.evacuated.is_empty());
+        assert_eq!(m.capacity_pages(TierId::DEFAULT), 64);
+
+        // The first tick at/after t=150us applies the shrink and evacuates.
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        assert_eq!(m.capacity_pages(TierId::DEFAULT), 16);
+        assert_eq!(rep.evacuated.len(), 48);
+        assert_eq!(rep.fault_stats.pages_evacuated, 48);
+        for &(vpn, dst) in &rep.evacuated {
+            assert_eq!(dst, TierId::ALTERNATE);
+            assert_eq!(m.tier_of(vpn), Some(TierId::ALTERNATE));
+        }
+        assert!(m.used_pages(TierId::DEFAULT) <= 16);
+        assert_pages_conserved(&m, 128);
+
+        // Later ticks: already applied, nothing further to do.
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        assert!(rep.evacuated.is_empty());
+        assert_eq!(rep.fault_stats.pages_evacuated, 0);
+    }
+
+    #[test]
+    fn shrink_below_pinned_pages_is_rejected() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.faults.tier_shrinks.push(crate::TierShrink {
+            tier: TierId::DEFAULT,
+            at: SimTime::ZERO,
+            new_frames: 4,
+        });
+        let mut m = Machine::new(cfg);
+        m.place_range(0..32, TierId::DEFAULT);
+        for vpn in 0..8 {
+            m.pin(vpn);
+        }
+        let err = m.validate_fault_feasibility().unwrap_err();
+        assert!(err.contains("pinned"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn shrink_that_overflows_total_capacity_is_rejected() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.faults.tier_shrinks.push(crate::TierShrink {
+            tier: TierId::DEFAULT,
+            at: SimTime::ZERO,
+            new_frames: 16,
+        });
+        let mut m = Machine::new(cfg);
+        m.place_range(0..64, TierId::DEFAULT);
+        m.place_range(64..128, TierId::ALTERNATE);
+        let err = m.validate_fault_feasibility().unwrap_err();
+        assert!(err.contains("frames"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn engine_outage_fails_migrations_then_recovers() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.faults.engine_outages.push(crate::EngineOutage {
+            start: SimTime::ZERO,
+            end: SimTime::from_us(500.0),
+        });
+        let mut m = Machine::new(cfg);
+        m.place_range(0..64, TierId::DEFAULT);
+        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+        let rep = m.run_tick(SimTime::from_us(100.0));
+        assert_eq!(rep.fault_stats.engine_outage_aborts, 1);
+        assert_eq!(rep.failed_migrations, vec![(0, TierId::ALTERNATE)]);
+        assert_eq!(m.tier_of(0), Some(TierId::DEFAULT));
+        assert_eq!(m.migrated_pages(), 0);
+        // Past the outage window the engine works again.
+        for _ in 0..4 {
+            m.run_tick(SimTime::from_us(100.0));
+        }
+        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+        m.run_tick(SimTime::from_us(100.0));
+        assert_eq!(m.tier_of(0), Some(TierId::ALTERNATE));
+        assert_eq!(m.migrated_pages(), 1);
+    }
+
+    #[test]
+    fn admission_limit_caps_migrations_per_tick() {
+        let mut m = Machine::new(MachineConfig::icelake_two_tier());
+        m.place_range(0..64, TierId::DEFAULT);
+        m.set_migration_admission_limit(Some(2));
+        let admitted = (0..5)
+            .filter(|&v| m.enqueue_migration(v, TierId::ALTERNATE))
+            .count();
+        assert_eq!(admitted, 2);
+        // The counter resets at each tick boundary …
+        m.run_tick(SimTime::from_us(100.0));
+        assert!(m.enqueue_migration(10, TierId::ALTERNATE));
+        m.run_tick(SimTime::from_ms(1.0));
+        // … and lifting the cap restores unlimited admission.
+        m.set_migration_admission_limit(None);
+        let admitted = (20..40)
+            .filter(|&v| m.enqueue_migration(v, TierId::ALTERNATE))
+            .count();
+        assert_eq!(admitted, 20);
+    }
+
+    #[test]
+    fn copy_time_telemetry_reveals_bandwidth_collapse() {
+        // The mean per-page copy time reported in `mig_copy_ns` must track
+        // the *effective* migration bandwidth: with a permanent collapse to
+        // 10 % the copies take ~10x longer — the observable a supervisor
+        // uses to detect the fault without any injection oracle.
+        use crate::faults::{BandwidthPhase, FaultPlan};
+        let healthy = {
+            let mut m = Machine::new(MachineConfig::icelake_two_tier());
+            m.place_range(0..64, TierId::DEFAULT);
+            for v in 0..32 {
+                assert!(m.enqueue_migration(v, TierId::ALTERNATE));
+            }
+            let rep = m.run_tick(SimTime::from_ms(1.0));
+            rep.mig_copy_ns.expect("copies completed")
+        };
+        let collapsed = {
+            let mut cfg = MachineConfig::icelake_two_tier();
+            cfg.faults = FaultPlan {
+                bandwidth_phases: vec![BandwidthPhase {
+                    start: SimTime::ZERO,
+                    end: None,
+                    factor: 0.1,
+                }],
+                ..FaultPlan::none()
+            };
+            let mut m = Machine::new(cfg);
+            m.place_range(0..64, TierId::DEFAULT);
+            for v in 0..32 {
+                assert!(m.enqueue_migration(v, TierId::ALTERNATE));
+            }
+            let rep = m.run_tick(SimTime::from_ms(1.0));
+            rep.mig_copy_ns.expect("copies completed")
+        };
+        let expected = PAGE_SIZE as f64 / MachineConfig::icelake_two_tier().migration_bandwidth;
+        let expected_ns = expected * 1e9;
+        assert!(
+            healthy < 2.5 * expected_ns,
+            "healthy copy {healthy}ns vs expectation {expected_ns}ns"
+        );
+        assert!(
+            collapsed > 5.0 * expected_ns,
+            "collapsed copy {collapsed}ns should reveal the 10x slowdown \
+             (expectation {expected_ns}ns)"
+        );
+        assert!(collapsed > 4.0 * healthy);
+    }
+
     #[test]
     fn zero_duration_report_has_zero_ops_rate() {
         // Pin the division guard: a degenerate zero-length tick reports
@@ -1530,9 +1898,11 @@ mod tests {
             app_ops: 1234,
             migrated_bytes: 0,
             migration_backlog: 0,
+            mig_copy_ns: None,
             true_latency_ns: Vec::new(),
             fault_stats: FaultStats::default(),
             failed_migrations: Vec::new(),
+            evacuated: Vec::new(),
         };
         assert_eq!(rep.app_ops_per_sec(), 0.0);
         assert!(rep.app_ops_per_sec().is_finite());

@@ -125,6 +125,7 @@ pub struct HeMem {
     colloid: Option<ColloidController>,
     retry: RetryQueue,
     initialized: bool,
+    frozen: bool,
     stats: HememStats,
 }
 
@@ -139,6 +140,7 @@ impl HeMem {
             colloid,
             retry: RetryQueue::new(RetryPolicy::default()),
             initialized: false,
+            frozen: false,
             stats: HememStats::default(),
             params,
         }
@@ -284,6 +286,13 @@ impl TieringSystem for HeMem {
                 self.bins.move_tier(vpn, dst);
             }
         }
+        // Pages force-evacuated by a tier shrink already moved: re-sync
+        // the bins with where each page actually landed.
+        for &(vpn, dst) in &report.evacuated {
+            if self.bins.tier_of(vpn).is_some() {
+                self.bins.move_tier(vpn, dst);
+            }
+        }
         self.ingest_samples(report);
         self.budget.refill();
         match self
@@ -291,7 +300,12 @@ impl TieringSystem for HeMem {
             .as_mut()
             .map(|c| c.on_quantum(&measurements(report)))
         {
-            None => self.vanilla_place(machine),
+            None => {
+                // A frozen vanilla system keeps tracking but stops moving.
+                if !self.frozen {
+                    self.vanilla_place(machine)
+                }
+            }
             Some(None) => {} // Colloid enabled, tiers balanced: no work.
             Some(Some(d)) => self.colloid_place(machine, d.mode, d.delta_p, d.byte_limit),
         }
@@ -307,6 +321,23 @@ impl TieringSystem for HeMem {
 
     fn retry_stats(&self) -> Option<RetryStats> {
         Some(self.retry.stats())
+    }
+
+    fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+        if let Some(c) = self.colloid.as_mut() {
+            c.set_frozen(frozen);
+        }
+    }
+
+    fn reset_equilibrium(&mut self) {
+        if let Some(c) = self.colloid.as_mut() {
+            c.reset_equilibrium();
+        }
+    }
+
+    fn heat_of(&self, vpn: Vpn) -> f64 {
+        f64::from(self.tracker.count(vpn))
     }
 }
 

@@ -21,12 +21,16 @@
 pub mod hemem;
 pub mod memtis;
 pub mod retry;
+pub mod supervisor;
 pub mod tpp;
 
 use memsim::{Machine, TickReport, Vpn};
 use simkit::SimTime;
 
 pub use retry::{RetryPolicy, RetryQueue, RetryStats};
+pub use supervisor::{
+    HealthSample, SupervisionReport, Supervisor, SupervisorConfig, SupervisorMode,
+};
 
 /// A tiering system driving page placement on a [`Machine`].
 pub trait TieringSystem {
@@ -40,6 +44,31 @@ pub trait TieringSystem {
     /// Migration-retry counters, for systems that drive a [`RetryQueue`]
     /// (all three real systems do; placeholders return `None`).
     fn retry_stats(&self) -> Option<RetryStats> {
+        None
+    }
+
+    /// Suspends (or resumes) placement decisions. A frozen system keeps
+    /// ingesting counters and samples — its view of the machine stays
+    /// current — but must not enqueue migrations or move watermarks.
+    /// Default: no-op, for placement-free systems.
+    fn set_frozen(&mut self, _frozen: bool) {}
+
+    /// Discards learned equilibrium state (Colloid watermarks, adaptive
+    /// thresholds) after the machine's operating point changed
+    /// permanently, e.g. a tier shrink. Heat tracking is kept.
+    /// Default: no-op.
+    fn reset_equilibrium(&mut self) {}
+
+    /// Relative hotness of a page under this system's own tracking
+    /// metadata (higher = hotter; 0.0 = never seen). Used by the
+    /// supervisor to drain a degraded tier hottest-first.
+    fn heat_of(&self, _vpn: Vpn) -> f64 {
+        0.0
+    }
+
+    /// Supervision telemetry (mode timeline, time-to-recover), for
+    /// systems wrapped in a [`Supervisor`]. Default: `None`.
+    fn supervision(&self) -> Option<SupervisionReport> {
         None
     }
 }

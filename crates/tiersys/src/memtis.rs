@@ -125,6 +125,7 @@ pub struct Memtis {
     acc_meas: Vec<(f64, f64)>,
     acc_ticks: u32,
     retry: RetryQueue,
+    frozen: bool,
     stats: MemtisStats,
 }
 
@@ -146,6 +147,7 @@ impl Memtis {
             acc_meas: vec![(0.0, 0.0); tiers],
             acc_ticks: 0,
             retry: RetryQueue::new(RetryPolicy::default()),
+            frozen: false,
             stats: MemtisStats {
                 pebs_period: 64,
                 ..MemtisStats::default()
@@ -313,8 +315,9 @@ impl Memtis {
     /// Vanilla kmigrated pass: hot set = densest units filling the default
     /// tier; promote hot units, proactively demote everything else.
     fn vanilla_place(&mut self, machine: &mut Machine, units: &[Unit]) {
-        let cap_bytes =
-            machine.config().tiers[TierId::DEFAULT.index()].capacity_pages() * PAGE_SIZE;
+        // Effective capacity: a tier shrink permanently lowers the hot-set
+        // budget, and MEMTIS must size to what is actually usable.
+        let cap_bytes = machine.capacity_pages(TierId::DEFAULT) * PAGE_SIZE;
         // Leave kswapd headroom (2%).
         let target = cap_bytes - cap_bytes / 50;
         let mut used = 0u64;
@@ -461,7 +464,12 @@ impl TieringSystem for Memtis {
         let units = self.build_units(machine);
         let window = self.drain_measurements();
         match self.colloid.as_mut().map(|c| c.on_quantum(&window)) {
-            None => self.vanilla_place(machine, &units),
+            None => {
+                // A frozen vanilla system keeps tracking but stops moving.
+                if !self.frozen {
+                    self.vanilla_place(machine, &units)
+                }
+            }
             Some(None) => {}
             Some(Some(d)) => self.colloid_place(machine, &units, d.mode, d.delta_p, d.byte_limit),
         }
@@ -477,6 +485,23 @@ impl TieringSystem for Memtis {
 
     fn retry_stats(&self) -> Option<RetryStats> {
         Some(self.retry.stats())
+    }
+
+    fn set_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
+        if let Some(c) = self.colloid.as_mut() {
+            c.set_frozen(frozen);
+        }
+    }
+
+    fn reset_equilibrium(&mut self) {
+        if let Some(c) = self.colloid.as_mut() {
+            c.reset_equilibrium();
+        }
+    }
+
+    fn heat_of(&self, vpn: Vpn) -> f64 {
+        f64::from(self.tracker.count(vpn))
     }
 }
 

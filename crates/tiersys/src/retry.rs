@@ -71,11 +71,16 @@ pub struct RetryStats {
     pub resolved_moot: u64,
     /// Entries abandoned: attempt cap reached or queue overflow.
     pub dropped: u64,
+    /// Entries abandoned specifically because the attempt cap was
+    /// exhausted (a subset of `dropped`; the rest are overflow evictions).
+    pub gave_up: u64,
     /// Ticks on which retries were deferred due to engine backlog.
     pub deferred_ticks: u64,
     /// Transient rejections observed on a fault-free machine, where the
     /// legacy drop-on-reject behavior is preserved for determinism.
     pub uncaptured: u64,
+    /// High-water mark of parked entries (queue-depth saturation signal).
+    pub max_pending: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -203,6 +208,7 @@ impl RetryQueue {
                 e.attempts += 1;
                 if e.attempts >= self.policy.max_attempts {
                     self.stats.dropped += 1;
+                    self.stats.gave_up += 1;
                 } else {
                     e.due = self.tick + self.backoff(e.attempts);
                     self.entries.push_back(e);
@@ -244,6 +250,7 @@ impl RetryQueue {
             attempts: 0,
             due: self.tick + self.policy.base_delay_ticks,
         });
+        self.stats.max_pending = self.stats.max_pending.max(self.entries.len() as u64);
     }
 }
 
@@ -364,7 +371,53 @@ mod tests {
         }
         assert_eq!(q.pending(), 0);
         assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().gave_up, 1);
+        assert_eq!(q.stats().max_pending, 1);
         assert_eq!(q.stats().attempts, 3);
+    }
+
+    #[test]
+    fn max_pending_records_queue_high_water() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy {
+            base_delay_ticks: 1,
+            max_delay_ticks: 1,
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        });
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        for vpn in 1..5 {
+            assert!(!q.request(&mut m, vpn, TierId::ALTERNATE));
+        }
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.stats().max_pending, 4);
+        // Exhausting the attempt cap drains the queue but never lowers
+        // the recorded high-water mark.
+        for _ in 0..20 {
+            q.on_tick(&mut m);
+        }
+        assert_eq!(q.pending(), 0);
+        assert_eq!(q.stats().max_pending, 4);
+        assert_eq!(q.stats().gave_up, 4);
+        assert_eq!(q.stats().dropped, 4);
+    }
+
+    #[test]
+    fn overflow_evictions_are_dropped_but_not_gave_up() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy {
+            capacity: 2,
+            ..RetryPolicy::default()
+        });
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        for vpn in 1..4 {
+            assert!(!q.request(&mut m, vpn, TierId::ALTERNATE));
+        }
+        // Third park evicted the oldest entry to stay within capacity.
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.stats().gave_up, 0);
+        assert_eq!(q.stats().max_pending, 2);
     }
 
     #[test]
