@@ -127,6 +127,7 @@ pub struct ColloidController {
     shift: ShiftController,
     cfg: ColloidConfig,
     quanta: u64,
+    sink: telemetry::Sink,
 }
 
 impl ColloidController {
@@ -146,7 +147,16 @@ impl ColloidController {
             shift: ShiftController::new(cfg.epsilon, cfg.delta),
             cfg,
             quanta: 0,
+            sink: telemetry::Sink::default(),
         }
+    }
+
+    /// Attaches a telemetry sink. The controller has no clock of its own,
+    /// so events are stamped with the sink's shared clock (which the
+    /// machine refreshes at every tick boundary). Recording is passive and
+    /// never changes a decision.
+    pub fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        self.sink = sink;
     }
 
     /// Algorithm 1, lines 1–9: ingest counters, decide mode/Δp/limit.
@@ -174,7 +184,18 @@ impl ColloidController {
         } else {
             Mode::Demote
         };
+        let marks_before = (self.shift.p_lo(), self.shift.p_hi(), self.shift.resets());
         let delta_p = self.shift.compute_shift(p, l_d, l_a);
+        let (lo, hi, resets) = (self.shift.p_lo(), self.shift.p_hi(), self.shift.resets());
+        if (lo, hi, resets) != marks_before {
+            self.sink.emit(telemetry::Source::Colloid, || {
+                telemetry::EventKind::WatermarkMove {
+                    p_lo: lo,
+                    p_hi: hi,
+                    reset: resets != marks_before.2,
+                }
+            });
+        }
         // The NaN check keeps a corrupt shift from ever reaching a decision.
         if delta_p.is_nan() || delta_p <= 0.0 {
             return None;
@@ -190,6 +211,19 @@ impl ColloidController {
         } else {
             self.cfg.static_limit_bytes
         };
+        self.sink.emit(telemetry::Source::Colloid, || {
+            telemetry::EventKind::PUpdate {
+                p,
+                l_default_ns: l_d,
+                l_alternate_ns: l_a,
+                mode: match mode {
+                    Mode::Promote => "promote",
+                    Mode::Demote => "demote",
+                },
+                delta_p,
+                byte_limit,
+            }
+        });
         Some(PlacementDecision {
             mode,
             delta_p,
@@ -259,6 +293,9 @@ impl ColloidController {
     /// workload move.
     pub fn reset_equilibrium(&mut self) {
         self.shift.reset_watermarks();
+        self.sink.emit(telemetry::Source::Colloid, || {
+            telemetry::EventKind::EquilibriumReset
+        });
     }
 
     /// Quanta processed so far.

@@ -1,0 +1,13 @@
+//! Telemetry demonstration: runs the Figure 9 contention shift with a full
+//! event/metric recorder attached, exports NDJSON + CSV, and prints the
+//! rendered timeline with convergence analytics. Pass `--quick` for the
+//! shortened run and `--smoke` to self-validate (non-zero exit on failure).
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (_, check) = experiments::timeline::run(tiersys::SystemKind::Hemem, quick, smoke);
+    if check.is_err() {
+        std::process::exit(1);
+    }
+}

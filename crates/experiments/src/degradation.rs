@@ -356,13 +356,11 @@ mod tests {
     #[test]
     fn time_avg_latency_weights_by_arrivals() {
         let s = |l_d: f64, b_d: u64, l_a: f64, b_a: u64| TickSample {
-            t: SimTime::ZERO,
-            ops_per_sec: 0.0,
             l_default_ns: Some(l_d),
             l_alternate_ns: Some(l_a),
-            migrated_bytes: 0,
             app_bytes_default: b_d,
             app_bytes_alternate: b_a,
+            ..TickSample::at(SimTime::ZERO)
         };
         // All traffic on a 100ns tier + an idle 1000ns tier: mean is 100.
         let avg = time_avg_latency_ns(&[s(100.0, 64, 1000.0, 0)]).unwrap();

@@ -16,6 +16,11 @@
 //!   rows/series the paper reports and returns them as a string. Binaries
 //!   `fig1`…`fig11` (in `src/bin/`) invoke these.
 //! - [`report`] — plain-text table formatting.
+//! - [`timeline`] — the telemetry demonstration (binary `timeline`): the
+//!   Figure 9 contention shift recorded end to end with a
+//!   [`telemetry::RingRecorder`], exported as NDJSON + CSV, and analysed
+//!   for time-to-equilibrium, migration efficiency, and latency
+//!   inversions (DESIGN.md §10).
 //! - [`robustness`] — the fault-injection matrix (binary `robustness`):
 //!   throughput degradation of every system ± Colloid under graded
 //!   counter/migration/PEBS fault intensities.
@@ -34,6 +39,7 @@ pub mod report;
 pub mod robustness;
 pub mod runner;
 pub mod scenario;
+pub mod timeline;
 
 pub use oracle::{best_case, OracleResult};
 pub use runner::{run, RunConfig, RunResult, TickSample};

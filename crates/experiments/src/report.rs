@@ -73,26 +73,39 @@ impl Table {
     }
 }
 
-/// Formats operations/second in millions with two decimals.
+/// Formats operations/second in millions with two decimals (`-` for
+/// non-finite values).
 pub fn mops(ops_per_sec: f64) -> String {
+    if !ops_per_sec.is_finite() {
+        return "-".into();
+    }
     format!("{:.2}", ops_per_sec / 1e6)
 }
 
-/// Formats a latency option in nanoseconds.
+/// Formats a latency option in nanoseconds. A `None` latency (idle tier)
+/// and a non-finite one (corrupted upstream arithmetic) both render as `-`
+/// so tables never show `NaN`/`inf` cells.
 pub fn ns(l: Option<f64>) -> String {
     match l {
-        Some(l) => format!("{l:.0}"),
-        None => "-".into(),
+        Some(l) if l.is_finite() => format!("{l:.0}"),
+        _ => "-".into(),
     }
 }
 
-/// Formats a ratio with two decimals and a trailing `x`.
+/// Formats a ratio with two decimals and a trailing `x` (`-` for
+/// non-finite values).
 pub fn ratio(x: f64) -> String {
+    if !x.is_finite() {
+        return "-".into();
+    }
     format!("{x:.2}x")
 }
 
-/// Formats a fraction as a percentage.
+/// Formats a fraction as a percentage (`-` for non-finite values).
 pub fn pct(x: f64) -> String {
+    if !x.is_finite() {
+        return "-".into();
+    }
     format!("{:.0}%", x * 100.0)
 }
 
@@ -151,20 +164,11 @@ pub fn mode_timeline(sv: Option<&tiersys::SupervisionReport>) -> String {
 }
 
 /// Renders a compact ASCII time series: one `t: value` line per sample
-/// bucket, downsampled to at most `max_lines` lines.
+/// bucket, downsampled to at most `max_lines` lines. Delegates to the
+/// telemetry renderer so figure drivers and the timeline binary produce
+/// byte-identical output.
 pub fn series(label: &str, points: &[(f64, f64)], max_lines: usize) -> String {
-    let mut out = format!("-- {label} --\n");
-    if points.is_empty() {
-        out.push_str("(empty)\n");
-        return out;
-    }
-    let stride = points.len().div_ceil(max_lines).max(1);
-    for chunk in points.chunks(stride) {
-        let t = chunk[0].0;
-        let mean = chunk.iter().map(|p| p.1).sum::<f64>() / chunk.len() as f64;
-        let _ = writeln!(out, "t={t:8.2}ms  {mean:12.2}");
-    }
-    out
+    telemetry::render::series(label, points, max_lines)
 }
 
 #[cfg(test)]
@@ -197,6 +201,21 @@ mod tests {
         assert_eq!(ns(None), "-");
         assert_eq!(ratio(1.234), "1.23x");
         assert_eq!(pct(0.25), "25%");
+    }
+
+    #[test]
+    fn formatters_never_render_non_finite_values() {
+        // A NaN latency used to render as the literal cell "NaN"; pin the
+        // dash fallback for every non-finite input across all formatters.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(mops(bad), "-");
+            assert_eq!(ns(Some(bad)), "-");
+            assert_eq!(ratio(bad), "-");
+            assert_eq!(pct(bad), "-");
+        }
+        // Finite values are untouched by the guard.
+        assert_eq!(mops(0.0), "0.00");
+        assert_eq!(pct(0.0), "0%");
     }
 
     #[test]

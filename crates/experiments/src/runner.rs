@@ -14,23 +14,13 @@ use tiersys::RetryStats;
 use crate::scenario::Experiment;
 
 /// One per-tick observation (used by the Figure 9/10 timelines).
-#[derive(Debug, Clone, Copy)]
-pub struct TickSample {
-    /// Simulated time at the end of the tick.
-    pub t: SimTime,
-    /// Application throughput over the tick (operations per second).
-    pub ops_per_sec: f64,
-    /// Default-tier Little's-Law latency (ns), if the tier saw traffic.
-    pub l_default_ns: Option<f64>,
-    /// Alternate-tier Little's-Law latency (ns).
-    pub l_alternate_ns: Option<f64>,
-    /// Bytes migrated during the tick.
-    pub migrated_bytes: u64,
-    /// Application bytes served by the default tier during the tick.
-    pub app_bytes_default: u64,
-    /// Application bytes served by the alternate tier during the tick.
-    pub app_bytes_alternate: u64,
-}
+///
+/// This is the telemetry subsystem's metric record: the runner populates it
+/// from each [`memsim::TickReport`] and routes it through a
+/// [`telemetry::Recorder`], so timelines, exporters
+/// ([`telemetry::metrics_to_csv`]) and analytics
+/// ([`telemetry::time_to_equilibrium`]) all share one sample type.
+pub type TickSample = telemetry::TickMetrics;
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
@@ -166,8 +156,13 @@ impl RunResult {
     }
 }
 
-/// Runs one tick and converts the report into a sample.
-fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u64, FaultStats) {
+/// Runs one tick and converts the report into a sample. The sample is
+/// recorded into the experiment's attached sink (if any) and the runner's
+/// own `collector`.
+fn step(
+    exp: &mut Experiment,
+    collector: &telemetry::Sink,
+) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u64, FaultStats) {
     exp.apply_schedule();
     let report = exp.machine.run_tick(exp.tick);
     exp.system.on_tick(&mut exp.machine, &report);
@@ -181,10 +176,19 @@ fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u
         ops_per_sec: report.app_ops_per_sec(),
         l_default_ns: report.littles_latency_ns(TierId::DEFAULT),
         l_alternate_ns: report.littles_latency_ns(TierId::ALTERNATE),
+        true_l_default_ns: report.true_latency_ns.first().copied().flatten(),
+        true_l_alternate_ns: report.true_latency_ns.get(1).copied().flatten(),
+        occupancy_default: report.tiers[0].occupancy,
+        occupancy_alternate: report.tiers[1].occupancy,
+        rate_default_per_ns: report.tiers[0].rate_per_ns,
+        rate_alternate_per_ns: report.tiers[1].rate_per_ns,
         migrated_bytes: report.migrated_bytes,
+        migration_backlog: report.migration_backlog as u64,
         app_bytes_default: report.tiers[0].bytes_by_class[app],
         app_bytes_alternate: report.tiers[1].bytes_by_class[app],
     };
+    exp.sink.metrics(|| sample);
+    collector.metrics(|| sample);
     (sample, bytes, report.app_ops, report.fault_stats)
 }
 
@@ -195,7 +199,13 @@ fn step(exp: &mut Experiment) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u
 /// Panics if `rc` fails [`RunConfig::validate`].
 pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
     rc.validate().expect("invalid RunConfig");
-    let mut series = Vec::new();
+    // Per-tick samples flow through a telemetry recorder rather than an
+    // ad-hoc Vec; the ring is sized so a full-length run never drops.
+    let collector = if rc.collect_series {
+        telemetry::Sink::ring(0, rc.max_warmup_ticks.saturating_add(rc.measure_ticks))
+    } else {
+        telemetry::Sink::disabled()
+    };
     let mut warmup_used = 0;
     let mut fault_stats = FaultStats::default();
 
@@ -204,11 +214,8 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
     let mut prev_window: Option<f64> = None;
     let mut stable_windows = 0;
     for tick in 0..rc.max_warmup_ticks {
-        let (sample, _, _, faults) = step(exp);
+        let (sample, _, _, faults) = step(exp, &collector);
         fault_stats.absorb(&faults);
-        if rc.collect_series {
-            series.push(sample);
-        }
         warmup_used = tick + 1;
         window_ops.push(sample.ops_per_sec);
         if window_ops.len() >= rc.window {
@@ -238,11 +245,8 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
     let mut l_a_sum = 0.0;
     let mut l_a_n = 0u32;
     for _ in 0..rc.measure_ticks {
-        let (sample, bytes, ops, faults) = step(exp);
+        let (sample, bytes, ops, faults) = step(exp, &collector);
         fault_stats.absorb(&faults);
-        if rc.collect_series {
-            series.push(sample);
-        }
         ops_total += ops;
         for i in 0..2 {
             for c in 0..TrafficClass::COUNT {
@@ -274,7 +278,7 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
         fault_stats,
         retry_stats: exp.system.retry_stats(),
         supervision: exp.system.supervision(),
-        series,
+        series: collector.with(|r| r.metrics()).unwrap_or_default(),
     }
 }
 

@@ -163,18 +163,51 @@ pub struct Experiment {
     pub antagonist_core_ids: Vec<CoreId>,
     /// Pending antagonist-intensity change.
     pub antagonist_change: Option<(SimTime, usize)>,
+    /// Telemetry sink shared with the machine and tiering system (disabled
+    /// by default; see [`Experiment::attach_telemetry`]).
+    pub sink: telemetry::Sink,
+    /// Workload-schedule markers not yet announced as
+    /// [`telemetry::EventKind::WorkloadShift`] events, time-sorted.
+    pub schedule_markers: Vec<(SimTime, String)>,
 }
 
 impl Experiment {
-    /// Applies a scheduled antagonist change once its time arrives.
+    /// Wires a telemetry sink through every layer of the experiment: the
+    /// machine (migrations, evacuations, faults), the tiering system
+    /// (Colloid, retry queue, supervisor), and the runner's own schedule
+    /// markers. Telemetry is passive — attaching a sink never changes
+    /// simulated behaviour.
+    pub fn attach_telemetry(&mut self, sink: telemetry::Sink) {
+        self.machine.set_telemetry(sink.clone());
+        self.system.set_telemetry(sink.clone());
+        self.sink = sink;
+    }
+
+    /// Applies a scheduled antagonist change once its time arrives and
+    /// announces due workload-schedule markers.
     pub fn apply_schedule(&mut self) {
+        let now = self.machine.now();
         if let Some((at, count)) = self.antagonist_change {
-            if self.machine.now() >= at {
+            if now >= at {
                 for (i, &id) in self.antagonist_core_ids.iter().enumerate() {
                     self.machine.set_core_active(id, i < count);
                 }
                 self.antagonist_change = None;
+                self.sink.emit(telemetry::Source::Runner, || {
+                    telemetry::EventKind::WorkloadShift {
+                        what: format!("antagonist cores -> {count}"),
+                    }
+                });
             }
+        }
+        while let Some((at, _)) = self.schedule_markers.first() {
+            if now < *at {
+                break;
+            }
+            let (_, what) = self.schedule_markers.remove(0);
+            self.sink.emit(telemetry::Source::Runner, || {
+                telemetry::EventKind::WorkloadShift { what }
+            });
         }
     }
 }
@@ -373,12 +406,19 @@ pub fn build_gups_with_stream(
         );
     }
     let system = build_policy(&machine, vec![gups.ws_range()], policy);
+    let schedule_markers = gups
+        .phases
+        .iter()
+        .map(|&(at, off)| (at, format!("hot set moves to page offset {off}")))
+        .collect();
     Experiment {
         machine,
         system,
         tick: SimTime::from_us(100.0),
         antagonist_core_ids,
         antagonist_change: scenario.antagonist_change,
+        sink: telemetry::Sink::default(),
+        schedule_markers,
     }
 }
 
@@ -448,6 +488,8 @@ pub fn build_app(app: AppKind, antagonist_cores: usize, policy: Policy, seed: u6
         tick: SimTime::from_us(100.0),
         antagonist_core_ids,
         antagonist_change: None,
+        sink: telemetry::Sink::default(),
+        schedule_markers: Vec::new(),
     }
 }
 

@@ -1,0 +1,167 @@
+//! Golden bit-identity tests: replication runs with telemetry recorders
+//! attached must reproduce the committed baseline outputs byte for byte.
+//!
+//! The baselines (`figures_output.txt` for Figure 4 and the files under
+//! `tests/golden/`) were captured from the pre-telemetry tree, so these
+//! tests pin the subsystem's core contract — recording is passive and a
+//! disabled sink is free: attaching a `NoopRecorder` or even a full
+//! `RingRecorder` changes nothing about simulated behaviour.
+//!
+//! The full Figure 1 / Figure 9 grids take minutes and are `#[ignore]`d;
+//! CI and `cargo test` always run the quickstart, Figure 4, and one
+//! Figure 9 cell.
+
+use std::path::Path;
+
+use experiments::figures::fig9::Dynamic;
+use experiments::runner::{run, RunConfig};
+use experiments::scenario::{build_gups, GupsScenario, Policy};
+use simkit::SimTime;
+use tiersys::SystemKind;
+
+/// Reads the committed all-figures baseline.
+fn figures_baseline() -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../figures_output.txt");
+    std::fs::read_to_string(p).expect("figures_output.txt baseline")
+}
+
+/// Extracts one section: from the line starting with `header` up to the
+/// next `== ` section header (exclusive), trailing whitespace trimmed.
+fn section(text: &str, header: &str) -> String {
+    let mut out = String::new();
+    let mut inside = false;
+    for line in text.lines() {
+        if line.starts_with(header) {
+            inside = true;
+        } else if inside && line.starts_with("== ") {
+            break;
+        }
+        if inside {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    assert!(!out.is_empty(), "section {header:?} not found in baseline");
+    out.trim_end().to_string()
+}
+
+/// Reads one of the pre-telemetry goldens under `tests/golden/`.
+fn golden(name: &str) -> String {
+    let p = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../tests/golden/{name}"));
+    std::fs::read_to_string(p).expect("golden baseline")
+}
+
+#[test]
+fn fig4_matches_golden() {
+    let got = experiments::figures::fig4::run(false);
+    assert_eq!(
+        got.trim_end(),
+        section(&figures_baseline(), "== Figure 4"),
+        "Figure 4 output drifted from the committed baseline"
+    );
+}
+
+#[test]
+fn quickstart_with_ring_recorder_matches_golden() {
+    // Replicates examples/quickstart.rs line for line, but with a live
+    // RingRecorder attached to every layer: the recorded run must be
+    // byte-identical to the baseline captured without telemetry.
+    let golden = golden("quickstart.txt");
+    let scenario = GupsScenario::intensity(2);
+    let mut out = String::new();
+    let mut recorded_events = 0usize;
+    for (label, colloid) in [
+        ("HeMem (packs hottest pages into the default tier)", false),
+        ("HeMem+Colloid (balances access latencies)", true),
+    ] {
+        out.push_str(&format!("==> {label}\n"));
+        let mut exp = build_gups(
+            &scenario,
+            Policy::System {
+                kind: SystemKind::Hemem,
+                colloid,
+            },
+        );
+        exp.attach_telemetry(telemetry::Sink::ring(1 << 16, 1 << 12));
+        let result = run(&mut exp, &RunConfig::steady_state());
+        recorded_events += exp
+            .sink
+            .with(|r| r.events().len() + r.dropped_events() as usize)
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "    GUPS throughput : {:.1} Mops/s (converged after {} quanta)\n",
+            result.ops_per_sec / 1e6,
+            result.warmup_ticks_used
+        ));
+        out.push_str(&format!(
+            "    tier latencies  : default {:.0} ns vs alternate {:.0} ns\n",
+            result.l_default_ns.unwrap_or(f64::NAN),
+            result.l_alternate_ns.unwrap_or(f64::NAN)
+        ));
+        out.push_str(&format!(
+            "    placement       : {:.0}% of GUPS traffic served by the default tier\n\n",
+            result.default_tier_app_share() * 100.0
+        ));
+    }
+    out.push_str("Colloid's principle: when the default tier's loaded latency exceeds the\n");
+    out.push_str("alternate tier's, hot pages belong in the alternate tier — packing them\n");
+    out.push_str("into the \"fast\" tier only makes it slower.\n");
+    assert_eq!(
+        out.trim_end(),
+        golden.trim_end(),
+        "recorded quickstart run drifted from the telemetry-free baseline"
+    );
+    assert!(
+        recorded_events > 0,
+        "the recorder must actually have seen the migration traffic"
+    );
+}
+
+#[test]
+fn fig9_contention_cell_with_noop_recorder_matches_golden() {
+    // One Figure 9 cell (HeMem, contention 0x -> 3x) with a NoopRecorder
+    // attached: the zero-cost disabled-recording path must be bit-identical
+    // to the baseline (captured in quick mode: 150 pre + 150 post ticks).
+    let tick = SimTime::from_us(100.0);
+    let sc = Dynamic::ContentionOn.scenario(tick, 150);
+    let mut exp = build_gups(
+        &sc,
+        Policy::System {
+            kind: SystemKind::Hemem,
+            colloid: false,
+        },
+    );
+    exp.attach_telemetry(telemetry::Sink::new(Box::new(telemetry::NoopRecorder)));
+    let r = run(&mut exp, &RunConfig::timeline(300));
+    let pts: Vec<(f64, f64)> = r
+        .series
+        .iter()
+        .map(|s| (s.t.as_ns() / 1e6, s.ops_per_sec / 1e6))
+        .collect();
+    let got = experiments::report::series(
+        "HeMem | contention 0x -> 3x | Mops/s over time (ms)",
+        &pts,
+        20,
+    );
+    assert_eq!(
+        got.trim_end(),
+        golden("fig9_contention_hemem.txt").trim_end(),
+        "Figure 9 contention cell drifted under an attached NoopRecorder"
+    );
+}
+
+#[test]
+#[ignore = "full Figure 1 grid takes minutes; run with --ignored"]
+fn fig1_matches_golden() {
+    // The baseline was captured from the pre-telemetry tree in quick mode.
+    let got = experiments::figures::fig1::run(true);
+    assert_eq!(got.trim_end(), golden("fig1_quick.txt").trim_end());
+}
+
+#[test]
+#[ignore = "full Figure 9 grid takes minutes; run with --ignored"]
+fn fig9_matches_golden() {
+    // The baseline was captured from the pre-telemetry tree in quick mode.
+    let got = experiments::figures::fig9::run(true);
+    assert_eq!(got.trim_end(), golden("fig9_quick.txt").trim_end());
+}

@@ -230,6 +230,8 @@ struct Shared {
     faults: FaultInjector,
     // Telemetry.
     lat_hist: Vec<LatencyHist>,
+    /// Event sink (disabled by default: zero-cost, no behavioral effect).
+    sink: telemetry::Sink,
     hint_fault_cost: SimTime,
     llc_hit_latency: SimTime,
 }
@@ -362,6 +364,7 @@ impl Machine {
             mig_admission_limit: None,
             faults: FaultInjector::new(cfg.faults.clone(), cfg.seed, n_tiers),
             lat_hist: vec![LatencyHist::new(); n_tiers],
+            sink: telemetry::Sink::default(),
             hint_fault_cost: cfg.hint_fault_cost,
             llc_hit_latency: cfg.llc_hit_latency,
             cfg,
@@ -381,6 +384,20 @@ impl Machine {
     /// The machine configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.sh.cfg
+    }
+
+    /// Attaches a telemetry sink. Recording is passive — it never mutates
+    /// machine state or draws randomness — so attaching a sink does not
+    /// change a run. The machine also refreshes the sink's shared clock at
+    /// every tick boundary, so clock-less layers holding clones of the same
+    /// sink stamp their events at quantum granularity.
+    pub fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        self.sh.sink = sink;
+    }
+
+    /// The attached telemetry sink (disabled unless one was attached).
+    pub fn telemetry(&self) -> &telemetry::Sink {
+        &self.sh.sink
     }
 
     /// Current simulated time.
@@ -648,6 +665,15 @@ impl Machine {
             }
             self.evacuate_over_capacity()
         };
+        if !evacuated.is_empty() {
+            self.sh
+                .sink
+                .emit_at(t_start, telemetry::Source::Machine, || {
+                    telemetry::EventKind::TierEvacuation {
+                        pages: evacuated.len() as u64,
+                    }
+                });
+        }
 
         while let Some(t) = self.sh.events.peek_time() {
             if t > t_end {
@@ -684,6 +710,23 @@ impl Machine {
             .collect();
 
         let (fault_stats, failed_migrations) = self.sh.faults.take_tick();
+        // Advance the shared telemetry clock so downstream layers (which
+        // run between ticks and hold no clock of their own) stamp events
+        // at this tick's end time.
+        self.sh.sink.set_now(t_end);
+        if fault_stats.total() > 0 {
+            self.sh.sink.emit_at(t_end, telemetry::Source::Machine, || {
+                telemetry::EventKind::FaultsInjected {
+                    noisy: fault_stats.windows_noisy,
+                    stale: fault_stats.windows_stale,
+                    dropped: fault_stats.windows_dropped,
+                    migration_failures: fault_stats.migration_failures,
+                    pebs_dropped: fault_stats.pebs_dropped,
+                    evacuated: fault_stats.pages_evacuated,
+                    outage_aborts: fault_stats.engine_outage_aborts,
+                }
+            });
+        }
         TickReport {
             t_start,
             t_end,
@@ -1005,6 +1048,13 @@ impl Machine {
         // backlog builds up exactly as it would behind a hung kthread.
         if self.sh.faults.outage_aborts(vpn, dst, t) {
             self.sh.mig_inflight_to[dst.index()] -= 1;
+            self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+                telemetry::EventKind::MigrationFail {
+                    vpn,
+                    dst: dst.0,
+                    reason: telemetry::FailReason::Outage,
+                }
+            });
             let bw = self
                 .sh
                 .faults
@@ -1019,9 +1069,19 @@ impl Machine {
         // retry.
         if self.sh.faults.migration_aborts(vpn, dst) {
             self.sh.mig_inflight_to[dst.index()] -= 1;
+            self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+                telemetry::EventKind::MigrationFail {
+                    vpn,
+                    dst: dst.0,
+                    reason: telemetry::FailReason::Transient,
+                }
+            });
             self.sh.events.push(t, Ev::MigStart);
             return;
         }
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::MigrationStart { vpn, dst: dst.0 }
+        });
         let job = MigJob {
             vpn,
             dst,
@@ -1095,6 +1155,13 @@ impl Machine {
             self.sh.migrated_bytes += PAGE_SIZE;
             self.tick_copy_ns += t.saturating_sub(job.started).as_ns();
             self.tick_copies += 1;
+            self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+                telemetry::EventKind::MigrationComplete {
+                    vpn: job.vpn,
+                    dst: job.dst.0,
+                    copy_ns: t.saturating_sub(job.started).as_ns(),
+                }
+            });
             self.sh.mig_jobs[job_id as usize].live = false;
             self.sh.mig_free_jobs.push(job_id);
         }

@@ -1,0 +1,255 @@
+//! The typed event vocabulary shared by every instrumented layer.
+//!
+//! Events carry plain data (page numbers, tier indices, latencies) rather
+//! than types from the crates that emit them, so `telemetry` sits at the
+//! bottom of the dependency graph (only `simkit`) and every other crate can
+//! depend on it without cycles.
+
+use simkit::SimTime;
+
+/// A virtual page number (mirrors `memsim::Vpn` without the dependency).
+pub type Vpn = u64;
+
+/// Which layer emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The simulated machine (migration engine, evacuations, faults).
+    Machine,
+    /// A Colloid controller (watermarks, placement decisions).
+    Colloid,
+    /// A tiering system (retry queue, placement bookkeeping).
+    System,
+    /// The tiering supervisor (mode machine, canary probes).
+    Supervisor,
+    /// The experiment runner (workload schedule markers).
+    Runner,
+}
+
+impl Source {
+    /// Number of distinct sources (for per-source bookkeeping).
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..COUNT`.
+    pub fn index(self) -> usize {
+        match self {
+            Source::Machine => 0,
+            Source::Colloid => 1,
+            Source::System => 2,
+            Source::Supervisor => 3,
+            Source::Runner => 4,
+        }
+    }
+
+    /// Display / NDJSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Machine => "machine",
+            Source::Colloid => "colloid",
+            Source::System => "system",
+            Source::Supervisor => "supervisor",
+            Source::Runner => "runner",
+        }
+    }
+}
+
+/// Why a migration did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// Engine-outage hard fault: the copy thread is wedged (the abort
+    /// still burned the engine's time budget).
+    Outage,
+    /// Transient in-flight failure: the copy aborted before touching the
+    /// DMA engine and the destination reservation was released.
+    Transient,
+}
+
+impl FailReason {
+    /// Display / NDJSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailReason::Outage => "outage",
+            FailReason::Transient => "transient",
+        }
+    }
+}
+
+/// What happened. Tier fields are dense tier indices (0 = default tier).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The migration engine picked a page up and started the copy.
+    MigrationStart {
+        /// Page being copied.
+        vpn: Vpn,
+        /// Destination tier index.
+        dst: u8,
+    },
+    /// A page copy finished and the mapping flipped.
+    MigrationComplete {
+        /// Page that moved.
+        vpn: Vpn,
+        /// Destination tier index.
+        dst: u8,
+        /// Wall-clock copy duration (engine start to mapping flip), ns.
+        copy_ns: f64,
+    },
+    /// A migration aborted in flight.
+    MigrationFail {
+        /// Page that stayed put.
+        vpn: Vpn,
+        /// Intended destination tier index.
+        dst: u8,
+        /// Failure class.
+        reason: FailReason,
+    },
+    /// The retry queue successfully re-enqueued a parked migration.
+    MigrationRetry {
+        /// Page being re-driven.
+        vpn: Vpn,
+        /// Destination tier index.
+        dst: u8,
+    },
+    /// The retry queue abandoned a migration at its attempt cap.
+    RetryExhausted {
+        /// Page whose migration was given up on.
+        vpn: Vpn,
+        /// Destination tier index it never reached.
+        dst: u8,
+    },
+    /// Algorithm 2 moved a watermark (or reset the pair).
+    WatermarkMove {
+        /// New lower watermark.
+        p_lo: f64,
+        /// New upper watermark.
+        p_hi: f64,
+        /// The move was a full reset (`p_lo ← 0`, `p_hi ← 1`).
+        reset: bool,
+    },
+    /// Algorithm 1 issued a placement decision this quantum.
+    PUpdate {
+        /// Default-tier access-probability share.
+        p: f64,
+        /// Smoothed default-tier loaded latency, ns.
+        l_default_ns: f64,
+        /// Smoothed alternate-tier loaded latency, ns.
+        l_alternate_ns: f64,
+        /// Migration direction ("promote" / "demote").
+        mode: &'static str,
+        /// Desired access-probability shift.
+        delta_p: f64,
+        /// Byte budget for this quantum's migrations.
+        byte_limit: u64,
+    },
+    /// The supervisor's mode machine changed mode.
+    ModeTransition {
+        /// Mode being left.
+        from: &'static str,
+        /// Mode being entered.
+        to: &'static str,
+    },
+    /// The supervisor sent a one-page canary migration while `Frozen`.
+    ProbeSent {
+        /// The canary page.
+        vpn: Vpn,
+    },
+    /// Fault injection perturbed this tick (per-tick counter deltas).
+    FaultsInjected {
+        /// Counter windows with injected noise.
+        noisy: u64,
+        /// Counter windows served stale.
+        stale: u64,
+        /// Counter windows dropped (zeroed).
+        dropped: u64,
+        /// Transient in-flight migration failures.
+        migration_failures: u64,
+        /// PEBS samples dropped.
+        pebs_dropped: u64,
+        /// Pages force-evacuated by a tier shrink.
+        evacuated: u64,
+        /// Migrations aborted by an engine outage.
+        outage_aborts: u64,
+    },
+    /// A tier-shrink hard fault force-evacuated pages this tick.
+    TierEvacuation {
+        /// Pages teleported off the shrunk tier.
+        pages: u64,
+    },
+    /// A scheduled workload change took effect (hot-set move, antagonist
+    /// intensity change).
+    WorkloadShift {
+        /// Human-readable description of the change.
+        what: String,
+    },
+    /// Learned equilibrium state was discarded (watermark reset after a
+    /// hard fault or supervisor recovery).
+    EquilibriumReset,
+}
+
+impl EventKind {
+    /// Display / NDJSON name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MigrationStart { .. } => "migration_start",
+            EventKind::MigrationComplete { .. } => "migration_complete",
+            EventKind::MigrationFail { .. } => "migration_fail",
+            EventKind::MigrationRetry { .. } => "migration_retry",
+            EventKind::RetryExhausted { .. } => "retry_exhausted",
+            EventKind::WatermarkMove { .. } => "watermark_move",
+            EventKind::PUpdate { .. } => "p_update",
+            EventKind::ModeTransition { .. } => "mode_transition",
+            EventKind::ProbeSent { .. } => "probe_sent",
+            EventKind::FaultsInjected { .. } => "faults_injected",
+            EventKind::TierEvacuation { .. } => "tier_evacuation",
+            EventKind::WorkloadShift { .. } => "workload_shift",
+            EventKind::EquilibriumReset => "equilibrium_reset",
+        }
+    }
+}
+
+/// One recorded event: when, who, what.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulated time the event happened at.
+    pub t: SimTime,
+    /// Emitting layer.
+    pub source: Source,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_indices_are_dense_and_distinct() {
+        let all = [
+            Source::Machine,
+            Source::Colloid,
+            Source::System,
+            Source::Supervisor,
+            Source::Runner,
+        ];
+        let mut seen = [false; Source::COUNT];
+        for s in all {
+            assert!(!seen[s.index()], "{:?} collides", s);
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn names_are_snake_case() {
+        let kinds = [
+            EventKind::MigrationStart { vpn: 1, dst: 0 },
+            EventKind::EquilibriumReset,
+            EventKind::WorkloadShift {
+                what: "x".to_string(),
+            },
+        ];
+        for k in &kinds {
+            assert!(k.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+        }
+        assert_eq!(FailReason::Outage.name(), "outage");
+        assert_eq!(Source::Supervisor.name(), "supervisor");
+    }
+}

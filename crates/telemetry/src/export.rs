@@ -1,0 +1,618 @@
+//! Exporters: NDJSON event logs and CSV metric series.
+//!
+//! JSON is hand-rolled (no serde in the offline build): every event becomes
+//! one object per line with the required fields `seq`, `t_ps` (integer
+//! picoseconds — exact, no float rounding), `source`, and `event`, plus the
+//! payload fields of the variant. Non-finite floats serialize as `null`.
+//! [`validate_ndjson`] re-parses a log with a small recursive-descent JSON
+//! parser and checks the schema, so CI can verify emitted logs offline.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind};
+use crate::metrics::TickMetrics;
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{v:?}` keeps a decimal point or exponent, so the value reads
+        // back as a JSON number distinguishable from an integer.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_field_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn push_field_f64(out: &mut String, key: &str, v: f64) {
+    let _ = write!(out, ",\"{key}\":");
+    json_f64(out, v);
+}
+
+fn push_field_str(out: &mut String, key: &str, v: &str) {
+    let _ = write!(out, ",\"{key}\":\"");
+    json_escape(out, v);
+    out.push('"');
+}
+
+fn push_field_bool(out: &mut String, key: &str, v: bool) {
+    let _ = write!(out, ",\"{key}\":{v}");
+}
+
+fn write_event_line(out: &mut String, seq: u64, ev: &Event) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{seq},\"t_ps\":{},\"source\":\"{}\",\"event\":\"{}\"",
+        ev.t.as_ps(),
+        ev.source.name(),
+        ev.kind.name()
+    );
+    match &ev.kind {
+        EventKind::MigrationStart { vpn, dst } => {
+            push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "dst", *dst as u64);
+        }
+        EventKind::MigrationComplete { vpn, dst, copy_ns } => {
+            push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "dst", *dst as u64);
+            push_field_f64(out, "copy_ns", *copy_ns);
+        }
+        EventKind::MigrationFail { vpn, dst, reason } => {
+            push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "dst", *dst as u64);
+            push_field_str(out, "reason", reason.name());
+        }
+        EventKind::MigrationRetry { vpn, dst } | EventKind::RetryExhausted { vpn, dst } => {
+            push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "dst", *dst as u64);
+        }
+        EventKind::WatermarkMove { p_lo, p_hi, reset } => {
+            push_field_f64(out, "p_lo", *p_lo);
+            push_field_f64(out, "p_hi", *p_hi);
+            push_field_bool(out, "reset", *reset);
+        }
+        EventKind::PUpdate {
+            p,
+            l_default_ns,
+            l_alternate_ns,
+            mode,
+            delta_p,
+            byte_limit,
+        } => {
+            push_field_f64(out, "p", *p);
+            push_field_f64(out, "l_default_ns", *l_default_ns);
+            push_field_f64(out, "l_alternate_ns", *l_alternate_ns);
+            push_field_str(out, "mode", mode);
+            push_field_f64(out, "delta_p", *delta_p);
+            push_field_u64(out, "byte_limit", *byte_limit);
+        }
+        EventKind::ModeTransition { from, to } => {
+            push_field_str(out, "from", from);
+            push_field_str(out, "to", to);
+        }
+        EventKind::ProbeSent { vpn } => {
+            push_field_u64(out, "vpn", *vpn);
+        }
+        EventKind::FaultsInjected {
+            noisy,
+            stale,
+            dropped,
+            migration_failures,
+            pebs_dropped,
+            evacuated,
+            outage_aborts,
+        } => {
+            push_field_u64(out, "noisy", *noisy);
+            push_field_u64(out, "stale", *stale);
+            push_field_u64(out, "dropped", *dropped);
+            push_field_u64(out, "migration_failures", *migration_failures);
+            push_field_u64(out, "pebs_dropped", *pebs_dropped);
+            push_field_u64(out, "evacuated", *evacuated);
+            push_field_u64(out, "outage_aborts", *outage_aborts);
+        }
+        EventKind::TierEvacuation { pages } => {
+            push_field_u64(out, "pages", *pages);
+        }
+        EventKind::WorkloadShift { what } => {
+            push_field_str(out, "what", what);
+        }
+        EventKind::EquilibriumReset => {}
+    }
+    out.push_str("}\n");
+}
+
+/// Serializes events as NDJSON: one JSON object per line, in order, with a
+/// zero-based `seq` number.
+pub fn events_to_ndjson(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for (seq, ev) in events.iter().enumerate() {
+        write_event_line(&mut out, seq as u64, ev);
+    }
+    out
+}
+
+fn csv_opt(out: &mut String, v: Option<f64>) {
+    match v {
+        Some(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        _ => {}
+    }
+}
+
+/// Serializes a metric series as CSV with a header row. Missing or
+/// non-finite latencies become empty cells.
+pub fn metrics_to_csv(rows: &[TickMetrics]) -> String {
+    let mut out = String::with_capacity(rows.len() * 128 + 256);
+    out.push_str(
+        "t_ms,ops_per_sec,l_default_ns,l_alternate_ns,true_l_default_ns,true_l_alternate_ns,\
+         occupancy_default,occupancy_alternate,rate_default_per_ns,rate_alternate_per_ns,\
+         migrated_bytes,migration_backlog,app_bytes_default,app_bytes_alternate,\
+         default_app_share\n",
+    );
+    for m in rows {
+        let _ = write!(out, "{},{}", m.t.as_ns() / 1e6, m.ops_per_sec);
+        out.push(',');
+        csv_opt(&mut out, m.l_default_ns);
+        out.push(',');
+        csv_opt(&mut out, m.l_alternate_ns);
+        out.push(',');
+        csv_opt(&mut out, m.true_l_default_ns);
+        out.push(',');
+        csv_opt(&mut out, m.true_l_alternate_ns);
+        let _ = write!(
+            out,
+            ",{},{},{},{},{},{},{},{},{}",
+            m.occupancy_default,
+            m.occupancy_alternate,
+            m.rate_default_per_ns,
+            m.rate_alternate_per_ns,
+            m.migrated_bytes,
+            m.migration_backlog,
+            m.app_bytes_default,
+            m.app_bytes_alternate,
+            m.default_app_share()
+        );
+        out.push('\n');
+    }
+    out
+}
+
+// --- NDJSON validation ---------------------------------------------------
+
+/// A parsed JSON value (just enough for schema validation).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, val: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(val)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+}
+
+const KNOWN_SOURCES: &[&str] = &["machine", "colloid", "system", "supervisor", "runner"];
+const KNOWN_EVENTS: &[&str] = &[
+    "migration_start",
+    "migration_complete",
+    "migration_fail",
+    "migration_retry",
+    "retry_exhausted",
+    "watermark_move",
+    "p_update",
+    "mode_transition",
+    "probe_sent",
+    "faults_injected",
+    "tier_evacuation",
+    "workload_shift",
+    "equilibrium_reset",
+];
+
+/// Validates an NDJSON event log against the telemetry schema: each
+/// non-empty line must parse as a JSON object with integer `seq` (dense,
+/// zero-based), integer `t_ps`, a known `source`, and a known `event`.
+/// Returns the number of validated lines, or a message naming the first
+/// offending line.
+pub fn validate_ndjson(log: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (lineno, line) in log.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fail = |msg: String| format!("line {}: {}", lineno + 1, msg);
+        let mut p = Parser::new(line);
+        let v = p.value().map_err(fail)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(fail("trailing characters after JSON object".to_string()));
+        }
+        if !matches!(v, Json::Obj(_)) {
+            return Err(fail("not a JSON object".to_string()));
+        }
+        let seq = v
+            .get("seq")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing numeric \"seq\"".to_string()))?;
+        if seq != count as f64 {
+            return Err(fail(format!("seq {seq} out of order (expected {count})")));
+        }
+        let t_ps = v
+            .get("t_ps")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing numeric \"t_ps\"".to_string()))?;
+        if t_ps < 0.0 || t_ps.fract() != 0.0 {
+            return Err(fail(format!("t_ps {t_ps} is not a non-negative integer")));
+        }
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string \"source\"".to_string()))?;
+        if !KNOWN_SOURCES.contains(&source) {
+            return Err(fail(format!("unknown source \"{source}\"")));
+        }
+        let event = v
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string \"event\"".to_string()))?;
+        if !KNOWN_EVENTS.contains(&event) {
+            return Err(fail(format!("unknown event \"{event}\"")));
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{FailReason, Source};
+    use simkit::SimTime;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                t: SimTime::from_ns(100.0),
+                source: Source::Machine,
+                kind: EventKind::MigrationStart { vpn: 7, dst: 1 },
+            },
+            Event {
+                t: SimTime::from_ns(250.5),
+                source: Source::Machine,
+                kind: EventKind::MigrationComplete {
+                    vpn: 7,
+                    dst: 1,
+                    copy_ns: 150.5,
+                },
+            },
+            Event {
+                t: SimTime::from_ns(300.0),
+                source: Source::Colloid,
+                kind: EventKind::PUpdate {
+                    p: 0.25,
+                    l_default_ns: 210.0,
+                    l_alternate_ns: 130.0,
+                    mode: "demote",
+                    delta_p: 0.01,
+                    byte_limit: 65536,
+                },
+            },
+            Event {
+                t: SimTime::from_ns(300.0),
+                source: Source::Runner,
+                kind: EventKind::WorkloadShift {
+                    what: "antagonist \"stream\" -> 3x".to_string(),
+                },
+            },
+            Event {
+                t: SimTime::from_ns(400.0),
+                source: Source::Machine,
+                kind: EventKind::MigrationFail {
+                    vpn: 9,
+                    dst: 0,
+                    reason: FailReason::Outage,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn ndjson_round_trips_through_validator() {
+        let log = events_to_ndjson(&sample_events());
+        assert_eq!(log.lines().count(), 5);
+        assert_eq!(validate_ndjson(&log), Ok(5));
+        // Exact picoseconds, no float rounding.
+        assert!(log.lines().next().unwrap().contains("\"t_ps\":100000"));
+        // Escaped quotes inside the workload-shift description.
+        assert!(log.contains("antagonist \\\"stream\\\" -> 3x"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let ev = Event {
+            t: SimTime::ZERO,
+            source: Source::Colloid,
+            kind: EventKind::WatermarkMove {
+                p_lo: f64::NAN,
+                p_hi: f64::INFINITY,
+                reset: true,
+            },
+        };
+        let log = events_to_ndjson(&[ev]);
+        assert!(log.contains("\"p_lo\":null"));
+        assert!(log.contains("\"p_hi\":null"));
+        assert_eq!(validate_ndjson(&log), Ok(1));
+    }
+
+    #[test]
+    fn validator_rejects_bad_lines() {
+        assert!(validate_ndjson("not json\n").is_err());
+        assert!(validate_ndjson("{\"seq\":0}\n").is_err());
+        let bad_source =
+            "{\"seq\":0,\"t_ps\":1,\"source\":\"kernel\",\"event\":\"migration_start\"}\n";
+        assert!(validate_ndjson(bad_source).unwrap_err().contains("kernel"));
+        let bad_seq = "{\"seq\":3,\"t_ps\":1,\"source\":\"machine\",\"event\":\"probe_sent\"}\n";
+        assert!(validate_ndjson(bad_seq).unwrap_err().contains("seq"));
+        let frac_t = "{\"seq\":0,\"t_ps\":1.5,\"source\":\"machine\",\"event\":\"probe_sent\"}\n";
+        assert!(validate_ndjson(frac_t).unwrap_err().contains("t_ps"));
+    }
+
+    #[test]
+    fn validator_accepts_blank_lines_and_counts() {
+        let log = events_to_ndjson(&sample_events());
+        let padded = format!("\n{log}\n\n");
+        assert_eq!(validate_ndjson(&padded), Ok(5));
+    }
+
+    #[test]
+    fn csv_has_header_and_blank_cells_for_missing() {
+        let rows = vec![
+            TickMetrics::at(SimTime::from_ms(1.0)),
+            TickMetrics {
+                ops_per_sec: 2.5e8,
+                l_default_ns: Some(212.0),
+                l_alternate_ns: Some(f64::NAN),
+                app_bytes_default: 640,
+                app_bytes_alternate: 1280,
+                ..TickMetrics::at(SimTime::from_ms(2.0))
+            },
+        ];
+        let csv = metrics_to_csv(&rows);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("t_ms,ops_per_sec,l_default_ns"));
+        assert_eq!(header.split(',').count(), 15);
+        let r1 = lines.next().unwrap();
+        assert!(r1.starts_with("1,0,,,"));
+        let r2 = lines.next().unwrap();
+        assert!(r2.contains("212"));
+        // NaN latency renders as an empty cell, not "NaN".
+        assert!(!r2.contains("NaN"));
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 15);
+        }
+    }
+}

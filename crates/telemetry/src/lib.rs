@@ -1,0 +1,51 @@
+//! Telemetry subsystem: one observability layer for the whole stack.
+//!
+//! Every layer of the reproduction — the [`memsim`-style machine, the
+//! Colloid controllers, the tiering systems, the supervisor, and the
+//! experiment runner — records into the same two channels:
+//!
+//! - a **typed event stream** ([`Event`]): migration start/complete/fail/
+//!   retry, Colloid watermark moves and `p` updates, supervisor mode
+//!   transitions, fault injections, tier evacuations — each stamped with
+//!   the simulated time it happened at;
+//! - a **per-quantum metric series** ([`TickMetrics`]): per-tier loaded
+//!   latency (Little's-Law estimate and ground truth), occupancy, arrival
+//!   rate, migration bandwidth and backlog, default-tier traffic share,
+//!   and application throughput.
+//!
+//! Both flow through a [`Sink`] handle into a [`Recorder`]. Two recorders
+//! ship: the bounded, drop-oldest [`RingRecorder`] and the do-nothing
+//! [`NoopRecorder`].
+//!
+//! # Overhead contract
+//!
+//! A disabled sink ([`Sink::disabled`], the default everywhere) is
+//! **zero-cost on the hot path**: event payloads are built inside closures
+//! that are never called, so no allocation, no formatting, and no RNG draw
+//! happens when telemetry is off. Recording itself is *passive* — it reads
+//! simulation state but never mutates it and never draws randomness — so
+//! runs are bit-identical with telemetry disabled, enabled with a
+//! [`NoopRecorder`], or enabled with a [`RingRecorder`] (the golden
+//! bit-identity tests in `crates/experiments` pin this).
+//!
+//! On top of the raw streams sit [`export`] (NDJSON event logs, CSV metric
+//! series, and an offline NDJSON schema validator), [`analytics`]
+//! (time-to-equilibrium after a workload shift, migration-efficiency
+//! accounting, latency-inversion episode histograms), and [`render`]
+//! (plain-text series and run-timeline views, used by the `timeline`
+//! binary in `crates/experiments`).
+
+pub mod analytics;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod render;
+
+pub use analytics::{
+    migration_accounting, time_to_equilibrium, InversionStats, MigrationAccounting,
+};
+pub use event::{Event, EventKind, FailReason, Source};
+pub use export::{events_to_ndjson, metrics_to_csv, validate_ndjson};
+pub use metrics::TickMetrics;
+pub use recorder::{NoopRecorder, Recorder, RingRecorder, Sink};

@@ -1,0 +1,360 @@
+//! Recorders and the `Sink` handle the instrumented layers hold.
+//!
+//! The [`Sink`] is the cheap, clonable handle threaded through the machine,
+//! controllers, and tiering systems. Disabled (the default) it is a `None`
+//! and every emit is a branch on that option — the payload-building closure
+//! is never called, so the hot path does no allocation or formatting.
+//! Enabled, it shares one [`Recorder`] plus a "current sim time" cell the
+//! machine refreshes each tick so layers without their own clock (the
+//! Colloid controller, the retry queue) can stamp events.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use simkit::SimTime;
+
+use crate::event::{Event, EventKind, Source};
+use crate::metrics::TickMetrics;
+
+/// Destination for events and metric rows.
+///
+/// Implementations must be passive: recording must not mutate simulation
+/// state or draw randomness, so enabling a recorder never changes a run.
+pub trait Recorder {
+    /// Record one event (may drop it, e.g. when a ring is full).
+    fn record_event(&mut self, ev: Event);
+    /// Record one per-quantum metric row.
+    fn record_metrics(&mut self, m: TickMetrics);
+    /// Snapshot of retained events, oldest first.
+    fn events(&self) -> Vec<Event>;
+    /// Snapshot of retained metric rows, oldest first.
+    fn metrics(&self) -> Vec<TickMetrics>;
+    /// How many events were discarded to stay within bounds.
+    fn dropped_events(&self) -> u64 {
+        0
+    }
+    /// How many metric rows were discarded to stay within bounds.
+    fn dropped_metrics(&self) -> u64 {
+        0
+    }
+}
+
+/// Discards everything. Used by the bit-identity tests to prove that an
+/// *enabled* sink still changes nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record_event(&mut self, _ev: Event) {}
+    fn record_metrics(&mut self, _m: TickMetrics) {}
+    fn events(&self) -> Vec<Event> {
+        Vec::new()
+    }
+    fn metrics(&self) -> Vec<TickMetrics> {
+        Vec::new()
+    }
+}
+
+/// Bounded in-memory recorder: keeps the most recent `event_cap` events and
+/// `metric_cap` metric rows, dropping the oldest on overflow. Memory use is
+/// proportional to the caps, never to run length.
+///
+/// Timestamps are clamped monotone **per source**: a source whose event
+/// arrives stamped earlier than its previous event is recorded at the
+/// previous stamp (sim layers emit in causal order, so in practice the
+/// clamp only defends against a stale shared clock at tick boundaries).
+#[derive(Debug)]
+pub struct RingRecorder {
+    event_cap: usize,
+    metric_cap: usize,
+    events: VecDeque<Event>,
+    metrics: VecDeque<TickMetrics>,
+    dropped_events: u64,
+    dropped_metrics: u64,
+    last_t: [SimTime; Source::COUNT],
+}
+
+impl RingRecorder {
+    /// A ring retaining at most `event_cap` events and `metric_cap` rows.
+    /// Caps of zero retain nothing (everything counts as dropped).
+    pub fn new(event_cap: usize, metric_cap: usize) -> Self {
+        RingRecorder {
+            event_cap,
+            metric_cap,
+            events: VecDeque::new(),
+            metrics: VecDeque::new(),
+            dropped_events: 0,
+            dropped_metrics: 0,
+            last_t: [SimTime::ZERO; Source::COUNT],
+        }
+    }
+
+    /// Retained event count.
+    pub fn event_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Retained metric-row count.
+    pub fn metric_len(&self) -> usize {
+        self.metrics.len()
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record_event(&mut self, mut ev: Event) {
+        if self.event_cap == 0 {
+            self.dropped_events += 1;
+            return;
+        }
+        let slot = &mut self.last_t[ev.source.index()];
+        if ev.t < *slot {
+            ev.t = *slot;
+        } else {
+            *slot = ev.t;
+        }
+        if self.events.len() == self.event_cap {
+            self.events.pop_front();
+            self.dropped_events += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    fn record_metrics(&mut self, m: TickMetrics) {
+        if self.metric_cap == 0 {
+            self.dropped_metrics += 1;
+            return;
+        }
+        if self.metrics.len() == self.metric_cap {
+            self.metrics.pop_front();
+            self.dropped_metrics += 1;
+        }
+        self.metrics.push_back(m);
+    }
+
+    fn events(&self) -> Vec<Event> {
+        self.events.iter().cloned().collect()
+    }
+
+    fn metrics(&self) -> Vec<TickMetrics> {
+        self.metrics.iter().cloned().collect()
+    }
+
+    fn dropped_events(&self) -> u64 {
+        self.dropped_events
+    }
+
+    fn dropped_metrics(&self) -> u64 {
+        self.dropped_metrics
+    }
+}
+
+struct SinkShared {
+    rec: RefCell<Box<dyn Recorder>>,
+    now: Cell<SimTime>,
+}
+
+/// Clonable handle to a shared [`Recorder`], or nothing at all.
+///
+/// All clones of one enabled sink share the recorder and the current-time
+/// cell, so the machine (which knows the time) and the controllers (which
+/// don't) stamp into the same stream.
+#[derive(Clone, Default)]
+pub struct Sink {
+    inner: Option<Rc<SinkShared>>,
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Sink(disabled)"),
+            Some(sh) => write!(f, "Sink(enabled, now={:?})", sh.now.get()),
+        }
+    }
+}
+
+impl Sink {
+    /// The zero-cost disabled sink (also `Sink::default()`).
+    pub fn disabled() -> Self {
+        Sink { inner: None }
+    }
+
+    /// An enabled sink writing into `rec`.
+    pub fn new(rec: Box<dyn Recorder>) -> Self {
+        Sink {
+            inner: Some(Rc::new(SinkShared {
+                rec: RefCell::new(rec),
+                now: Cell::new(SimTime::ZERO),
+            })),
+        }
+    }
+
+    /// Convenience: an enabled sink backed by a fresh [`RingRecorder`].
+    pub fn ring(event_cap: usize, metric_cap: usize) -> Self {
+        Sink::new(Box::new(RingRecorder::new(event_cap, metric_cap)))
+    }
+
+    /// Whether emits go anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Refresh the shared clock (the machine calls this each tick with the
+    /// tick's end time, so clock-less layers stamp at quantum granularity).
+    pub fn set_now(&self, t: SimTime) {
+        if let Some(sh) = &self.inner {
+            sh.now.set(t);
+        }
+    }
+
+    /// The shared clock's current value (ZERO when disabled).
+    pub fn now(&self) -> SimTime {
+        match &self.inner {
+            Some(sh) => sh.now.get(),
+            None => SimTime::ZERO,
+        }
+    }
+
+    /// Emit an event stamped with the shared clock. The closure runs only
+    /// when the sink is enabled — build the payload inside it.
+    pub fn emit(&self, source: Source, kind: impl FnOnce() -> EventKind) {
+        if let Some(sh) = &self.inner {
+            let ev = Event {
+                t: sh.now.get(),
+                source,
+                kind: kind(),
+            };
+            sh.rec.borrow_mut().record_event(ev);
+        }
+    }
+
+    /// Emit an event at an explicit simulated time (for layers that know
+    /// exactly when something happened, like the migration engine).
+    pub fn emit_at(&self, t: SimTime, source: Source, kind: impl FnOnce() -> EventKind) {
+        if let Some(sh) = &self.inner {
+            let ev = Event {
+                t,
+                source,
+                kind: kind(),
+            };
+            sh.rec.borrow_mut().record_event(ev);
+        }
+    }
+
+    /// Record a metric row. The closure runs only when enabled.
+    pub fn metrics(&self, m: impl FnOnce() -> TickMetrics) {
+        if let Some(sh) = &self.inner {
+            let row = m();
+            sh.rec.borrow_mut().record_metrics(row);
+        }
+    }
+
+    /// Run `f` against the recorder (e.g. to snapshot events at run end).
+    /// Returns `None` when the sink is disabled.
+    pub fn with<R>(&self, f: impl FnOnce(&dyn Recorder) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|sh| f(sh.rec.borrow().as_ref() as &dyn Recorder))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_ps: u64, source: Source) -> Event {
+        Event {
+            t: SimTime::from_ps(t_ps),
+            source,
+            kind: EventKind::EquilibriumReset,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_never_runs_closures() {
+        let sink = Sink::disabled();
+        sink.emit(Source::Machine, || panic!("must not build payload"));
+        sink.metrics(|| panic!("must not build row"));
+        assert!(!sink.is_enabled());
+        assert!(sink.with(|_| ()).is_none());
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = RingRecorder::new(3, 2);
+        for i in 0..5 {
+            r.record_event(ev(i, Source::Machine));
+        }
+        assert_eq!(r.event_len(), 3);
+        assert_eq!(r.dropped_events(), 2);
+        let kept: Vec<u64> = r.events().iter().map(|e| e.t.as_ps()).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+
+        for t in 0..4u64 {
+            r.record_metrics(TickMetrics::at(SimTime::from_ps(t)));
+        }
+        assert_eq!(r.metric_len(), 2);
+        assert_eq!(r.dropped_metrics(), 2);
+    }
+
+    #[test]
+    fn zero_cap_retains_nothing() {
+        let mut r = RingRecorder::new(0, 0);
+        r.record_event(ev(1, Source::Machine));
+        r.record_metrics(TickMetrics::at(SimTime::ZERO));
+        assert!(r.events().is_empty());
+        assert!(r.metrics().is_empty());
+        assert_eq!(r.dropped_events(), 1);
+        assert_eq!(r.dropped_metrics(), 1);
+    }
+
+    #[test]
+    fn per_source_timestamps_clamped_monotone() {
+        let mut r = RingRecorder::new(16, 0);
+        r.record_event(ev(100, Source::Colloid));
+        r.record_event(ev(50, Source::Colloid)); // stale clock: clamps to 100
+        r.record_event(ev(70, Source::Machine)); // other source unaffected
+        r.record_event(ev(120, Source::Colloid));
+        let ts: Vec<(usize, u64)> = r
+            .events()
+            .iter()
+            .map(|e| (e.source.index(), e.t.as_ps()))
+            .collect();
+        assert_eq!(
+            ts,
+            vec![
+                (Source::Colloid.index(), 100),
+                (Source::Colloid.index(), 100),
+                (Source::Machine.index(), 70),
+                (Source::Colloid.index(), 120),
+            ]
+        );
+    }
+
+    #[test]
+    fn sink_clones_share_recorder_and_clock() {
+        let sink = Sink::ring(8, 8);
+        let clone = sink.clone();
+        sink.set_now(SimTime::from_ps(42));
+        assert_eq!(clone.now().as_ps(), 42);
+        clone.emit(Source::Runner, || EventKind::EquilibriumReset);
+        sink.emit_at(SimTime::from_ps(7), Source::Machine, || {
+            EventKind::TierEvacuation { pages: 3 }
+        });
+        let events = sink.with(|r| r.events()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t.as_ps(), 42);
+        assert_eq!(events[0].source, Source::Runner);
+        assert_eq!(events[1].t.as_ps(), 7);
+    }
+
+    #[test]
+    fn noop_recorder_swallows_everything() {
+        let sink = Sink::new(Box::new(NoopRecorder));
+        assert!(sink.is_enabled());
+        sink.emit(Source::Machine, || EventKind::EquilibriumReset);
+        sink.metrics(|| TickMetrics::at(SimTime::ZERO));
+        assert_eq!(sink.with(|r| r.events().len()).unwrap(), 0);
+        assert_eq!(sink.with(|r| r.metrics().len()).unwrap(), 0);
+    }
+}

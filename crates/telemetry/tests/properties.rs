@@ -1,0 +1,130 @@
+//! Property-based tests for the telemetry recorder.
+//!
+//! Two contracts underwrite the subsystem: the [`RingRecorder`] holds
+//! bounded state no matter how long a run gets (drop-oldest, with every
+//! drop counted), and event timestamps are monotone **per source** however
+//! the layers interleave their emits. Both are exercised over arbitrary
+//! event interleavings here.
+
+use proptest::prelude::*;
+use simkit::SimTime;
+use telemetry::{Event, EventKind, Recorder, RingRecorder, Source, TickMetrics};
+
+fn source() -> impl Strategy<Value = Source> {
+    prop_oneof![
+        Just(Source::Machine),
+        Just(Source::Colloid),
+        Just(Source::System),
+        Just(Source::Supervisor),
+        Just(Source::Runner),
+    ]
+}
+
+/// An arbitrary recorder operation: an event (with possibly out-of-order
+/// timestamp) or a metric row.
+fn op() -> impl Strategy<Value = (bool, u64, Source)> {
+    (prop::bool::ANY, 0u64..10_000, source())
+}
+
+fn event_at(t_ps: u64, src: Source) -> Event {
+    Event {
+        t: SimTime::from_ps(t_ps),
+        source: src,
+        kind: EventKind::EquilibriumReset,
+    }
+}
+
+proptest! {
+    /// Bounded memory: whatever the input volume, retained counts never
+    /// exceed the caps, and retained + dropped always accounts for every
+    /// record offered.
+    #[test]
+    fn ring_is_bounded_and_accounts_for_drops(
+        event_cap in 0usize..32,
+        metric_cap in 0usize..8,
+        ops in prop::collection::vec(op(), 0..200)
+    ) {
+        let mut rec = RingRecorder::new(event_cap, metric_cap);
+        let mut offered_events = 0u64;
+        let mut offered_metrics = 0u64;
+        for (is_event, t_ps, src) in ops {
+            if is_event {
+                rec.record_event(event_at(t_ps, src));
+                offered_events += 1;
+            } else {
+                rec.record_metrics(TickMetrics::at(SimTime::from_ps(t_ps)));
+                offered_metrics += 1;
+            }
+            prop_assert!(rec.event_len() <= event_cap);
+            prop_assert!(rec.metric_len() <= metric_cap);
+        }
+        prop_assert_eq!(rec.events().len() as u64 + rec.dropped_events(), offered_events);
+        prop_assert_eq!(rec.metrics().len() as u64 + rec.dropped_metrics(), offered_metrics);
+    }
+
+    /// Drop-oldest: the retained window is exactly the tail of the offered
+    /// sequence (checked on a single source so clamping is irrelevant to
+    /// identity: events are distinguished by monotone timestamps).
+    #[test]
+    fn ring_retains_the_newest_tail(
+        cap in 1usize..16,
+        n in 0usize..64
+    ) {
+        let mut rec = RingRecorder::new(cap, 0);
+        for i in 0..n as u64 {
+            rec.record_event(event_at(i, Source::Machine));
+        }
+        let kept: Vec<u64> = rec.events().iter().map(|e| e.t.as_ps()).collect();
+        let expected: Vec<u64> = (0..n as u64).skip(n.saturating_sub(cap)).collect();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// Per-source monotonicity: under arbitrary interleavings with
+    /// arbitrary (even decreasing) stamps, each source's recorded
+    /// timestamps never decrease, and clamping never *advances* an event
+    /// past a later stamp the source itself provided.
+    #[test]
+    fn timestamps_are_monotone_per_source(
+        ops in prop::collection::vec((0u64..1000, source()), 0..300)
+    ) {
+        let mut rec = RingRecorder::new(usize::MAX >> 1, 0);
+        for &(t_ps, src) in &ops {
+            rec.record_event(event_at(t_ps, src));
+        }
+        let events = rec.events();
+        prop_assert_eq!(events.len(), ops.len());
+        let mut last = [None::<u64>; Source::COUNT];
+        for ev in &events {
+            let slot = &mut last[ev.source.index()];
+            if let Some(prev) = *slot {
+                prop_assert!(ev.t.as_ps() >= prev, "source went backwards");
+            }
+            *slot = Some(ev.t.as_ps());
+        }
+        // The clamp is the running max of each source's own input stamps.
+        let mut running = [0u64; Source::COUNT];
+        for (i, &(t_ps, src)) in ops.iter().enumerate() {
+            running[src.index()] = running[src.index()].max(t_ps);
+            prop_assert_eq!(events[i].t.as_ps(), running[src.index()]);
+        }
+    }
+
+    /// Metric rows are kept verbatim in order (no clamping applies).
+    #[test]
+    fn metrics_kept_in_arrival_order(
+        cap in 1usize..16,
+        stamps in prop::collection::vec(0u64..1000, 0..64)
+    ) {
+        let mut rec = RingRecorder::new(0, cap);
+        for &t in &stamps {
+            rec.record_metrics(TickMetrics::at(SimTime::from_ps(t)));
+        }
+        let kept: Vec<u64> = rec.metrics().iter().map(|m| m.t.as_ps()).collect();
+        let expected: Vec<u64> = stamps
+            .iter()
+            .skip(stamps.len().saturating_sub(cap))
+            .copied()
+            .collect();
+        prop_assert_eq!(kept, expected);
+    }
+}

@@ -71,6 +71,11 @@ pub trait TieringSystem {
     fn supervision(&self) -> Option<SupervisionReport> {
         None
     }
+
+    /// Attaches a telemetry sink; the system forwards clones to the
+    /// sub-components it owns (Colloid controller, retry queue, wrapped
+    /// inner system). Default: no-op, for systems with nothing to record.
+    fn set_telemetry(&mut self, _sink: telemetry::Sink) {}
 }
 
 /// A placement policy that never migrates (used for the best-case oracle's

@@ -503,6 +503,13 @@ impl TieringSystem for Memtis {
     fn heat_of(&self, vpn: Vpn) -> f64 {
         f64::from(self.tracker.count(vpn))
     }
+
+    fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        if let Some(c) = self.colloid.as_mut() {
+            c.set_telemetry(sink.clone());
+        }
+        self.retry.set_telemetry(sink);
+    }
 }
 
 #[cfg(test)]

@@ -117,6 +117,7 @@ pub struct RetryQueue {
     entries: VecDeque<RetryEntry>,
     tick: u64,
     stats: RetryStats,
+    sink: telemetry::Sink,
 }
 
 impl RetryQueue {
@@ -129,7 +130,13 @@ impl RetryQueue {
             entries: VecDeque::new(),
             tick: 0,
             stats: RetryStats::default(),
+            sink: telemetry::Sink::default(),
         }
+    }
+
+    /// Attaches a telemetry sink (events stamp with its shared clock).
+    pub fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        self.sink = sink;
     }
 
     /// Requests a migration, parking it for retry if the machine rejects
@@ -203,12 +210,24 @@ impl RetryQueue {
             self.stats.attempts += 1;
             if machine.enqueue_migration(e.vpn, e.dst) {
                 self.stats.recovered += 1;
+                self.sink.emit(telemetry::Source::System, || {
+                    telemetry::EventKind::MigrationRetry {
+                        vpn: e.vpn,
+                        dst: e.dst.0,
+                    }
+                });
                 recovered.push((e.vpn, e.dst));
             } else {
                 e.attempts += 1;
                 if e.attempts >= self.policy.max_attempts {
                     self.stats.dropped += 1;
                     self.stats.gave_up += 1;
+                    self.sink.emit(telemetry::Source::System, || {
+                        telemetry::EventKind::RetryExhausted {
+                            vpn: e.vpn,
+                            dst: e.dst.0,
+                        }
+                    });
                 } else {
                     e.due = self.tick + self.backoff(e.attempts);
                     self.entries.push_back(e);

@@ -412,6 +412,7 @@ pub struct Supervisor {
     probes_sent: u64,
     drained_pages: u64,
     drained_last_tick: bool,
+    sink: telemetry::Sink,
 }
 
 impl Supervisor {
@@ -432,6 +433,7 @@ impl Supervisor {
             probes_sent: 0,
             drained_pages: 0,
             drained_last_tick: false,
+            sink: telemetry::Sink::default(),
         }
     }
 
@@ -538,6 +540,9 @@ impl Supervisor {
             let dst = TierId(i as u8);
             if dst != TierId::DEFAULT && machine.enqueue_migration(vpn, dst) {
                 self.probes_sent += 1;
+                self.sink.emit(telemetry::Source::Supervisor, || {
+                    telemetry::EventKind::ProbeSent { vpn }
+                });
                 return;
             }
         }
@@ -592,6 +597,13 @@ impl TieringSystem for Supervisor {
         let mode = self.mm.step(&h);
         if mode != prev {
             self.timeline.push((report.t_end, mode));
+            self.sink
+                .emit_at(report.t_end, telemetry::Source::Supervisor, || {
+                    telemetry::EventKind::ModeTransition {
+                        from: prev.name(),
+                        to: mode.name(),
+                    }
+                });
             if prev == SupervisorMode::Normal && self.degraded_at.is_none() {
                 self.degraded_at = Some(report.t_end);
             }
@@ -653,6 +665,11 @@ impl TieringSystem for Supervisor {
 
     fn heat_of(&self, vpn: Vpn) -> f64 {
         self.inner.heat_of(vpn)
+    }
+
+    fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        self.sink = sink.clone();
+        self.inner.set_telemetry(sink);
     }
 
     fn supervision(&self) -> Option<SupervisionReport> {

@@ -436,6 +436,13 @@ impl TieringSystem for Tpp {
             .map(|ttf| 1.0 / ttf.max(1.0))
             .unwrap_or(0.0)
     }
+
+    fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        if let Some(c) = self.colloid.as_mut() {
+            c.set_telemetry(sink.clone());
+        }
+        self.retry.set_telemetry(sink);
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,11 @@
 //!
 //! 1. [`simkit`] — discrete-event simulation kernel (clock, events, RNG,
 //!    statistics).
+//!    [`telemetry`] sits beside it: the structured observability layer
+//!    (typed events, bounded recorders, per-quantum metrics, exporters,
+//!    convergence analytics) that every higher layer emits into — and
+//!    that, disabled or enabled, never changes simulated behaviour
+//!    (DESIGN.md §10).
 //! 2. [`memsim`] — the tiered-memory hardware model: cores with bounded
 //!    memory-level parallelism, CHA with occupancy/arrival counters, per-tier
 //!    memory controllers (channels × banks), and interconnect links.
@@ -29,6 +34,7 @@ pub use colloid;
 pub use experiments;
 pub use memsim;
 pub use simkit;
+pub use telemetry;
 pub use tierctl;
 pub use tiersys;
 pub use workloads;
