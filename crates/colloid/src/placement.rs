@@ -170,6 +170,7 @@ impl ColloidController {
     /// `(0, 1]` and `byte_limit <= static_limit_bytes` — never a panic or a
     /// NaN, whatever the input.
     pub fn on_quantum(&mut self, window: &[TierMeasurement]) -> Option<PlacementDecision> {
+        let _prof = simkit::profile::scope("colloid.on_quantum");
         self.monitor.update(window);
         self.quanta += 1;
         let total_rate = self.monitor.total_rate_per_ns();
@@ -211,19 +212,24 @@ impl ColloidController {
         } else {
             self.cfg.static_limit_bytes
         };
+        let mode_str = match mode {
+            Mode::Promote => "promote",
+            Mode::Demote => "demote",
+        };
         self.sink.emit(telemetry::Source::Colloid, || {
             telemetry::EventKind::PUpdate {
                 p,
                 l_default_ns: l_d,
                 l_alternate_ns: l_a,
-                mode: match mode {
-                    Mode::Promote => "promote",
-                    Mode::Demote => "demote",
-                },
+                mode: mode_str,
                 delta_p,
                 byte_limit,
             }
         });
+        // Causal anchor: migrations the system enqueues while acting on
+        // this decision chain back to this span via the sink's cause id.
+        self.sink
+            .span_decision(telemetry::Source::Colloid, "colloid.decide", mode_str);
         Some(PlacementDecision {
             mode,
             delta_p,

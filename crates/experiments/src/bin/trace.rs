@@ -1,0 +1,14 @@
+//! Causal-tracing demonstration: runs the Figure 9 contention shift with
+//! span tracing live, exports a Perfetto-loadable chrome trace and folded
+//! stacks, and prints the per-page provenance/blame report plus the
+//! simulator's wall-clock profile. Pass `--quick` for the shortened run
+//! and `--smoke` to self-validate (non-zero exit on failure).
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (_, check) = experiments::trace::run(quick, smoke);
+    if check.is_err() {
+        std::process::exit(1);
+    }
+}

@@ -21,6 +21,11 @@
 //!   [`telemetry::RingRecorder`], exported as NDJSON + CSV, and analysed
 //!   for time-to-equilibrium, migration efficiency, and latency
 //!   inversions (DESIGN.md §10).
+//! - [`trace`] — the causal-tracing demonstration (binary `trace`): the
+//!   contention shift with span tracing live, exported as
+//!   chrome-`trace_event` JSON and folded stacks, plus the per-page
+//!   provenance/blame report and the simulator's wall-clock profile
+//!   (DESIGN.md §11).
 //! - [`robustness`] — the fault-injection matrix (binary `robustness`):
 //!   throughput degradation of every system ± Colloid under graded
 //!   counter/migration/PEBS fault intensities.
@@ -40,6 +45,7 @@ pub mod robustness;
 pub mod runner;
 pub mod scenario;
 pub mod timeline;
+pub mod trace;
 
 pub use oracle::{best_case, OracleResult};
 pub use runner::{run, RunConfig, RunResult, TickSample};

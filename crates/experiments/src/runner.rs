@@ -163,9 +163,28 @@ fn step(
     exp: &mut Experiment,
     collector: &telemetry::Sink,
 ) -> (TickSample, [[u64; TrafficClass::COUNT]; 2], u64, FaultStats) {
+    let _prof = simkit::profile::scope("runner.tick");
     exp.apply_schedule();
+    let tick_span =
+        exp.sink
+            .span_enter_at(exp.machine.now(), telemetry::Source::Runner, "runner.tick");
     let report = exp.machine.run_tick(exp.tick);
-    exp.system.on_tick(&mut exp.machine, &report);
+    {
+        let _prof = simkit::profile::scope("system.on_tick");
+        let span =
+            exp.sink
+                .span_enter_at(report.t_end, telemetry::Source::System, "system.on_tick");
+        // Fallback causal anchor: migrations the tiering system enqueues
+        // without a more specific decision (HeMem/TPP placement moves,
+        // vanilla policies) attribute to this tick's control step.
+        let prev_cause = exp.sink.cause();
+        exp.sink
+            .span_decision(telemetry::Source::System, "system.decide", "policy");
+        exp.system.on_tick(&mut exp.machine, &report);
+        exp.sink.set_cause(prev_cause);
+        exp.sink.span_exit_at(report.t_end, span);
+    }
+    exp.sink.span_exit_at(report.t_end, tick_span);
     let app = TrafficClass::App.index();
     let mut bytes = [[0u64; TrafficClass::COUNT]; 2];
     for (i, t) in report.tiers.iter().enumerate().take(2) {

@@ -65,11 +65,15 @@ fn fig4_matches_golden() {
 fn quickstart_with_ring_recorder_matches_golden() {
     // Replicates examples/quickstart.rs line for line, but with a live
     // RingRecorder attached to every layer: the recorded run must be
-    // byte-identical to the baseline captured without telemetry.
+    // byte-identical to the baseline captured without telemetry. Since
+    // PR 4 the sink also records causal spans (`Sink::ring` allots span
+    // capacity), so this doubles as the proof that span tracing is
+    // passive: a span-recording run leaves figure outputs untouched.
     let golden = golden("quickstart.txt");
     let scenario = GupsScenario::intensity(2);
     let mut out = String::new();
     let mut recorded_events = 0usize;
+    let mut recorded_spans = 0usize;
     for (label, colloid) in [
         ("HeMem (packs hottest pages into the default tier)", false),
         ("HeMem+Colloid (balances access latencies)", true),
@@ -87,6 +91,10 @@ fn quickstart_with_ring_recorder_matches_golden() {
         recorded_events += exp
             .sink
             .with(|r| r.events().len() + r.dropped_events() as usize)
+            .unwrap_or(0);
+        recorded_spans += exp
+            .sink
+            .with(|r| r.spans().len() + r.dropped_spans() as usize)
             .unwrap_or(0);
         out.push_str(&format!(
             "    GUPS throughput : {:.1} Mops/s (converged after {} quanta)\n",
@@ -114,6 +122,10 @@ fn quickstart_with_ring_recorder_matches_golden() {
     assert!(
         recorded_events > 0,
         "the recorder must actually have seen the migration traffic"
+    );
+    assert!(
+        recorded_spans > 0,
+        "the recorder must actually have closed tick/migration spans"
     );
 }
 

@@ -127,6 +127,9 @@ struct MigJob {
     /// When the copy left the queue and the engine started it (for the
     /// per-page copy-time telemetry in [`TickReport::mig_copy_ns`]).
     started: SimTime,
+    /// Open async telemetry span covering this copy ([`SpanId::NONE`]
+    /// when tracing is off).
+    span: telemetry::SpanId,
 }
 
 /// Simulator events.
@@ -213,7 +216,10 @@ struct Shared {
     pebs_buf: Vec<PebsSample>,
     fault_buf: Vec<HintFault>,
     // Migration engine.
-    mig_queue: VecDeque<(Vpn, TierId)>,
+    /// Queued migrations; each entry carries the causal span id captured
+    /// from the sink at enqueue time, so the copy that eventually runs
+    /// chains back to the controller decision that issued it.
+    mig_queue: VecDeque<(Vpn, TierId, telemetry::SpanId)>,
     mig_jobs: Vec<MigJob>,
     mig_free_jobs: Vec<u32>,
     mig_engine_free: SimTime,
@@ -596,7 +602,9 @@ impl Machine {
         self.sh.mig_admitted_tick += 1;
         // Reserve the destination frame now so capacity cannot oversubscribe.
         self.sh.mig_inflight_to[dst.index()] += 1;
-        self.sh.mig_queue.push_back((vpn, dst));
+        self.sh
+            .mig_queue
+            .push_back((vpn, dst, self.sh.sink.cause()));
         if self.sh.mig_engine_idle {
             self.sh.mig_engine_idle = false;
             let t = self.now.max(self.sh.mig_engine_free);
@@ -633,12 +641,20 @@ impl Machine {
     /// Runs the machine for `dur` of simulated time and reports what the
     /// hardware observed.
     pub fn run_tick(&mut self, dur: SimTime) -> TickReport {
+        let _prof = simkit::profile::scope("machine.run_tick");
         let t_start = self.now;
         let t_end = t_start + dur;
+        let tick_span =
+            self.sh
+                .sink
+                .span_enter_at(t_start, telemetry::Source::Machine, "machine.tick");
         let n_tiers = self.sh.tiers.len();
-        let snap_before: Vec<ChaCounters> = (0..n_tiers)
-            .map(|i| self.sh.cha.snapshot(TierId(i as u8), t_start))
-            .collect();
+        let snap_before: Vec<ChaCounters> = {
+            let _prof = simkit::profile::scope("machine.cha_sample");
+            (0..n_tiers)
+                .map(|i| self.sh.cha.snapshot(TierId(i as u8), t_start))
+                .collect()
+        };
         let hist_before: Vec<(u64, f64)> = self
             .sh
             .lat_hist
@@ -675,22 +691,28 @@ impl Machine {
                 });
         }
 
-        while let Some(t) = self.sh.events.peek_time() {
-            if t > t_end {
-                break;
+        {
+            let _prof = simkit::profile::scope("machine.event_loop");
+            while let Some(t) = self.sh.events.peek_time() {
+                if t > t_end {
+                    break;
+                }
+                let (t, ev) = self.sh.events.pop().expect("peeked event");
+                self.now = t;
+                self.dispatch(t, ev);
             }
-            let (t, ev) = self.sh.events.pop().expect("peeked event");
-            self.now = t;
-            self.dispatch(t, ev);
         }
         self.now = t_end;
 
-        let tiers: Vec<TierWindow> = (0..n_tiers)
-            .map(|i| {
-                let after = self.sh.cha.snapshot(TierId(i as u8), t_end);
-                Cha::window(&snap_before[i], &after, t_start, t_end)
-            })
-            .collect();
+        let tiers: Vec<TierWindow> = {
+            let _prof = simkit::profile::scope("machine.cha_sample");
+            (0..n_tiers)
+                .map(|i| {
+                    let after = self.sh.cha.snapshot(TierId(i as u8), t_end);
+                    Cha::window(&snap_before[i], &after, t_start, t_end)
+                })
+                .collect()
+        };
         // Counter faults perturb only what the control software sees; the
         // CHA's internal counters (and true_latency_ns below) stay exact.
         let tiers = self.sh.faults.perturb_windows(tiers);
@@ -727,6 +749,7 @@ impl Machine {
                 }
             });
         }
+        self.sh.sink.span_exit_at(t_end, tick_span);
         TickReport {
             t_start,
             t_end,
@@ -1031,7 +1054,8 @@ impl Machine {
     // ---- Migration engine ---------------------------------------------------
 
     fn mig_start(&mut self, t: SimTime) {
-        let Some((vpn, dst)) = self.sh.mig_queue.pop_front() else {
+        let _prof = simkit::profile::scope("machine.mig_engine");
+        let Some((vpn, dst, cause)) = self.sh.mig_queue.pop_front() else {
             self.sh.mig_engine_idle = true;
             return;
         };
@@ -1082,6 +1106,15 @@ impl Machine {
         self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
             telemetry::EventKind::MigrationStart { vpn, dst: dst.0 }
         });
+        // One async span per copy: it outlives this tick if the copy does,
+        // and carries the decision span captured at enqueue as its cause.
+        let span = self.sh.sink.span_open_at(
+            t,
+            telemetry::Source::Machine,
+            "migration",
+            telemetry::SpanPayload::Migration { vpn, dst: dst.0 },
+            cause,
+        );
         let job = MigJob {
             vpn,
             dst,
@@ -1089,6 +1122,7 @@ impl Machine {
             lines_done: 0,
             live: true,
             started: t,
+            span,
         };
         let id = if let Some(i) = self.sh.mig_free_jobs.pop() {
             self.sh.mig_jobs[i as usize] = job;
@@ -1135,6 +1169,7 @@ impl Machine {
     }
 
     fn mig_line_done(&mut self, t: SimTime, job_id: u32) {
+        let _prof = simkit::profile::scope("machine.mig_engine");
         let job = self.sh.mig_jobs[job_id as usize];
         debug_assert!(job.live);
         // Write the line into the destination tier.
@@ -1162,6 +1197,7 @@ impl Machine {
                     copy_ns: t.saturating_sub(job.started).as_ns(),
                 }
             });
+            self.sh.sink.span_close_at(t, job.span);
             self.sh.mig_jobs[job_id as usize].live = false;
             self.sh.mig_free_jobs.push(job_id);
         }

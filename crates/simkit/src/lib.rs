@@ -12,11 +12,17 @@
 //! - [`stats`]: statistics primitives used throughout the simulator and the
 //!   Colloid controller — EWMA smoothing, time-weighted averages, windowed
 //!   rate meters, online mean/variance, and log-bucketed latency histograms.
+//! - [`profile`]: an opt-in wall-clock profiler for the simulator's own hot
+//!   paths (scoped timers aggregated into a self/total table).
 //!
 //! Everything in this crate is deterministic: given the same seed and the
-//! same sequence of calls, results are reproducible bit-for-bit.
+//! same sequence of calls, results are reproducible bit-for-bit. The one
+//! deliberately non-deterministic module is [`profile`], which reads the
+//! host clock — it is purely observational and feeds nothing back into
+//! simulated state.
 
 pub mod event;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,293 @@
+//! Wall-clock profiler for the simulator's own hot paths.
+//!
+//! Simulated time tells you where the *modelled* machine spends its
+//! cycles; this module tells you where the *simulator process* spends
+//! host CPU. Hot paths wrap themselves in [`scope`] guards; the profiler
+//! aggregates wall-clock **self** time (elapsed minus time attributed to
+//! enclosed scopes), **total** time, and call counts per label, rendered
+//! by [`table`].
+//!
+//! Design constraints:
+//!
+//! - **Near-zero cost when off** (the default): `scope` checks one
+//!   thread-local flag and returns an inert guard — no clock read, no
+//!   map lookup.
+//! - **Purely observational**: the profiler reads [`Instant`] but feeds
+//!   nothing back into the simulation, so enabling it cannot perturb
+//!   simulated results (wall time never influences sim time).
+//! - **Recursion-safe**: a label's total is only accumulated when its
+//!   outermost instance leaves the stack, so recursive or re-entrant
+//!   scopes don't double-count totals.
+//!
+//! State is thread-local; each thread profiles independently.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Frame {
+    label: &'static str,
+    start: Option<Instant>,
+    /// Wall time attributed to directly nested scopes, subtracted from
+    /// this frame's elapsed time to get self time.
+    child: Duration,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Entry {
+    calls: u64,
+    self_time: Duration,
+    total: Duration,
+    /// Live instances of this label on the stack (recursion guard).
+    on_stack: u32,
+}
+
+#[derive(Default)]
+struct ProfState {
+    enabled: bool,
+    stack: Vec<Frame>,
+    entries: Vec<(&'static str, Entry)>,
+}
+
+impl ProfState {
+    fn entry(&mut self, label: &'static str) -> &mut Entry {
+        if let Some(i) = self.entries.iter().position(|(l, _)| *l == label) {
+            &mut self.entries[i].1
+        } else {
+            self.entries.push((label, Entry::default()));
+            &mut self.entries.last_mut().unwrap().1
+        }
+    }
+}
+
+thread_local! {
+    static STATE: RefCell<ProfState> = RefCell::new(ProfState::default());
+}
+
+/// One aggregated profiler row, as reported by [`stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScopeStats {
+    /// Label passed to [`scope`].
+    pub label: &'static str,
+    /// Completed instances.
+    pub calls: u64,
+    /// Wall time inside this scope excluding enclosed scopes.
+    pub self_time: Duration,
+    /// Wall time inside this scope including enclosed scopes; recursive
+    /// re-entries are counted once (outermost instance only).
+    pub total: Duration,
+}
+
+/// Turns profiling on or off for the current thread. Turning it on does
+/// not clear previously accumulated stats; see [`reset`].
+pub fn set_enabled(on: bool) {
+    STATE.with(|s| s.borrow_mut().enabled = on);
+}
+
+/// Whether profiling is currently on for this thread.
+pub fn enabled() -> bool {
+    STATE.with(|s| s.borrow().enabled)
+}
+
+/// Clears all accumulated stats (open scopes on the stack survive and
+/// will report into the fresh accumulator when they close).
+pub fn reset() {
+    STATE.with(|s| s.borrow_mut().entries.clear());
+}
+
+/// Enters a profiled scope. The returned guard attributes wall time to
+/// `label` until it drops. When profiling is off this is one flag check.
+#[must_use = "the scope is timed until the returned guard drops"]
+pub fn scope(label: &'static str) -> Scope {
+    let armed = STATE.with(|s| {
+        let mut st = s.borrow_mut();
+        if !st.enabled {
+            return false;
+        }
+        st.entry(label).on_stack += 1;
+        st.stack.push(Frame {
+            label,
+            start: Some(Instant::now()),
+            child: Duration::ZERO,
+        });
+        true
+    });
+    Scope { armed }
+}
+
+/// Guard returned by [`scope`]; closes the scope on drop.
+pub struct Scope {
+    armed: bool,
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        STATE.with(|s| {
+            let mut st = s.borrow_mut();
+            // `armed` guarantees a matching push; a missing frame means
+            // reset-while-open or drop-order abuse — tolerate it.
+            let Some(frame) = st.stack.pop() else { return };
+            let elapsed = frame.start.map(|t| t.elapsed()).unwrap_or_default();
+            if let Some(parent) = st.stack.last_mut() {
+                parent.child += elapsed;
+            }
+            let entry = st.entry(frame.label);
+            entry.calls += 1;
+            entry.self_time += elapsed.saturating_sub(frame.child);
+            entry.on_stack = entry.on_stack.saturating_sub(1);
+            if entry.on_stack == 0 {
+                entry.total += elapsed;
+            }
+        });
+    }
+}
+
+/// Snapshot of the per-label aggregates, sorted by descending self time.
+pub fn stats() -> Vec<ScopeStats> {
+    let mut rows: Vec<ScopeStats> = STATE.with(|s| {
+        s.borrow()
+            .entries
+            .iter()
+            .map(|(label, e)| ScopeStats {
+                label,
+                calls: e.calls,
+                self_time: e.self_time,
+                total: e.total,
+            })
+            .collect()
+    });
+    rows.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.label.cmp(b.label)));
+    rows
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us >= 1e6 {
+        format!("{:.2}s", us / 1e6)
+    } else if us >= 1e3 {
+        format!("{:.2}ms", us / 1e3)
+    } else {
+        format!("{us:.1}us")
+    }
+}
+
+/// Renders the profiler table: one row per label, sorted by self time,
+/// with per-call averages. Empty string when nothing was profiled.
+pub fn table() -> String {
+    let rows = stats();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>10} {:>10} {:>10}\n",
+        "scope", "calls", "self", "total", "total/call"
+    ));
+    for r in rows {
+        let per_call = if r.calls > 0 {
+            r.total / r.calls as u32
+        } else {
+            Duration::ZERO
+        };
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>10} {:>10} {:>10}\n",
+            r.label,
+            r.calls,
+            fmt_dur(r.self_time),
+            fmt_dur(r.total),
+            fmt_dur(per_call)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(min: Duration) {
+        let t0 = Instant::now();
+        while t0.elapsed() < min {
+            std::hint::black_box(0u64);
+        }
+    }
+
+    #[test]
+    fn disabled_scopes_record_nothing() {
+        reset();
+        set_enabled(false);
+        {
+            let _g = scope("idle");
+            spin(Duration::from_micros(50));
+        }
+        assert!(stats().is_empty());
+        assert_eq!(table(), "");
+    }
+
+    #[test]
+    fn nested_scopes_split_self_and_total() {
+        reset();
+        set_enabled(true);
+        {
+            let _outer = scope("outer_split");
+            spin(Duration::from_millis(2));
+            {
+                let _inner = scope("inner_split");
+                spin(Duration::from_millis(2));
+            }
+        }
+        set_enabled(false);
+        let rows = stats();
+        let outer = rows.iter().find(|r| r.label == "outer_split").unwrap();
+        let inner = rows.iter().find(|r| r.label == "inner_split").unwrap();
+        assert_eq!((outer.calls, inner.calls), (1, 1));
+        // Outer total covers inner total; outer self excludes it.
+        assert!(outer.total >= inner.total);
+        assert!(outer.self_time < outer.total);
+        assert!(inner.self_time >= Duration::from_millis(1));
+        assert!(outer.total >= Duration::from_millis(3));
+        reset();
+    }
+
+    #[test]
+    fn recursion_counts_total_once() {
+        reset();
+        set_enabled(true);
+        fn recurse(depth: u32) {
+            let _g = scope("recurse_once");
+            spin(Duration::from_micros(200));
+            if depth > 0 {
+                recurse(depth - 1);
+            }
+        }
+        recurse(3);
+        set_enabled(false);
+        let rows = stats();
+        let r = rows.iter().find(|r| r.label == "recurse_once").unwrap();
+        assert_eq!(r.calls, 4);
+        // Total accumulated only at the outermost exit: roughly the whole
+        // 4 x 200us once, not quadratically.
+        assert!(r.total >= Duration::from_micros(700));
+        assert!(r.total < 2 * r.self_time + Duration::from_millis(1));
+        reset();
+    }
+
+    #[test]
+    fn table_lists_scopes_with_headers() {
+        reset();
+        set_enabled(true);
+        {
+            let _g = scope("tabled");
+            spin(Duration::from_micros(100));
+        }
+        set_enabled(false);
+        let t = table();
+        assert!(t.contains("scope"));
+        assert!(t.contains("total/call"));
+        assert!(t.contains("tabled"));
+        reset();
+    }
+}

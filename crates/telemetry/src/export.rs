@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 use crate::event::{Event, EventKind};
 use crate::metrics::TickMetrics;
 
-fn json_escape(out: &mut String, s: &str) {
+pub(crate) fn json_escape(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -28,7 +28,7 @@ fn json_escape(out: &mut String, s: &str) {
     }
 }
 
-fn json_f64(out: &mut String, v: f64) {
+pub(crate) fn json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         // `{v:?}` keeps a decimal point or exponent, so the value reads
         // back as a JSON number distinguishable from an integer.
@@ -200,7 +200,7 @@ pub fn metrics_to_csv(rows: &[TickMetrics]) -> String {
 
 /// A parsed JSON value (just enough for schema validation).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -210,48 +210,59 @@ enum Json {
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    fn as_num(&self) -> Option<f64> {
+    pub(crate) fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Self {
+    pub(crate) fn new(s: &'a str) -> Self {
         Parser {
             bytes: s.as_bytes(),
             pos: 0,
         }
     }
 
+    pub(crate) fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
     fn err(&self, msg: &str) -> String {
         format!("{msg} at byte {}", self.pos)
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
                 self.pos += 1;
             } else {
                 break;
@@ -272,7 +283,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    pub(crate) fn value(&mut self) -> Result<Json, String> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => self.object(),
@@ -349,13 +360,27 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Multi-byte UTF-8: copy the full char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Multi-byte UTF-8: validate and copy just this char
+                    // (never the whole remaining input — that would make
+                    // parsing a large document quadratic).
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid utf-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("invalid utf-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos += len;
                 }
             }
         }

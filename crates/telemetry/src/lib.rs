@@ -34,13 +34,30 @@
 //! accounting, latency-inversion episode histograms), and [`render`]
 //! (plain-text series and run-timeline views, used by the `timeline`
 //! binary in `crates/experiments`).
+//!
+//! # Causal tracing
+//!
+//! The third channel is the **span stream** ([`span`]): hierarchical
+//! scoped spans (`runner.tick` ⊃ `machine.tick`), async extents (one per
+//! page copy, crossing tick boundaries), and instant *decision spans*
+//! whose ids flow as `cause` links — so a completed migration resolves
+//! back to the controller decision that issued it. On top of the spans
+//! sit [`provenance`] (per-page move histories, ping-pong detection, and
+//! a blame report attributing wasted migrations to their issuing
+//! decision) and [`trace`] (a chrome-`trace_event`/Perfetto JSON
+//! exporter with an offline format checker, plus folded stacks for
+//! flamegraph tooling). The same overhead contract applies: span APIs on
+//! a disabled sink return [`SpanId::NONE`] and touch nothing.
 
 pub mod analytics;
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod provenance;
 pub mod recorder;
 pub mod render;
+pub mod span;
+pub mod trace;
 
 pub use analytics::{
     migration_accounting, time_to_equilibrium, InversionStats, MigrationAccounting,
@@ -48,4 +65,7 @@ pub use analytics::{
 pub use event::{Event, EventKind, FailReason, Source};
 pub use export::{events_to_ndjson, metrics_to_csv, validate_ndjson};
 pub use metrics::TickMetrics;
+pub use provenance::{provenance, BlameEntry, PageHistory, ProvenanceReport};
 pub use recorder::{NoopRecorder, Recorder, RingRecorder, Sink};
+pub use span::{SpanId, SpanIndex, SpanKind, SpanPayload, SpanRecord};
+pub use trace::{chrome_trace_json, folded_stacks, validate_chrome_trace};

@@ -1,0 +1,359 @@
+//! Per-page provenance: fold the migration span stream into per-page move
+//! histories, detect churn (ping-pong: a page migrated again within a
+//! short window), and attribute wasted copies to the controller decision
+//! that issued them (the "blame" report).
+//!
+//! The input is the recorded span stream: every completed page copy is one
+//! async `migration` span carrying `{vpn, dst}` and a `cause` link to the
+//! decision span in force when the migration was enqueued (see
+//! [`crate::span`]). The useful/wasted split follows the same rule as
+//! [`crate::analytics::migration_accounting`] — of a page's `c` completed
+//! copies only `c % 2` were useful, because under two tiers every pair of
+//! moves returns the page whence it came — so the blame report's wasted
+//! total always reconciles with the accounting (the `trace --smoke`
+//! binary asserts this).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use simkit::SimTime;
+
+use crate::event::{Event, EventKind};
+use crate::span::{SpanId, SpanIndex, SpanKind, SpanPayload, SpanRecord};
+
+/// One completed copy of a page.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageMove {
+    /// When the copy completed.
+    pub t: SimTime,
+    /// Destination tier.
+    pub dst: u8,
+    /// The migration span that carried the copy.
+    pub span: SpanId,
+    /// The decision span the copy was attributed to (`NONE` if untracked).
+    pub cause: SpanId,
+    /// Whether the accounting counts this copy as wasted.
+    pub wasted: bool,
+}
+
+/// A page's full migration history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageHistory {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// Completed copies, oldest first.
+    pub moves: Vec<PageMove>,
+    /// Ping-pong incidents: a move followed by another within the window.
+    pub ping_pongs: u64,
+}
+
+impl PageHistory {
+    /// The tier the page ended in (destination of the last move).
+    pub fn final_tier(&self) -> u8 {
+        self.moves.last().map_or(u8::MAX, |m| m.dst)
+    }
+
+    /// Copies the accounting considers useful (`c % 2`).
+    pub fn useful(&self) -> u64 {
+        (self.moves.len() % 2) as u64
+    }
+
+    /// Copies the accounting considers wasted (`c - c % 2`).
+    pub fn wasted(&self) -> u64 {
+        (self.moves.len() - self.moves.len() % 2) as u64
+    }
+}
+
+/// One row of the blame report: a decision site and its migration tally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameEntry {
+    /// Decision label, `name(mode)` (e.g. `colloid.decide(demote)`).
+    pub site: String,
+    /// Completed copies attributed to this site.
+    pub issued: u64,
+    /// Of those, copies the accounting counts as wasted.
+    pub wasted: u64,
+}
+
+/// The folded provenance of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvenanceReport {
+    /// Per-page histories, ascending vpn.
+    pub pages: Vec<PageHistory>,
+    /// Total completed copies (sum of history lengths).
+    pub completed: u64,
+    /// Copies that left a page at its final tier (`Σ c_i % 2`).
+    pub useful: u64,
+    /// Copies undone by a later move (`completed - useful`).
+    pub wasted: u64,
+    /// The churn window used for ping-pong detection.
+    pub window: SimTime,
+    /// Pages with at least one ping-pong incident.
+    pub ping_pong_pages: u64,
+    /// Total ping-pong incidents across all pages.
+    pub ping_pong_incidents: u64,
+    /// Blame rows, most wasted first (ties by site name).
+    pub blame: Vec<BlameEntry>,
+    /// Completed copies whose cause chain did not reach a decision span
+    /// (dropped spans, or migrations issued outside any decision).
+    pub unattributed: u64,
+    /// `MigrationComplete` events in the event stream — should equal
+    /// `completed` when neither ring overflowed.
+    pub completed_events: u64,
+}
+
+impl ProvenanceReport {
+    /// Plain-text rendering (blame table, churn summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "  provenance: {} completed copies over {} pages ({} useful / {} wasted)",
+            self.completed,
+            self.pages.len(),
+            self.useful,
+            self.wasted,
+        );
+        let _ = writeln!(
+            out,
+            "  ping-pong (window {:.2} ms): {} pages, {} incidents",
+            self.window.as_ns() / 1e6,
+            self.ping_pong_pages,
+            self.ping_pong_incidents,
+        );
+        if self.blame.is_empty() {
+            let _ = writeln!(out, "  blame: no attributed migrations");
+        } else {
+            let _ = writeln!(out, "  blame (wasted copies by issuing decision):");
+            for b in &self.blame {
+                let _ = writeln!(
+                    out,
+                    "    {:<28} issued {:>6}   wasted {:>6}",
+                    b.site, b.issued, b.wasted
+                );
+            }
+        }
+        if self.unattributed > 0 {
+            let _ = writeln!(out, "    (unattributed copies: {})", self.unattributed);
+        }
+        out
+    }
+}
+
+/// Label for the decision a move's cause chain resolves to.
+fn site_of(chain: &[&SpanRecord]) -> String {
+    let decision = chain.last().expect("chain never empty");
+    match decision.payload {
+        SpanPayload::Decision { mode } => format!("{}({})", decision.name, mode),
+        _ => decision.name.to_string(),
+    }
+}
+
+/// Folds migration spans (plus the event stream for cross-checking) into
+/// per-page histories, churn statistics, and the blame report. `window`
+/// is the ping-pong horizon: a page moved again within `window` of its
+/// previous copy counts as one ping-pong incident.
+pub fn provenance(events: &[Event], spans: &[SpanRecord], window: SimTime) -> ProvenanceReport {
+    let mut by_page: HashMap<u64, Vec<PageMove>> = HashMap::new();
+    for sp in spans {
+        if sp.kind != SpanKind::Async {
+            continue;
+        }
+        let SpanPayload::Migration { vpn, dst } = sp.payload else {
+            continue;
+        };
+        by_page.entry(vpn).or_default().push(PageMove {
+            t: sp.t_end,
+            dst,
+            span: sp.id,
+            cause: sp.cause,
+            wasted: false,
+        });
+    }
+
+    let index = SpanIndex::new(spans);
+    let mut pages: Vec<PageHistory> = Vec::with_capacity(by_page.len());
+    let mut completed = 0u64;
+    let mut useful = 0u64;
+    let mut ping_pong_pages = 0u64;
+    let mut ping_pong_incidents = 0u64;
+    let mut unattributed = 0u64;
+    let mut blame: HashMap<String, BlameEntry> = HashMap::new();
+    for (vpn, mut moves) in by_page {
+        moves.sort_by_key(|m| m.t);
+        let c = moves.len();
+        completed += c as u64;
+        useful += (c % 2) as u64;
+        // All copies are wasted except, for an odd count, the last one:
+        // every completed pair returned the page to where it started.
+        let useful_idx = (c % 2 == 1).then_some(c - 1);
+        for (i, m) in moves.iter_mut().enumerate() {
+            m.wasted = Some(i) != useful_idx;
+            let site = if m.cause.is_some() {
+                index.decision_chain(m.cause).map(|chain| site_of(&chain))
+            } else {
+                None
+            };
+            match site {
+                Some(site) => {
+                    let e = blame.entry(site.clone()).or_insert(BlameEntry {
+                        site,
+                        issued: 0,
+                        wasted: 0,
+                    });
+                    e.issued += 1;
+                    e.wasted += u64::from(m.wasted);
+                }
+                None => unattributed += 1,
+            }
+        }
+        let ping_pongs = moves
+            .windows(2)
+            .filter(|w| w[1].t.saturating_sub(w[0].t) <= window)
+            .count() as u64;
+        ping_pong_incidents += ping_pongs;
+        ping_pong_pages += u64::from(ping_pongs > 0);
+        pages.push(PageHistory {
+            vpn,
+            moves,
+            ping_pongs,
+        });
+    }
+    pages.sort_by_key(|p| p.vpn);
+
+    let mut blame: Vec<BlameEntry> = blame.into_values().collect();
+    blame.sort_by(|a, b| b.wasted.cmp(&a.wasted).then(a.site.cmp(&b.site)));
+
+    let completed_events = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::MigrationComplete { .. }))
+        .count() as u64;
+
+    ProvenanceReport {
+        pages,
+        completed,
+        useful,
+        wasted: completed - useful,
+        window,
+        ping_pong_pages,
+        ping_pong_incidents,
+        blame,
+        unattributed,
+        completed_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Source;
+
+    fn decision(id: u64, mode: &'static str) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId::NONE,
+            cause: SpanId::NONE,
+            source: Source::Colloid,
+            name: "colloid.decide",
+            payload: SpanPayload::Decision { mode },
+            t_start: SimTime::ZERO,
+            t_end: SimTime::ZERO,
+            kind: SpanKind::Scoped,
+        }
+    }
+
+    fn migration(id: u64, cause: u64, vpn: u64, dst: u8, t_us: f64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId::NONE,
+            cause: SpanId(cause),
+            source: Source::Machine,
+            name: "migration",
+            payload: SpanPayload::Migration { vpn, dst },
+            t_start: SimTime::from_us(t_us - 1.0),
+            t_end: SimTime::from_us(t_us),
+            kind: SpanKind::Async,
+        }
+    }
+
+    #[test]
+    fn histories_split_useful_and_wasted_like_the_accounting() {
+        // Page 1: three copies (1 useful, 2 wasted); page 2: two (both
+        // wasted); page 3: one (useful).
+        let spans = vec![
+            decision(1, "demote"),
+            migration(10, 1, 1, 1, 10.0),
+            migration(11, 1, 1, 0, 500.0),
+            migration(12, 1, 1, 1, 900.0),
+            migration(13, 1, 2, 1, 20.0),
+            migration(14, 1, 2, 0, 800.0),
+            migration(15, 1, 3, 1, 30.0),
+        ];
+        let r = provenance(&[], &spans, SimTime::from_us(50.0));
+        assert_eq!(r.completed, 6);
+        assert_eq!(r.useful, 2);
+        assert_eq!(r.wasted, 4);
+        assert_eq!(r.pages.len(), 3);
+        let p1 = &r.pages[0];
+        assert_eq!(p1.vpn, 1);
+        assert_eq!(p1.final_tier(), 1);
+        assert_eq!(
+            p1.moves.iter().map(|m| m.wasted).collect::<Vec<_>>(),
+            vec![true, true, false]
+        );
+        assert_eq!((p1.useful(), p1.wasted()), (1, 2));
+        // Blame reconciles with the totals.
+        assert_eq!(r.blame.len(), 1);
+        assert_eq!(r.blame[0].site, "colloid.decide(demote)");
+        assert_eq!(r.blame[0].issued, 6);
+        assert_eq!(r.blame[0].wasted, 4);
+        assert_eq!(r.unattributed, 0);
+    }
+
+    #[test]
+    fn ping_pong_detected_within_window_only() {
+        let spans = vec![
+            decision(1, "tick"),
+            // Page 5 bounces back within 40us (window 50us): ping-pong.
+            migration(10, 1, 5, 1, 100.0),
+            migration(11, 1, 5, 0, 140.0),
+            // Page 6 bounces back after 400us: churn but not ping-pong.
+            migration(12, 1, 6, 1, 100.0),
+            migration(13, 1, 6, 0, 500.0),
+        ];
+        let r = provenance(&[], &spans, SimTime::from_us(50.0));
+        assert_eq!(r.ping_pong_pages, 1);
+        assert_eq!(r.ping_pong_incidents, 1);
+        assert_eq!(r.pages[0].ping_pongs, 1);
+        assert_eq!(r.pages[1].ping_pongs, 0);
+    }
+
+    #[test]
+    fn unresolvable_causes_count_as_unattributed() {
+        let spans = vec![
+            migration(10, 99, 1, 1, 10.0), // cause id never recorded
+            migration(11, 0, 2, 1, 20.0),  // no cause at all
+        ];
+        let r = provenance(&[], &spans, SimTime::from_us(1.0));
+        assert_eq!(r.unattributed, 2);
+        assert!(r.blame.is_empty());
+        assert!(r.render().contains("unattributed copies: 2"));
+    }
+
+    #[test]
+    fn event_stream_cross_check_counts_completions() {
+        let events = vec![Event {
+            t: SimTime::from_us(10.0),
+            source: Source::Machine,
+            kind: EventKind::MigrationComplete {
+                vpn: 1,
+                dst: 1,
+                copy_ns: 1000.0,
+            },
+        }];
+        let spans = vec![decision(1, "tick"), migration(10, 1, 1, 1, 10.0)];
+        let r = provenance(&events, &spans, SimTime::from_us(1.0));
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.completed_events, 1);
+    }
+}

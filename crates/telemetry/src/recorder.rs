@@ -16,11 +16,13 @@ use simkit::SimTime;
 
 use crate::event::{Event, EventKind, Source};
 use crate::metrics::TickMetrics;
+use crate::span::{SpanId, SpanKind, SpanPayload, SpanRecord};
 
-/// Destination for events and metric rows.
+/// Destination for events, metric rows, and spans.
 ///
 /// Implementations must be passive: recording must not mutate simulation
 /// state or draw randomness, so enabling a recorder never changes a run.
+/// The span methods default to no-ops so pre-span recorders keep working.
 pub trait Recorder {
     /// Record one event (may drop it, e.g. when a ring is full).
     fn record_event(&mut self, ev: Event);
@@ -36,6 +38,18 @@ pub trait Recorder {
     }
     /// How many metric rows were discarded to stay within bounds.
     fn dropped_metrics(&self) -> u64 {
+        0
+    }
+    /// Record one completed span (spans arrive in close order).
+    fn record_span(&mut self, sp: SpanRecord) {
+        let _ = sp;
+    }
+    /// Snapshot of retained spans, in close order.
+    fn spans(&self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+    /// How many spans were discarded to stay within bounds.
+    fn dropped_spans(&self) -> u64 {
         0
     }
 }
@@ -68,26 +82,40 @@ impl Recorder for NoopRecorder {
 pub struct RingRecorder {
     event_cap: usize,
     metric_cap: usize,
+    span_cap: usize,
     events: VecDeque<Event>,
     metrics: VecDeque<TickMetrics>,
+    spans: VecDeque<SpanRecord>,
     dropped_events: u64,
     dropped_metrics: u64,
+    dropped_spans: u64,
     last_t: [SimTime; Source::COUNT],
 }
 
 impl RingRecorder {
     /// A ring retaining at most `event_cap` events and `metric_cap` rows.
-    /// Caps of zero retain nothing (everything counts as dropped).
+    /// Caps of zero retain nothing (everything counts as dropped). The
+    /// span ring defaults to `event_cap` (spans and events accumulate at
+    /// comparable rates); override with [`RingRecorder::with_span_cap`].
     pub fn new(event_cap: usize, metric_cap: usize) -> Self {
         RingRecorder {
             event_cap,
             metric_cap,
+            span_cap: event_cap,
             events: VecDeque::new(),
             metrics: VecDeque::new(),
+            spans: VecDeque::new(),
             dropped_events: 0,
             dropped_metrics: 0,
+            dropped_spans: 0,
             last_t: [SimTime::ZERO; Source::COUNT],
         }
+    }
+
+    /// Overrides the span-ring capacity.
+    pub fn with_span_cap(mut self, span_cap: usize) -> Self {
+        self.span_cap = span_cap;
+        self
     }
 
     /// Retained event count.
@@ -98,6 +126,11 @@ impl RingRecorder {
     /// Retained metric-row count.
     pub fn metric_len(&self) -> usize {
         self.metrics.len()
+    }
+
+    /// Retained span count.
+    pub fn span_len(&self) -> usize {
+        self.spans.len()
     }
 }
 
@@ -147,11 +180,77 @@ impl Recorder for RingRecorder {
     fn dropped_metrics(&self) -> u64 {
         self.dropped_metrics
     }
+
+    fn record_span(&mut self, sp: SpanRecord) {
+        if self.span_cap == 0 {
+            self.dropped_spans += 1;
+            return;
+        }
+        if self.spans.len() == self.span_cap {
+            self.spans.pop_front();
+            self.dropped_spans += 1;
+        }
+        self.spans.push_back(sp);
+    }
+
+    fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.iter().cloned().collect()
+    }
+
+    fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+}
+
+/// A span that has been opened but not yet closed.
+struct OpenSpan {
+    id: SpanId,
+    parent: SpanId,
+    cause: SpanId,
+    source: Source,
+    name: &'static str,
+    payload: SpanPayload,
+    t_start: SimTime,
+}
+
+impl OpenSpan {
+    fn close(self, t_end: SimTime, kind: SpanKind) -> SpanRecord {
+        SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            cause: self.cause,
+            source: self.source,
+            name: self.name,
+            payload: self.payload,
+            t_start: self.t_start,
+            // Defensive clamp: a span can never close before it opened.
+            t_end: t_end.max(self.t_start),
+            kind,
+        }
+    }
+}
+
+/// Mutable span state shared by all clones of one sink: the scoped-span
+/// stack, the open async extents, the id counter, and the current cause.
+#[derive(Default)]
+struct SpanState {
+    next_id: u64,
+    stack: Vec<OpenSpan>,
+    open_async: Vec<OpenSpan>,
+}
+
+impl SpanState {
+    fn fresh_id(&mut self) -> SpanId {
+        self.next_id += 1;
+        SpanId(self.next_id)
+    }
 }
 
 struct SinkShared {
     rec: RefCell<Box<dyn Recorder>>,
     now: Cell<SimTime>,
+    spans: RefCell<SpanState>,
+    cause: Cell<SpanId>,
 }
 
 /// Clonable handle to a shared [`Recorder`], or nothing at all.
@@ -185,6 +284,8 @@ impl Sink {
             inner: Some(Rc::new(SinkShared {
                 rec: RefCell::new(rec),
                 now: Cell::new(SimTime::ZERO),
+                spans: RefCell::new(SpanState::default()),
+                cause: Cell::new(SpanId::NONE),
             })),
         }
     }
@@ -255,6 +356,166 @@ impl Sink {
         self.inner
             .as_ref()
             .map(|sh| f(sh.rec.borrow().as_ref() as &dyn Recorder))
+    }
+
+    // ---- Spans -----------------------------------------------------------
+
+    /// Opens a scoped span on the span stack at the shared clock's time.
+    /// Returns `SpanId::NONE` (and does nothing) when disabled. Close with
+    /// [`Sink::span_exit`] in LIFO order.
+    pub fn span_enter(&self, source: Source, name: &'static str) -> SpanId {
+        self.span_enter_at(self.now(), source, name)
+    }
+
+    /// Opens a scoped span at an explicit simulated time.
+    pub fn span_enter_at(&self, t: SimTime, source: Source, name: &'static str) -> SpanId {
+        let Some(sh) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let mut st = sh.spans.borrow_mut();
+        let id = st.fresh_id();
+        let parent = st.stack.last().map_or(SpanId::NONE, |s| s.id);
+        st.stack.push(OpenSpan {
+            id,
+            parent,
+            cause: SpanId::NONE,
+            source,
+            name,
+            payload: SpanPayload::None,
+            t_start: t,
+        });
+        id
+    }
+
+    /// Closes a scoped span at the shared clock's time.
+    pub fn span_exit(&self, id: SpanId) {
+        self.span_exit_at(self.now(), id);
+    }
+
+    /// Closes a scoped span at an explicit time. Children left open above
+    /// `id` on the stack are closed at the same stamp (defensive: the
+    /// recorded tree stays well-nested even if a caller forgets an exit).
+    /// A `NONE` or unknown id is a no-op.
+    pub fn span_exit_at(&self, t: SimTime, id: SpanId) {
+        let Some(sh) = &self.inner else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut st = sh.spans.borrow_mut();
+        if !st.stack.iter().any(|s| s.id == id) {
+            return;
+        }
+        let mut rec = sh.rec.borrow_mut();
+        while let Some(open) = st.stack.pop() {
+            let done = open.id == id;
+            rec.record_span(open.close(t, SpanKind::Scoped));
+            if done {
+                break;
+            }
+        }
+    }
+
+    /// Records an instant decision span (zero duration, recorded
+    /// immediately, parented under the current stack top) and makes it the
+    /// sink's current cause: until the next decision, migrations enqueued
+    /// anywhere in the stack are attributed to it. Returns its id.
+    pub fn span_decision(&self, source: Source, name: &'static str, mode: &'static str) -> SpanId {
+        let Some(sh) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let t = sh.now.get();
+        let mut st = sh.spans.borrow_mut();
+        let id = st.fresh_id();
+        let parent = st.stack.last().map_or(SpanId::NONE, |s| s.id);
+        let sp = OpenSpan {
+            id,
+            parent,
+            // A decision issued while another decision is in force (e.g. a
+            // retry drain during a colloid quantum) chains back to it.
+            cause: sh.cause.get(),
+            source,
+            name,
+            payload: SpanPayload::Decision { mode },
+            t_start: t,
+        };
+        sh.rec
+            .borrow_mut()
+            .record_span(sp.close(t, SpanKind::Scoped));
+        sh.cause.set(id);
+        id
+    }
+
+    /// The current cause (the most recent decision span), `NONE` when
+    /// disabled or before any decision.
+    pub fn cause(&self) -> SpanId {
+        match &self.inner {
+            Some(sh) => sh.cause.get(),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Overrides the current cause (save/restore around nested issuers
+    /// like the retry queue; `set_cause(sink.cause())` round-trips).
+    pub fn set_cause(&self, cause: SpanId) {
+        if let Some(sh) = &self.inner {
+            sh.cause.set(cause);
+        }
+    }
+
+    /// Opens an async span (an extent that may outlive the current scope,
+    /// e.g. a page copy crossing tick boundaries) at an explicit time,
+    /// attributed to `cause`. Close with [`Sink::span_close_at`].
+    pub fn span_open_at(
+        &self,
+        t: SimTime,
+        source: Source,
+        name: &'static str,
+        payload: SpanPayload,
+        cause: SpanId,
+    ) -> SpanId {
+        let Some(sh) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let mut st = sh.spans.borrow_mut();
+        let id = st.fresh_id();
+        let parent = st.stack.last().map_or(SpanId::NONE, |s| s.id);
+        st.open_async.push(OpenSpan {
+            id,
+            parent,
+            cause,
+            source,
+            name,
+            payload,
+            t_start: t,
+        });
+        id
+    }
+
+    /// Closes an async span at an explicit time. A `NONE` or unknown id is
+    /// a no-op.
+    pub fn span_close_at(&self, t: SimTime, id: SpanId) {
+        let Some(sh) = &self.inner else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut st = sh.spans.borrow_mut();
+        if let Some(i) = st.open_async.iter().position(|s| s.id == id) {
+            let open = st.open_async.swap_remove(i);
+            sh.rec
+                .borrow_mut()
+                .record_span(open.close(t, SpanKind::Async));
+        }
+    }
+
+    /// Spans currently open (stack + async extents). Diagnostic only.
+    pub fn open_spans(&self) -> usize {
+        match &self.inner {
+            Some(sh) => {
+                let st = sh.spans.borrow();
+                st.stack.len() + st.open_async.len()
+            }
+            None => 0,
+        }
     }
 }
 
@@ -346,6 +607,116 @@ mod tests {
         assert_eq!(events[0].t.as_ps(), 42);
         assert_eq!(events[0].source, Source::Runner);
         assert_eq!(events[1].t.as_ps(), 7);
+    }
+
+    #[test]
+    fn disabled_sink_span_api_is_inert() {
+        let sink = Sink::disabled();
+        let id = sink.span_enter(Source::Machine, "tick");
+        assert!(id.is_none());
+        sink.span_exit(id);
+        let d = sink.span_decision(Source::Colloid, "decide", "promote");
+        assert!(d.is_none());
+        assert!(sink.cause().is_none());
+        let a = sink.span_open_at(
+            SimTime::from_ns(1.0),
+            Source::Machine,
+            "migration",
+            SpanPayload::Migration { vpn: 1, dst: 1 },
+            SpanId::NONE,
+        );
+        assert!(a.is_none());
+        sink.span_close_at(SimTime::from_ns(2.0), a);
+        assert_eq!(sink.open_spans(), 0);
+    }
+
+    #[test]
+    fn scoped_spans_nest_and_record_on_close() {
+        let sink = Sink::ring(16, 0);
+        sink.set_now(SimTime::from_ns(10.0));
+        let outer = sink.span_enter(Source::Runner, "runner.tick");
+        sink.set_now(SimTime::from_ns(11.0));
+        let inner = sink.span_enter(Source::Machine, "machine.tick");
+        sink.set_now(SimTime::from_ns(20.0));
+        sink.span_exit(inner);
+        sink.set_now(SimTime::from_ns(21.0));
+        sink.span_exit(outer);
+        let spans = sink.with(|r| r.spans()).unwrap();
+        assert_eq!(spans.len(), 2);
+        // Children close (and so record) before parents.
+        assert_eq!(spans[0].name, "machine.tick");
+        assert_eq!(spans[0].parent, outer);
+        assert_eq!(spans[1].name, "runner.tick");
+        assert_eq!(spans[1].parent, SpanId::NONE);
+        assert!(spans[0].t_start >= spans[1].t_start);
+        assert!(spans[0].t_end <= spans[1].t_end);
+    }
+
+    #[test]
+    fn exiting_parent_closes_forgotten_children() {
+        let sink = Sink::ring(16, 0);
+        let outer = sink.span_enter(Source::Runner, "outer");
+        let _leaked = sink.span_enter(Source::Runner, "leaked");
+        sink.set_now(SimTime::from_ns(5.0));
+        sink.span_exit(outer);
+        let spans = sink.with(|r| r.spans()).unwrap();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "leaked");
+        assert_eq!(spans[0].t_end, SimTime::from_ns(5.0));
+        assert_eq!(sink.open_spans(), 0);
+        // Unknown ids are no-ops.
+        sink.span_exit(SpanId(999));
+        assert_eq!(sink.with(|r| r.spans().len()).unwrap(), 2);
+    }
+
+    #[test]
+    fn async_spans_cross_scopes_and_carry_causes() {
+        let sink = Sink::ring(16, 0);
+        let d = sink.span_decision(Source::Colloid, "colloid.decide", "demote");
+        assert_eq!(sink.cause(), d);
+        let tick1 = sink.span_enter(Source::Machine, "machine.tick");
+        let mig = sink.span_open_at(
+            SimTime::from_ns(1.0),
+            Source::Machine,
+            "migration",
+            SpanPayload::Migration { vpn: 42, dst: 1 },
+            sink.cause(),
+        );
+        sink.span_exit(tick1);
+        let tick2 = sink.span_enter(Source::Machine, "machine.tick");
+        sink.span_close_at(SimTime::from_ns(9.0), mig);
+        sink.span_exit(tick2);
+        let spans = sink.with(|r| r.spans()).unwrap();
+        let m = spans.iter().find(|s| s.name == "migration").unwrap();
+        assert_eq!(m.kind, SpanKind::Async);
+        assert_eq!(m.cause, d);
+        assert_eq!(m.parent, tick1);
+        assert_eq!(m.t_end, SimTime::from_ns(9.0));
+        assert_eq!(m.payload, SpanPayload::Migration { vpn: 42, dst: 1 });
+        // The decision was recorded instantly, as a decision.
+        assert!(spans[0].payload.is_decision());
+    }
+
+    #[test]
+    fn span_ring_bounds_memory() {
+        let mut r = RingRecorder::new(4, 0).with_span_cap(2);
+        for i in 1..=5u64 {
+            r.record_span(SpanRecord {
+                id: SpanId(i),
+                parent: SpanId::NONE,
+                cause: SpanId::NONE,
+                source: Source::Machine,
+                name: "s",
+                payload: SpanPayload::None,
+                t_start: SimTime::ZERO,
+                t_end: SimTime::ZERO,
+                kind: SpanKind::Scoped,
+            });
+        }
+        assert_eq!(r.span_len(), 2);
+        assert_eq!(r.dropped_spans(), 3);
+        let ids: Vec<u64> = r.spans().iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![4, 5]);
     }
 
     #[test]

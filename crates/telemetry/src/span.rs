@@ -1,0 +1,214 @@
+//! Causal spans: the "why" layer on top of the flat event stream.
+//!
+//! The event stream (PR 3) answers *what happened when*; spans answer
+//! *what caused what*. Three relationships are recorded:
+//!
+//! - **parent/child** — strict lexical nesting on one span stack
+//!   (`runner.tick` ⊃ `machine.tick` ⊃ …), maintained by the [`Sink`]
+//!   (see [`Sink::span_enter`]): a child always closes before its parent;
+//! - **async extents** — work that outlives the enclosing scope, like a
+//!   page copy that starts in one tick and completes several ticks later
+//!   ([`Sink::span_open_at`] / [`Sink::span_close_at`]);
+//! - **causal edges** — cross-source attribution: every span carries a
+//!   `cause` pointing at the *decision span* whose action issued it.
+//!   The machine snapshots the sink's current cause when a migration is
+//!   enqueued, so a completed copy chains back through
+//!   `migration → colloid.decide → system.on_tick → runner.tick` even
+//!   though those live on different tracks and different times.
+//!
+//! Decision spans are marked by [`SpanPayload::Decision`]; resolving a
+//! chain means walking `cause` links until one is found
+//! ([`SpanIndex::decision_chain`]).
+//!
+//! [`Sink`]: crate::Sink
+//! [`Sink::span_enter`]: crate::Sink::span_enter
+//! [`Sink::span_open_at`]: crate::Sink::span_open_at
+//! [`Sink::span_close_at`]: crate::Sink::span_close_at
+
+use std::collections::HashMap;
+
+use simkit::SimTime;
+
+use crate::event::Source;
+
+/// Identifier of a span within one recording. `SpanId::NONE` (`0`) means
+/// "no span" — the id a disabled sink hands out, and the `parent`/`cause`
+/// of root spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The null id (disabled sink, no parent, no cause).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the null id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this is a real id.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+/// How a span's extent relates to the span stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Strictly nested: entered and exited on the sink's span stack.
+    Scoped,
+    /// Open extent: opened and closed by id, may cross scoped boundaries
+    /// (e.g. a page copy spanning several machine ticks).
+    Async,
+}
+
+/// Typed payload attached to a span (kept small and allocation-free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpanPayload {
+    /// Plain structural span.
+    None,
+    /// A page-copy extent: which page moved where.
+    Migration {
+        /// Virtual page number being copied.
+        vpn: u64,
+        /// Destination tier.
+        dst: u8,
+    },
+    /// A controller decision — the anchor causal chains resolve to.
+    Decision {
+        /// What the decision chose (e.g. `"promote"`, `"demote"`,
+        /// `"drain"`, `"probe"`, `"tick"`).
+        mode: &'static str,
+    },
+}
+
+impl SpanPayload {
+    /// Whether this span is a controller decision.
+    pub fn is_decision(&self) -> bool {
+        matches!(self, SpanPayload::Decision { .. })
+    }
+}
+
+/// One completed span. Spans are recorded when they *close*, so every
+/// record has both stamps; the recorder's snapshot lists them in close
+/// order (children before parents for scoped spans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// This span's id (unique within one recording, never `NONE`).
+    pub id: SpanId,
+    /// Enclosing span on the stack at open time (`NONE` for roots).
+    pub parent: SpanId,
+    /// Decision span whose action issued this work (`NONE` if untracked).
+    pub cause: SpanId,
+    /// Which layer opened the span.
+    pub source: Source,
+    /// Static name (e.g. `"machine.tick"`, `"migration"`).
+    pub name: &'static str,
+    /// Typed payload.
+    pub payload: SpanPayload,
+    /// Open stamp (simulated time).
+    pub t_start: SimTime,
+    /// Close stamp (simulated time, `>= t_start`).
+    pub t_end: SimTime,
+    /// Scoped (stack) or async (open extent).
+    pub kind: SpanKind,
+}
+
+impl SpanRecord {
+    /// The span's duration.
+    pub fn dur(&self) -> SimTime {
+        self.t_end.saturating_sub(self.t_start)
+    }
+}
+
+/// Id-indexed view over a recorded span list, for chain resolution.
+pub struct SpanIndex<'a> {
+    spans: &'a [SpanRecord],
+    by_id: HashMap<SpanId, usize>,
+}
+
+impl<'a> SpanIndex<'a> {
+    /// Builds the index (last record wins on duplicate ids, which cannot
+    /// happen for sink-issued ids).
+    pub fn new(spans: &'a [SpanRecord]) -> Self {
+        let by_id = spans
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect::<HashMap<_, _>>();
+        SpanIndex { spans, by_id }
+    }
+
+    /// Looks up a span by id.
+    pub fn get(&self, id: SpanId) -> Option<&'a SpanRecord> {
+        self.by_id.get(&id).map(|&i| &self.spans[i])
+    }
+
+    /// Walks `cause` links from `id` (inclusive) until a decision span is
+    /// found. Returns the chain ending at the decision, or `None` when the
+    /// chain dead-ends (unrecorded cause, cycle guard, or no decision).
+    pub fn decision_chain(&self, id: SpanId) -> Option<Vec<&'a SpanRecord>> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        // A cause chain is a few hops (migration -> decision, possibly via
+        // a retry decision); 16 bounds any accidental cycle.
+        for _ in 0..16 {
+            let sp = self.get(cur)?;
+            chain.push(sp);
+            if sp.payload.is_decision() {
+                return Some(chain);
+            }
+            if sp.cause.is_none() {
+                return None;
+            }
+            cur = sp.cause;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(id: u64, cause: u64, payload: SpanPayload) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId::NONE,
+            cause: SpanId(cause),
+            source: Source::Machine,
+            name: "x",
+            payload,
+            t_start: SimTime::ZERO,
+            t_end: SimTime::from_ns(1.0),
+            kind: SpanKind::Scoped,
+        }
+    }
+
+    #[test]
+    fn decision_chain_resolves_through_causes() {
+        let spans = vec![
+            sp(1, 0, SpanPayload::Decision { mode: "tick" }),
+            sp(2, 1, SpanPayload::None),
+            sp(3, 2, SpanPayload::Migration { vpn: 7, dst: 1 }),
+        ];
+        let idx = SpanIndex::new(&spans);
+        let chain = idx.decision_chain(SpanId(3)).expect("resolvable");
+        let ids: Vec<u64> = chain.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, vec![3, 2, 1]);
+        assert!(chain.last().unwrap().payload.is_decision());
+    }
+
+    #[test]
+    fn decision_chain_fails_on_missing_or_cyclic_links() {
+        let spans = vec![
+            sp(2, 9, SpanPayload::None), // cause 9 never recorded
+            sp(3, 4, SpanPayload::None), // 3 <-> 4 cycle
+            sp(4, 3, SpanPayload::None),
+        ];
+        let idx = SpanIndex::new(&spans);
+        assert!(idx.decision_chain(SpanId(2)).is_none());
+        assert!(idx.decision_chain(SpanId(3)).is_none());
+        assert!(idx.decision_chain(SpanId(1)).is_none());
+    }
+}

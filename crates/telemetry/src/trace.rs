@@ -1,0 +1,507 @@
+//! Chrome-`trace_event` / Perfetto exporter, an offline trace-format
+//! checker, and a folded-stack export for flamegraph tooling.
+//!
+//! [`chrome_trace_json`] serializes one run — spans, events, and the
+//! metric series — into the JSON Object Format of the chrome trace-event
+//! spec, loadable in `ui.perfetto.dev` or `chrome://tracing`:
+//!
+//! - one named track (`tid`) per [`Source`], labelled via `thread_name`
+//!   metadata records;
+//! - scoped spans as complete duration events (`ph: "X"`);
+//! - async migration extents as `"b"`/`"e"` pairs keyed by span id, so a
+//!   copy that crosses tick boundaries renders as its own bar;
+//! - causal edges as flow arrows (`"s"` → `"f"`) from the issuing
+//!   decision span to the migration it caused;
+//! - instant events (`ph: "i"`) for the flat event stream (faults, mode
+//!   transitions, watermark moves, …);
+//! - counter tracks (`ph: "C"`) for per-tier loaded latency, the
+//!   default-tier share `p`, and the migration backlog.
+//!
+//! [`validate_chrome_trace`] re-parses an emitted trace with the crate's
+//! dependency-free JSON parser and checks the structural rules above
+//! (phase vocabulary, required fields, async begin/end balance, flow
+//! start/finish pairing), so CI validates traces offline. Timestamps are
+//! microseconds (floating point), the unit the trace viewers expect.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use simkit::SimTime;
+
+use crate::event::{Event, Source};
+use crate::export::{json_escape, json_f64, Json, Parser};
+use crate::metrics::TickMetrics;
+use crate::render::describe_event;
+use crate::span::{SpanId, SpanKind, SpanPayload, SpanRecord};
+
+/// Simulated picoseconds → trace microseconds.
+fn us(t: SimTime) -> f64 {
+    t.as_ps() as f64 / 1e6
+}
+
+fn push_ts(out: &mut String, key: &str, t: SimTime) {
+    let _ = write!(out, ",\"{key}\":");
+    json_f64(out, us(t));
+}
+
+/// Starts one trace event object with the universally required fields.
+fn begin_record(out: &mut String, name: &str, ph: char, tid: usize, t: SimTime) {
+    out.push_str("{\"name\":\"");
+    json_escape(out, name);
+    let _ = write!(out, "\",\"ph\":\"{ph}\",\"pid\":1,\"tid\":{tid}");
+    push_ts(out, "ts", t);
+}
+
+fn span_args(out: &mut String, sp: &SpanRecord) {
+    let _ = write!(
+        out,
+        ",\"args\":{{\"span\":{},\"parent\":{},\"cause\":{}",
+        sp.id.0, sp.parent.0, sp.cause.0
+    );
+    match sp.payload {
+        SpanPayload::None => {}
+        SpanPayload::Migration { vpn, dst } => {
+            let _ = write!(out, ",\"vpn\":{vpn},\"dst\":{dst}");
+        }
+        SpanPayload::Decision { mode } => {
+            let _ = write!(out, ",\"mode\":\"{mode}\"");
+        }
+    }
+    out.push('}');
+}
+
+/// Serializes a recorded run as chrome-trace JSON (see module docs).
+pub fn chrome_trace_json(
+    spans: &[SpanRecord],
+    events: &[Event],
+    metrics: &[TickMetrics],
+) -> String {
+    let mut out =
+        String::with_capacity(256 + 160 * spans.len() + 128 * events.len() + 192 * metrics.len());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+    };
+
+    // Track names: one per source, in source order.
+    {
+        let mut line = String::new();
+        line.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\
+             \"args\":{\"name\":\"colloid-sim\"}}",
+        );
+        push(line, &mut out);
+    }
+    for src in [
+        Source::Machine,
+        Source::Colloid,
+        Source::System,
+        Source::Supervisor,
+        Source::Runner,
+    ] {
+        let line = format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"ts\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            src.index(),
+            src.name()
+        );
+        push(line, &mut out);
+    }
+
+    let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    for sp in spans {
+        let tid = sp.source.index();
+        match sp.kind {
+            SpanKind::Scoped => {
+                let mut line = String::new();
+                begin_record(&mut line, sp.name, 'X', tid, sp.t_start);
+                line.push_str(",\"dur\":");
+                json_f64(&mut line, us(sp.dur()));
+                line.push_str(",\"cat\":\"");
+                json_escape(&mut line, sp.source.name());
+                line.push('"');
+                span_args(&mut line, sp);
+                line.push('}');
+                push(line, &mut out);
+            }
+            SpanKind::Async => {
+                for (ph, t) in [('b', sp.t_start), ('e', sp.t_end)] {
+                    let mut line = String::new();
+                    begin_record(&mut line, sp.name, ph, tid, t);
+                    let _ = write!(line, ",\"cat\":\"{}\",\"id\":\"{}\"", sp.name, sp.id.0);
+                    if ph == 'b' {
+                        span_args(&mut line, sp);
+                    }
+                    line.push('}');
+                    push(line, &mut out);
+                }
+                // Causal edge: a flow arrow from the issuing decision to
+                // the start of the work it caused.
+                if let Some(cause) = by_id.get(&sp.cause) {
+                    let mut line = String::new();
+                    begin_record(&mut line, "causes", 's', cause.source.index(), cause.t_end);
+                    let _ = write!(line, ",\"cat\":\"cause\",\"id\":\"{}\"}}", sp.id.0);
+                    push(line, &mut out);
+                    let mut line = String::new();
+                    begin_record(&mut line, "causes", 'f', tid, sp.t_start);
+                    let _ = write!(
+                        line,
+                        ",\"bp\":\"e\",\"cat\":\"cause\",\"id\":\"{}\"}}",
+                        sp.id.0
+                    );
+                    push(line, &mut out);
+                }
+            }
+        }
+    }
+
+    for ev in events {
+        let mut line = String::new();
+        begin_record(&mut line, ev.kind.name(), 'i', ev.source.index(), ev.t);
+        line.push_str(",\"s\":\"t\",\"args\":{\"info\":\"");
+        json_escape(&mut line, &describe_event(ev));
+        line.push_str("\"}}");
+        push(line, &mut out);
+    }
+
+    for m in metrics {
+        let lat: Vec<(&str, f64)> = [("default", m.l_default_ns), ("alternate", m.l_alternate_ns)]
+            .into_iter()
+            .filter_map(|(k, v)| v.filter(|x| x.is_finite()).map(|x| (k, x)))
+            .collect();
+        if !lat.is_empty() {
+            let mut line = String::new();
+            begin_record(&mut line, "latency_ns", 'C', 0, m.t);
+            line.push_str(",\"args\":{");
+            for (i, (k, v)) in lat.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                let _ = write!(line, "\"{k}\":");
+                json_f64(&mut line, *v);
+            }
+            line.push_str("}}");
+            push(line, &mut out);
+        }
+        let mut line = String::new();
+        begin_record(&mut line, "p_default_share", 'C', 0, m.t);
+        line.push_str(",\"args\":{\"p\":");
+        json_f64(&mut line, m.default_app_share());
+        line.push_str("}}");
+        push(line, &mut out);
+        let mut line = String::new();
+        begin_record(&mut line, "migration_backlog", 'C', 0, m.t);
+        let _ = write!(line, ",\"args\":{{\"pages\":{}}}}}", m.migration_backlog);
+        push(line, &mut out);
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+const KNOWN_PHASES: &[&str] = &["X", "B", "E", "i", "C", "b", "e", "n", "s", "t", "f", "M"];
+
+/// Validates chrome-trace JSON structurally (see module docs): object
+/// format, known phases, required per-phase fields, balanced async
+/// begin/end per `(cat, id)`, and flow finishes pairing with starts.
+/// Returns the number of trace events, or the first violation.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let mut p = Parser::new(json);
+    let root = p.value().map_err(|e| format!("parse error: {e}"))?;
+    // Allow trailing whitespace/newlines only.
+    p.skip_ws();
+    if !p.at_end() {
+        return Err("trailing data after trace object".into());
+    }
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing \"traceEvents\"")?
+        .as_arr()
+        .ok_or("\"traceEvents\" is not an array")?;
+    let mut async_depth: HashMap<(String, String), i64> = HashMap::new();
+    let mut flow_starts: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut flow_finishes: Vec<String> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let fail = |msg: String| format!("traceEvents[{i}]: {msg}");
+        if !matches!(ev, Json::Obj(_)) {
+            return Err(fail("not an object".into()));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string \"ph\"".into()))?;
+        if !KNOWN_PHASES.contains(&ph) {
+            return Err(fail(format!("unknown phase {ph:?}")));
+        }
+        ev.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string \"name\"".into()))?;
+        ev.get("pid")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing numeric \"pid\"".into()))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing numeric \"ts\"".into()))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(fail(format!("bad ts {ts}")));
+        }
+        match ph {
+            "X" => {
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| fail("\"X\" event missing numeric \"dur\"".into()))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(fail(format!("bad dur {dur}")));
+                }
+            }
+            "b" | "e" | "s" | "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail(format!("{ph:?} event missing string \"id\"")))?
+                    .to_string();
+                let cat = ev
+                    .get("cat")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail(format!("{ph:?} event missing string \"cat\"")))?
+                    .to_string();
+                match ph {
+                    "b" => *async_depth.entry((cat, id)).or_insert(0) += 1,
+                    "e" => {
+                        let d = async_depth.entry((cat, id.clone())).or_insert(0);
+                        *d -= 1;
+                        if *d < 0 {
+                            return Err(fail(format!("async end without begin (id {id})")));
+                        }
+                    }
+                    "s" => {
+                        flow_starts.insert(id);
+                    }
+                    _ => flow_finishes.push(id),
+                }
+            }
+            "C" => {
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| fail("counter missing \"args\"".into()))?;
+                let Json::Obj(fields) = args else {
+                    return Err(fail("counter \"args\" is not an object".into()));
+                };
+                if fields.is_empty() {
+                    return Err(fail("counter \"args\" is empty".into()));
+                }
+                for (k, v) in fields {
+                    if v.as_num().is_none() {
+                        return Err(fail(format!("counter series {k:?} is not numeric")));
+                    }
+                }
+            }
+            "M" => {
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| fail("metadata missing args.name".into()))?;
+            }
+            _ => {}
+        }
+    }
+    if let Some(((cat, id), _)) = async_depth.iter().find(|(_, &d)| d != 0) {
+        return Err(format!("unbalanced async span (cat {cat:?}, id {id:?})"));
+    }
+    for id in &flow_finishes {
+        if !flow_starts.contains(id) {
+            return Err(format!("flow finish without start (id {id:?})"));
+        }
+    }
+    Ok(events.len())
+}
+
+/// Folded-stack export (flamegraph.pl / inferno format): one line per
+/// distinct span path, `root;child;leaf <self-time-ns>`, aggregated over
+/// all instances and sorted. Scoped spans fold along their parent chain;
+/// async extents (page copies) are their own roots since they overlap the
+/// scoped tree rather than nesting inside it.
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: HashMap<SpanId, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    // Sum of scoped children durations per parent, for self-time.
+    let mut child_ps: HashMap<SpanId, u64> = HashMap::new();
+    for sp in spans {
+        if sp.kind == SpanKind::Scoped && sp.parent.is_some() {
+            *child_ps.entry(sp.parent).or_insert(0) += sp.dur().as_ps();
+        }
+    }
+    let mut folded: HashMap<String, u64> = HashMap::new();
+    for sp in spans {
+        let self_ps = sp
+            .dur()
+            .as_ps()
+            .saturating_sub(child_ps.get(&sp.id).copied().unwrap_or(0));
+        let mut names = vec![sp.name];
+        if sp.kind == SpanKind::Scoped {
+            let mut cur = sp.parent;
+            for _ in 0..64 {
+                let Some(parent) = by_id.get(&cur) else { break };
+                names.push(parent.name);
+                cur = parent.parent;
+                if cur.is_none() {
+                    break;
+                }
+            }
+        }
+        names.reverse();
+        *folded.entry(names.join(";")).or_insert(0) += self_ps;
+    }
+    let mut lines: Vec<String> = folded
+        .into_iter()
+        .map(|(path, ps)| format!("{path} {}", ps / 1000))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn scoped(id: u64, parent: u64, name: &'static str, t0: f64, t1: f64) -> SpanRecord {
+        SpanRecord {
+            id: SpanId(id),
+            parent: SpanId(parent),
+            cause: SpanId::NONE,
+            source: Source::Machine,
+            name,
+            payload: SpanPayload::None,
+            t_start: SimTime::from_us(t0),
+            t_end: SimTime::from_us(t1),
+            kind: SpanKind::Scoped,
+        }
+    }
+
+    fn sample() -> (Vec<SpanRecord>, Vec<Event>, Vec<TickMetrics>) {
+        let decision = SpanRecord {
+            id: SpanId(3),
+            parent: SpanId(2),
+            cause: SpanId::NONE,
+            source: Source::Colloid,
+            name: "colloid.decide",
+            payload: SpanPayload::Decision { mode: "demote" },
+            t_start: SimTime::from_us(100.0),
+            t_end: SimTime::from_us(100.0),
+            kind: SpanKind::Scoped,
+        };
+        let migration = SpanRecord {
+            id: SpanId(4),
+            parent: SpanId(2),
+            cause: SpanId(3),
+            source: Source::Machine,
+            name: "migration",
+            payload: SpanPayload::Migration { vpn: 7, dst: 1 },
+            t_start: SimTime::from_us(101.0),
+            t_end: SimTime::from_us(250.0),
+            kind: SpanKind::Async,
+        };
+        let spans = vec![
+            scoped(2, 1, "machine.tick", 0.0, 100.0),
+            decision,
+            migration,
+            scoped(1, 0, "runner.tick", 0.0, 100.0),
+        ];
+        let events = vec![Event {
+            t: SimTime::from_us(100.0),
+            source: Source::Colloid,
+            kind: EventKind::WatermarkMove {
+                p_lo: 0.2,
+                p_hi: 0.6,
+                reset: false,
+            },
+        }];
+        let metrics = vec![TickMetrics {
+            ops_per_sec: 1e8,
+            l_default_ns: Some(212.0),
+            l_alternate_ns: None,
+            migration_backlog: 5,
+            ..TickMetrics::at(SimTime::from_us(100.0))
+        }];
+        (spans, events, metrics)
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_through_checker() {
+        let (spans, events, metrics) = sample();
+        let json = chrome_trace_json(&spans, &events, &metrics);
+        let n = validate_chrome_trace(&json).expect("emitted trace must validate");
+        // 6 metadata + 3 scoped X + 2 async b/e + 2 flow + 1 instant +
+        // 3 counters (latency with one finite series, p, backlog).
+        assert_eq!(n, 17);
+        // Spot checks: async pair keyed by span id, flow arrow present,
+        // counter args carry only the finite latency.
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"id\":\"4\""));
+        assert!(json.contains("\"default\":212.0"));
+        assert!(!json.contains("alternate"));
+        assert!(json.contains("\"thread_name\""));
+    }
+
+    #[test]
+    fn checker_rejects_structural_violations() {
+        assert!(validate_chrome_trace("[]").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":3}").is_err());
+        let no_dur = r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome_trace(no_dur).unwrap_err().contains("dur"));
+        let bad_ph = r#"{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":0,"ts":1}]}"#;
+        assert!(validate_chrome_trace(bad_ph).unwrap_err().contains("Z"));
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"m","ph":"b","pid":1,"tid":0,"ts":1,"cat":"mig","id":"1"}]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("unbalanced"));
+        let stray_end = r#"{"traceEvents":[
+            {"name":"m","ph":"e","pid":1,"tid":0,"ts":1,"cat":"mig","id":"1"}]}"#;
+        assert!(validate_chrome_trace(stray_end)
+            .unwrap_err()
+            .contains("end without begin"));
+        let orphan_flow = r#"{"traceEvents":[
+            {"name":"c","ph":"f","pid":1,"tid":0,"ts":1,"cat":"cause","id":"9"}]}"#;
+        assert!(validate_chrome_trace(orphan_flow)
+            .unwrap_err()
+            .contains("without start"));
+        let bad_counter = r#"{"traceEvents":[
+            {"name":"c","ph":"C","pid":1,"tid":0,"ts":1,"args":{"v":"high"}}]}"#;
+        assert!(validate_chrome_trace(bad_counter)
+            .unwrap_err()
+            .contains("not numeric"));
+    }
+
+    #[test]
+    fn folded_stacks_compute_self_time_along_parent_chains() {
+        let (spans, _, _) = sample();
+        let folded = folded_stacks(&spans);
+        let lines: Vec<&str> = folded.lines().collect();
+        // machine.tick self = 100us - 0 (decision is instant) = 100_000 ns;
+        // runner.tick self = 100us - 100us (child machine.tick) = 0;
+        // the async migration folds as its own root.
+        assert!(lines.contains(&"runner.tick;machine.tick 100000"));
+        assert!(lines.contains(&"runner.tick 0"));
+        assert!(lines.contains(&"migration 149000"));
+        assert!(lines.contains(&"runner.tick;machine.tick;colloid.decide 0"));
+    }
+
+    #[test]
+    fn empty_inputs_produce_valid_outputs() {
+        let json = chrome_trace_json(&[], &[], &[]);
+        assert_eq!(validate_chrome_trace(&json), Ok(6)); // metadata only
+        assert_eq!(folded_stacks(&[]), "");
+    }
+}

@@ -1,14 +1,19 @@
 //! Property-based tests for the telemetry recorder.
 //!
-//! Two contracts underwrite the subsystem: the [`RingRecorder`] holds
+//! The contracts underwriting the subsystem: the [`RingRecorder`] holds
 //! bounded state no matter how long a run gets (drop-oldest, with every
-//! drop counted), and event timestamps are monotone **per source** however
-//! the layers interleave their emits. Both are exercised over arbitrary
-//! event interleavings here.
+//! drop counted); event timestamps are monotone **per source** however
+//! the layers interleave their emits; scoped spans nest correctly under
+//! arbitrary enter/exit sequences (children close before their parent,
+//! extents contained, stamps monotone); and per-page provenance conserves
+//! pages per tier (the `c % 2` useful rule is exactly tier conservation).
 
 use proptest::prelude::*;
 use simkit::SimTime;
-use telemetry::{Event, EventKind, Recorder, RingRecorder, Source, TickMetrics};
+use telemetry::{
+    Event, EventKind, Recorder, RingRecorder, Sink, Source, SpanId, SpanKind, SpanPayload,
+    SpanRecord, TickMetrics,
+};
 
 fn source() -> impl Strategy<Value = Source> {
     prop_oneof![
@@ -107,6 +112,132 @@ proptest! {
             running[src.index()] = running[src.index()].max(t_ps);
             prop_assert_eq!(events[i].t.as_ps(), running[src.index()]);
         }
+    }
+
+    /// Scoped spans nest correctly under arbitrary enter/exit sequences:
+    /// children are recorded (closed) before their parent, every child's
+    /// extent is contained in its parent's, and close stamps are monotone.
+    /// Exits may target a span deep in the stack — the sink must close the
+    /// forgotten spans above it rather than corrupt the stack.
+    #[test]
+    fn scoped_spans_nest_and_close_child_first(
+        ops in prop::collection::vec((0u64..1_000, 0usize..3, 0usize..4), 0..200)
+    ) {
+        const NAMES: [&str; 4] = ["a", "b", "c", "d"];
+        let sink = Sink::new(Box::new(RingRecorder::new(1 << 12, 0).with_span_cap(1 << 12)));
+        let mut now = 0u64;
+        let mut stack: Vec<SpanId> = Vec::new();
+        let mut expected_closed = 0usize;
+        for (adv, op, idx) in ops {
+            now += adv;
+            sink.set_now(SimTime::from_ps(now));
+            match op {
+                0 => {
+                    let id = sink.span_enter(Source::Machine, NAMES[idx]);
+                    prop_assert!(id.is_some());
+                    stack.push(id);
+                }
+                1 => {
+                    if let Some(id) = stack.pop() {
+                        sink.span_exit(id);
+                        expected_closed += 1;
+                    }
+                }
+                _ => {
+                    if !stack.is_empty() {
+                        let k = idx % stack.len();
+                        sink.span_exit(stack[k]);
+                        // Everything at and above the target closes.
+                        expected_closed += stack.len() - k;
+                        stack.truncate(k);
+                    }
+                }
+            }
+        }
+        let spans = sink.with(|r| r.spans()).unwrap();
+        prop_assert_eq!(spans.len(), expected_closed);
+        for w in spans.windows(2) {
+            prop_assert!(w[1].t_end >= w[0].t_end, "close stamps must be monotone");
+        }
+        for (i, sp) in spans.iter().enumerate() {
+            prop_assert_eq!(sp.kind, SpanKind::Scoped);
+            prop_assert!(sp.t_end >= sp.t_start);
+            if sp.parent.is_some() {
+                // A recorded child's parent either closed later (appears
+                // after it) or is still open (never recorded).
+                if let Some(pi) = spans.iter().position(|p| p.id == sp.parent) {
+                    prop_assert!(pi > i, "child must be recorded before its parent");
+                    prop_assert!(sp.t_start >= spans[pi].t_start);
+                    prop_assert!(sp.t_end <= spans[pi].t_end);
+                }
+            }
+        }
+    }
+
+    /// Provenance conserves pages per tier: with every page starting in
+    /// tier 0 and copies alternating 0→1→0→…, a page ends in tier 1 iff
+    /// its move count is odd — exactly the `c % 2` useful rule — and the
+    /// blame tallies account for every completed copy.
+    #[test]
+    fn provenance_conserves_pages_per_tier(
+        move_counts in prop::collection::vec(0usize..6, 1..40)
+    ) {
+        let decision = SpanRecord {
+            id: SpanId(1),
+            parent: SpanId::NONE,
+            cause: SpanId::NONE,
+            source: Source::Colloid,
+            name: "colloid.decide",
+            payload: SpanPayload::Decision { mode: "promote" },
+            t_start: SimTime::ZERO,
+            t_end: SimTime::ZERO,
+            kind: SpanKind::Scoped,
+        };
+        let mut spans = vec![decision];
+        let mut next_id = 2u64;
+        let mut t_us = 1.0f64;
+        for (vpn, &c) in move_counts.iter().enumerate() {
+            for k in 0..c {
+                let dst = u8::from(k % 2 == 0); // 0 -> 1 -> 0 -> ...
+                spans.push(SpanRecord {
+                    id: SpanId(next_id),
+                    parent: SpanId::NONE,
+                    cause: SpanId(1),
+                    source: Source::Machine,
+                    name: "migration",
+                    payload: SpanPayload::Migration { vpn: vpn as u64, dst },
+                    t_start: SimTime::from_us(t_us),
+                    t_end: SimTime::from_us(t_us + 0.5),
+                    kind: SpanKind::Async,
+                });
+                next_id += 1;
+                t_us += 100.0;
+            }
+        }
+        let r = telemetry::provenance(&[], &spans, SimTime::from_us(1.0));
+        let total: usize = move_counts.iter().sum();
+        let odd = move_counts.iter().filter(|&&c| c % 2 == 1).count();
+        prop_assert_eq!(r.completed as usize, total);
+        prop_assert_eq!(r.useful as usize, odd, "useful copies = pages ending off-default");
+        prop_assert_eq!(r.wasted as usize, total - odd);
+        let in_tier1 = r.pages.iter().filter(|p| p.final_tier() == 1).count();
+        prop_assert_eq!(in_tier1, odd, "tier-1 population must equal odd-count pages");
+        prop_assert_eq!(
+            r.pages.len(),
+            move_counts.iter().filter(|&&c| c > 0).count(),
+            "every migrated page (and only those) gets a history"
+        );
+        for p in &r.pages {
+            prop_assert_eq!((p.useful() + p.wasted()) as usize, p.moves.len());
+            prop_assert_eq!(
+                p.moves.iter().filter(|m| m.wasted).count() as u64,
+                p.wasted(),
+                "per-move wasted flags must sum to the page's wasted count"
+            );
+        }
+        let blamed: u64 = r.blame.iter().map(|b| b.issued).sum();
+        prop_assert_eq!(blamed + r.unattributed, r.completed);
+        prop_assert_eq!(r.unattributed, 0, "all moves carry a resolvable cause here");
     }
 
     /// Metric rows are kept verbatim in order (no clamping applies).

@@ -187,6 +187,13 @@ impl RetryQueue {
             self.stats.deferred_ticks += 1;
             return Vec::new();
         }
+        let _prof = simkit::profile::scope("tiersys.retry_drain");
+        // Re-enqueued copies are this queue's doing, not the original
+        // controller's: point the causal chain here while draining, then
+        // restore whatever decision was current.
+        let prev_cause = self.sink.cause();
+        self.sink
+            .span_decision(telemetry::Source::System, "retry.drain", "retry");
         let mut recovered = Vec::new();
         for _ in 0..self.entries.len() {
             let Some(mut e) = self.entries.pop_front() else {
@@ -234,6 +241,7 @@ impl RetryQueue {
                 }
             }
         }
+        self.sink.set_cause(prev_cause);
         recovered
     }
 

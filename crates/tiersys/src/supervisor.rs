@@ -536,6 +536,9 @@ impl Supervisor {
             }
         }
         let Some((vpn, _)) = candidate else { return };
+        let prev_cause = self.sink.cause();
+        self.sink
+            .span_decision(telemetry::Source::Supervisor, "supervisor.probe", "probe");
         for i in 0..n_tiers {
             let dst = TierId(i as u8);
             if dst != TierId::DEFAULT && machine.enqueue_migration(vpn, dst) {
@@ -543,9 +546,10 @@ impl Supervisor {
                 self.sink.emit(telemetry::Source::Supervisor, || {
                     telemetry::EventKind::ProbeSent { vpn }
                 });
-                return;
+                break;
             }
         }
+        self.sink.set_cause(prev_cause);
     }
 
     /// Drains the shrunk tier hottest-pages-first, bounded by
@@ -565,6 +569,12 @@ impl Supervisor {
         // Hottest first; ties broken by vpn for determinism.
         candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let n_tiers = machine.config().tiers.len();
+        let prev_cause = self.sink.cause();
+        self.sink.span_decision(
+            telemetry::Source::Supervisor,
+            "supervisor.drain",
+            "evacuate",
+        );
         let mut moved = 0;
         'outer: for (vpn, _) in candidates {
             if moved >= self.cfg.drain_limit {
@@ -584,6 +594,7 @@ impl Supervisor {
             // admission window closed): stop scanning.
             break;
         }
+        self.sink.set_cause(prev_cause);
         self.drained_pages += moved;
         moved
     }
