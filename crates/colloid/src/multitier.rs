@@ -55,6 +55,7 @@ pub struct MultiTierBalancer {
     pairs: Vec<ShiftController>,
     static_limit_bytes: u64,
     quantum_ns: f64,
+    sink: telemetry::Sink,
 }
 
 impl MultiTierBalancer {
@@ -85,7 +86,47 @@ impl MultiTierBalancer {
             pairs,
             static_limit_bytes,
             quantum_ns,
+            sink: telemetry::Sink::default(),
         }
+    }
+
+    /// Attaches a telemetry sink. Like [`crate::ColloidController`], the
+    /// balancer has no clock of its own — events are stamped with the
+    /// sink's shared clock. Recording is passive and never changes a
+    /// decision.
+    pub fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        self.sink = sink;
+    }
+
+    /// Freezes or resumes every pairwise watermark controller (supervisor
+    /// degraded modes): while frozen, `on_quantum` keeps ingesting
+    /// measurements so the latency EWMAs stay warm, but no watermark moves
+    /// and no pair decision is emitted.
+    pub fn set_frozen(&mut self, frozen: bool) {
+        for pair in &mut self.pairs {
+            if frozen {
+                pair.freeze();
+            } else {
+                pair.resume();
+            }
+        }
+    }
+
+    /// Whether the balancer is currently frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.pairs.iter().all(ShiftController::is_frozen)
+    }
+
+    /// Resets every pairwise watermark interval to `[0, 1]` so the
+    /// post-fault equilibrium is re-found from scratch on every tier
+    /// boundary.
+    pub fn reset_equilibrium(&mut self) {
+        for pair in &mut self.pairs {
+            pair.reset_watermarks();
+        }
+        self.sink.emit(telemetry::Source::Colloid, || {
+            telemetry::EventKind::EquilibriumReset
+        });
     }
 
     /// One quantum: returns the decision of the most latency-imbalanced
@@ -97,11 +138,17 @@ impl MultiTierBalancer {
         for i in 0..self.pairs.len() {
             let r_u = self.monitor.rate_per_ns(i);
             let r_l = self.monitor.rate_per_ns(i + 1);
-            if r_u + r_l <= 0.0 {
-                continue;
-            }
             let l_u = self.monitor.latency_ns(i);
             let l_l = self.monitor.latency_ns(i + 1);
+            // A pair can only act if the donor side of the indicated move
+            // has traffic: promotion drains the lower tier, demotion the
+            // upper. An imbalanced pair with an idle donor must not win
+            // the selection — it would produce no shift while starving
+            // every other pair.
+            let donor_rate = if l_u < l_l { r_l } else { r_u };
+            if donor_rate <= 0.0 {
+                continue;
+            }
             let imbalance = (l_u - l_l).abs() / l_u.max(1e-9);
             if best.map(|(_, b)| imbalance > b).unwrap_or(true) {
                 best = Some((i, imbalance));
@@ -117,22 +164,62 @@ impl MultiTierBalancer {
         let l_u = self.monitor.latency_ns(upper);
         let l_l = self.monitor.latency_ns(lower);
         let p = r_u / pair_rate;
+        let marks_before = (
+            self.pairs[i].p_lo(),
+            self.pairs[i].p_hi(),
+            self.pairs[i].resets(),
+        );
         let delta_p = self.pairs[i].compute_shift(p, l_u, l_l);
-        if delta_p <= 0.0 {
+        let (lo, hi, resets) = (
+            self.pairs[i].p_lo(),
+            self.pairs[i].p_hi(),
+            self.pairs[i].resets(),
+        );
+        if (lo, hi, resets) != marks_before {
+            self.sink.emit(telemetry::Source::Colloid, || {
+                telemetry::EventKind::WatermarkMove {
+                    p_lo: lo,
+                    p_hi: hi,
+                    reset: resets != marks_before.2,
+                }
+            });
+        }
+        if delta_p.is_nan() || delta_p <= 0.0 {
             return Vec::new();
         }
+        let delta_p = delta_p.min(1.0);
         let mode = if l_u < l_l {
             Mode::Promote
         } else {
             Mode::Demote
         };
         let dynamic = delta_p * pair_rate * 64.0 * self.quantum_ns;
+        let byte_limit = (dynamic as u64).min(self.static_limit_bytes);
+        let mode_str = match mode {
+            Mode::Promote => "promote",
+            Mode::Demote => "demote",
+        };
+        self.sink.emit(telemetry::Source::Colloid, || {
+            telemetry::EventKind::PUpdate {
+                p,
+                l_default_ns: l_u,
+                l_alternate_ns: l_l,
+                mode: mode_str,
+                delta_p,
+                byte_limit,
+            }
+        });
+        // Causal anchor: migrations enqueued while acting on this pair
+        // decision chain back to this span via the sink's cause id, the
+        // same pattern as [`crate::ColloidController`].
+        self.sink
+            .span_decision(telemetry::Source::Colloid, "colloid.decide", mode_str);
         vec![PairDecision {
             upper,
             lower,
             mode,
             delta_p,
-            byte_limit: (dynamic as u64).min(self.static_limit_bytes),
+            byte_limit,
         }]
     }
 
@@ -229,5 +316,37 @@ mod tests {
     #[should_panic]
     fn rejects_unsorted_tiers() {
         let _ = MultiTierBalancer::new(vec![135.0, 70.0], 0.01, 0.05, 0.3, 1, 1e5);
+    }
+
+    #[test]
+    fn frozen_balancer_ingests_but_never_decides() {
+        let mut b = balancer(3);
+        b.set_frozen(true);
+        assert!(b.is_frozen());
+        for _ in 0..10 {
+            let ds = b.on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1), meas(4.0, 0.02)]);
+            assert!(ds.is_empty());
+        }
+        // Measurements were still ingested while frozen …
+        assert!(b.monitor().total_rate_per_ns() > 0.0);
+        // … so the first unfrozen quantum can decide immediately.
+        b.set_frozen(false);
+        assert!(!b.is_frozen());
+        let ds = b.on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1), meas(4.0, 0.02)]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].mode, Mode::Demote);
+    }
+
+    #[test]
+    fn reset_equilibrium_restarts_every_pair() {
+        let mut b = balancer(3);
+        // Move at least one pair's watermarks off the initial interval.
+        b.on_quantum(&[meas(90.0, 0.3), meas(14.0, 0.1), meas(4.0, 0.02)]);
+        b.reset_equilibrium();
+        for pair in &b.pairs {
+            assert_eq!(pair.p_lo(), 0.0);
+            assert_eq!(pair.p_hi(), 1.0);
+            assert!(pair.resets() > 0);
+        }
     }
 }

@@ -4,6 +4,7 @@
 //! watermark controller; these tests check them over randomly generated
 //! measurement sequences and toy tier models, not just hand-picked cases.
 
+use colloid::multitier::MultiTierBalancer;
 use colloid::{ColloidConfig, ColloidController, Mode, ShiftController, TierMeasurement};
 use proptest::prelude::*;
 
@@ -217,5 +218,78 @@ proptest! {
         }
         prop_assert!((p - p_star_b).abs() < 0.08,
             "p={p} failed to track p* move {p_star_a} -> {p_star_b}");
+    }
+}
+
+proptest! {
+    /// The pairwise N-tier balancer (§3.1 generalised) equalises a random
+    /// chain of 3–4 linear-latency tiers: after enough quanta every
+    /// adjacent pair is either latency-balanced or has drained its slower
+    /// (lower) side empty, in which case no further promotion is possible
+    /// and the residual gap is the lower tier's unloaded floor.
+    #[test]
+    fn multitier_balancer_equalises_random_chains(
+        n in 3usize..=4,
+        base in 50.0f64..120.0,
+        incs in prop::collection::vec(15.0f64..120.0, 3),
+        slopes in prop::collection::vec(100.0f64..450.0, 4),
+        raw in prop::collection::vec(0.05f64..1.0, 4),
+    ) {
+        let mut unloaded = vec![base];
+        for i in 0..n - 1 {
+            let prev = unloaded[i];
+            unloaded.push(prev + incs[i]);
+        }
+        let slope = &slopes[..n];
+        let mut shares: Vec<f64> = raw[..n].to_vec();
+        let total: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s /= total;
+        }
+        let mut b = MultiTierBalancer::new(unloaded.clone(), 0.01, 0.02, 1.0, 1 << 30, 1e5);
+        let total_rate = 0.3;
+        let latencies = |shares: &[f64]| -> Vec<f64> {
+            (0..n).map(|i| unloaded[i] + slope[i] * shares[i]).collect()
+        };
+        for _ in 0..2000 {
+            let lat = latencies(&shares);
+            let window: Vec<TierMeasurement> = (0..n)
+                .map(|i| TierMeasurement {
+                    occupancy: lat[i] * shares[i] * total_rate,
+                    rate_per_ns: shares[i] * total_rate,
+                })
+                .collect();
+            for d in b.on_quantum(&window) {
+                let (from, to) = match d.mode {
+                    Mode::Promote => (d.lower, d.upper),
+                    Mode::Demote => (d.upper, d.lower),
+                };
+                // delta_p is a fraction of the *pair's* combined traffic
+                // (the watermark controller works in pair-local p).
+                let pair_total = shares[d.upper] + shares[d.lower];
+                let moved = (d.delta_p * pair_total).min(shares[from]);
+                shares[from] -= moved;
+                shares[to] += moved;
+                // Page counts are integral in the real system: a tier
+                // holds zero pages, not subtraction dust. Without the
+                // clamp a ~1e-17 residue keeps the donor gate open and
+                // the pair wins the imbalance selection forever.
+                if shares[from] < 1e-12 {
+                    shares[to] += shares[from];
+                    shares[from] = 0.0;
+                }
+            }
+        }
+        let lat = latencies(&shares);
+        for i in 0..n - 1 {
+            let gap = (lat[i] - lat[i + 1]).abs() / lat[i].min(lat[i + 1]);
+            let lower_drained = shares[i + 1] < 0.02;
+            prop_assert!(
+                gap < 0.3 || lower_drained,
+                "pair {i}-{} unbalanced: lat {lat:?} shares {shares:?} \
+                 unloaded {unloaded:?} slopes {slope:?}",
+                i + 1,
+            );
+        }
     }
 }

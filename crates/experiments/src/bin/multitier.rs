@@ -1,0 +1,35 @@
+//! Runs the three-tier contention-shift grid (every tiering system,
+//! vanilla vs +Colloid) on the local/CXL/far chain. Pass `--quick` (or
+//! set `COLLOID_QUICK=1`) for shortened runs and `--smoke` to enforce the
+//! self-validation gates (page conservation, vanilla inversion, Colloid
+//! balancing) with a non-zero exit on failure.
+
+use experiments::multitier;
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sc = multitier::MultiTierScenario::paper_default(quick);
+    println!(
+        "Three-tier contention shift: {} ws pages, hot {} @ +{}, antagonist -> {} cores after {} ticks{}",
+        sc.ws_pages,
+        sc.hot_pages,
+        sc.hot_offset,
+        sc.antagonist_cores_after,
+        sc.warmup_ticks,
+        if quick { " (quick)" } else { "" },
+    );
+    let results = multitier::run_grid(&sc);
+    print!("{}", multitier::render(&results));
+    if smoke {
+        let fails = multitier::smoke_failures(&sc, &results);
+        if fails.is_empty() {
+            println!("smoke: ok");
+        } else {
+            for f in &fails {
+                eprintln!("smoke FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod degradation;
 pub mod figures;
+pub mod multitier;
 pub mod oracle;
 pub mod report;
 pub mod robustness;

@@ -61,15 +61,10 @@ fn fig4_matches_golden() {
     );
 }
 
-#[test]
-fn quickstart_with_ring_recorder_matches_golden() {
-    // Replicates examples/quickstart.rs line for line, but with a live
-    // RingRecorder attached to every layer: the recorded run must be
-    // byte-identical to the baseline captured without telemetry. Since
-    // PR 4 the sink also records causal spans (`Sink::ring` allots span
-    // capacity), so this doubles as the proof that span tracing is
-    // passive: a span-recording run leaves figure outputs untouched.
-    let golden = golden("quickstart.txt");
+/// Replicates examples/quickstart.rs line for line, optionally with a live
+/// RingRecorder attached to every layer. Returns the rendered output plus
+/// the recorded event/span counts (zero when no recorder is attached).
+fn run_quickstart(with_recorder: bool) -> (String, usize, usize) {
     let scenario = GupsScenario::intensity(2);
     let mut out = String::new();
     let mut recorded_events = 0usize;
@@ -86,7 +81,9 @@ fn quickstart_with_ring_recorder_matches_golden() {
                 colloid,
             },
         );
-        exp.attach_telemetry(telemetry::Sink::ring(1 << 16, 1 << 12));
+        if with_recorder {
+            exp.attach_telemetry(telemetry::Sink::ring(1 << 16, 1 << 12));
+        }
         let result = run(&mut exp, &RunConfig::steady_state());
         recorded_events += exp
             .sink
@@ -114,6 +111,18 @@ fn quickstart_with_ring_recorder_matches_golden() {
     out.push_str("Colloid's principle: when the default tier's loaded latency exceeds the\n");
     out.push_str("alternate tier's, hot pages belong in the alternate tier — packing them\n");
     out.push_str("into the \"fast\" tier only makes it slower.\n");
+    (out, recorded_events, recorded_spans)
+}
+
+#[test]
+fn quickstart_with_ring_recorder_matches_golden() {
+    // The recorded run must be byte-identical to the baseline captured
+    // without telemetry. Since PR 4 the sink also records causal spans
+    // (`Sink::ring` allots span capacity), so this doubles as the proof
+    // that span tracing is passive: a span-recording run leaves figure
+    // outputs untouched.
+    let golden = golden("quickstart.txt");
+    let (out, recorded_events, recorded_spans) = run_quickstart(true);
     assert_eq!(
         out.trim_end(),
         golden.trim_end(),
@@ -126,6 +135,22 @@ fn quickstart_with_ring_recorder_matches_golden() {
     assert!(
         recorded_spans > 0,
         "the recorder must actually have closed tick/migration spans"
+    );
+}
+
+#[test]
+fn quickstart_stays_byte_identical_after_n_tier_refactor() {
+    // The N-tier refactor routes every system through `TierMove` decisions
+    // and the `ColloidDriver` dispatch; on a two-tier machine that must
+    // collapse to the verbatim Algorithm-1 controller and the original
+    // promote/demote paths. A plain run (no recorder at all) pins the
+    // n == 2 special case byte for byte against the pre-refactor baseline.
+    let golden = golden("quickstart.txt");
+    let (out, _, _) = run_quickstart(false);
+    assert_eq!(
+        out.trim_end(),
+        golden.trim_end(),
+        "two-tier quickstart output drifted across the N-tier refactor"
     );
 }
 

@@ -86,6 +86,26 @@ impl LinkConfig {
         }
     }
 
+    /// CXL-like expansion link: 64 GB/s per direction, propagation chosen
+    /// so a DDR4 tier behind it lands at ~180 ns unloaded (the middle tier
+    /// of [`MachineConfig::cxl_three_tier`]).
+    pub fn cxl() -> Self {
+        LinkConfig {
+            propagation: SimTime::from_ns(54.0),
+            t_serialize: SimTime::from_ns(1.0),
+        }
+    }
+
+    /// Far-memory link (pooled/fabric-attached): 32 GB/s per direction,
+    /// propagation chosen so a DDR4 tier behind it lands at ~350 ns
+    /// unloaded (the bottom tier of [`MachineConfig::cxl_three_tier`]).
+    pub fn far() -> Self {
+        LinkConfig {
+            propagation: SimTime::from_ns(138.0),
+            t_serialize: SimTime::from_ns(2.0),
+        }
+    }
+
     /// Peak one-direction bandwidth in bytes/second.
     pub fn peak_bandwidth(&self) -> f64 {
         64.0 / self.t_serialize.as_ns() * 1e9
@@ -253,6 +273,87 @@ impl MachineConfig {
         cfg
     }
 
+    /// A CXL-era three-tier machine: socket-local DDR4 (~70 ns), a
+    /// CXL-attached expander (~180 ns, 64 GB/s link), and far/pooled
+    /// memory (~350 ns, 32 GB/s link). Capacities scaled 1024× like
+    /// [`Self::icelake_two_tier`]; every non-local tier sits behind its
+    /// own serial link, so each has an independent bandwidth ceiling.
+    pub fn cxl_three_tier() -> Self {
+        let local = TierConfig {
+            name: "local-ddr".into(),
+            capacity_bytes: 32 << 20,
+            t_fixed: SimTime::from_ns(22.5),
+            dram: DramConfig::ddr4_3200_8ch(),
+            link: None,
+        };
+        let cxl = TierConfig {
+            name: "cxl".into(),
+            capacity_bytes: 64 << 20,
+            t_fixed: SimTime::from_ns(22.5),
+            dram: DramConfig::ddr4_3200_8ch(),
+            link: Some(LinkConfig::cxl()),
+        };
+        let far = TierConfig {
+            name: "far".into(),
+            capacity_bytes: 96 << 20,
+            t_fixed: SimTime::from_ns(22.5),
+            dram: DramConfig::ddr4_3200_8ch(),
+            link: Some(LinkConfig::far()),
+        };
+        MachineConfig {
+            tiers: vec![local, cxl, far],
+            virtual_pages: (192 << 20) / PAGE_SIZE,
+            llc_hit_latency: SimTime::from_ns(20.0),
+            pebs_period: 16,
+            migration_bandwidth: 2.4e9,
+            hint_fault_cost: SimTime::from_us(0.4),
+            seed: 0xC01_101D,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Checks the tier chain for hard errors and soft anomalies.
+    ///
+    /// Hard errors (`Err`): fewer than two tiers — a tiering system needs
+    /// at least one pair to balance — or a tier whose capacity is not a
+    /// whole number of pages.
+    ///
+    /// Soft anomalies (returned as warnings, never an error): unloaded
+    /// latencies that do not increase monotonically with the tier index.
+    /// Such chains are legal — bandwidth-inverted tiers exist, and Colloid
+    /// explicitly handles loaded-latency inversions — but most presets are
+    /// ordered fastest-first, so a non-monotone chain usually means a
+    /// mis-ordered config.
+    pub fn validate(&self) -> Result<Vec<String>, String> {
+        if self.tiers.len() < 2 {
+            return Err(format!(
+                "machine config needs at least 2 memory tiers to tier between, got {}",
+                self.tiers.len()
+            ));
+        }
+        for t in &self.tiers {
+            if t.capacity_bytes == 0 || t.capacity_bytes % PAGE_SIZE != 0 {
+                return Err(format!(
+                    "tier {:?} capacity {} B is not a positive multiple of the {} B page size",
+                    t.name, t.capacity_bytes, PAGE_SIZE
+                ));
+            }
+        }
+        let mut warnings = Vec::new();
+        for pair in self.tiers.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let (la, lb) = (a.unloaded_latency().as_ns(), b.unloaded_latency().as_ns());
+            if lb <= la {
+                warnings.push(format!(
+                    "tier chain latency not monotone: {:?} ({la:.0} ns) -> {:?} ({lb:.0} ns); \
+                     tiers are usually ordered fastest-first",
+                    a.name, b.name
+                ));
+            }
+        }
+        Ok(warnings)
+    }
+
     /// Total machine capacity in pages.
     pub fn total_capacity_pages(&self) -> u64 {
         self.tiers.iter().map(|t| t.capacity_pages()).sum()
@@ -312,6 +413,64 @@ mod tests {
                 "requested {ratio}, got {got} ({alt}ns / {base}ns)"
             );
         }
+    }
+
+    #[test]
+    fn three_tier_unloaded_latencies_hit_targets() {
+        let cfg = MachineConfig::cxl_three_tier();
+        let l: Vec<f64> = cfg
+            .tiers
+            .iter()
+            .map(|t| t.unloaded_latency().as_ns())
+            .collect();
+        assert!((l[0] - 70.0).abs() < 1.0, "local = {} ns", l[0]);
+        assert!((l[1] - 180.0).abs() < 2.0, "cxl = {} ns", l[1]);
+        assert!((l[2] - 350.0).abs() < 4.0, "far = {} ns", l[2]);
+    }
+
+    #[test]
+    fn three_tier_links_have_distinct_bandwidths() {
+        let cfg = MachineConfig::cxl_three_tier();
+        let bw_cxl = cfg.tiers[1].link.as_ref().unwrap().peak_bandwidth() / 1e9;
+        let bw_far = cfg.tiers[2].link.as_ref().unwrap().peak_bandwidth() / 1e9;
+        assert!((bw_cxl - 64.0).abs() < 1.0, "cxl = {bw_cxl} GB/s");
+        assert!((bw_far - 32.0).abs() < 1.0, "far = {bw_far} GB/s");
+    }
+
+    #[test]
+    fn validate_accepts_two_and_three_tier_presets() {
+        assert!(MachineConfig::icelake_two_tier()
+            .validate()
+            .unwrap()
+            .is_empty());
+        assert!(MachineConfig::cxl_three_tier()
+            .validate()
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_single_tier() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers.truncate(1);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("at least 2"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn validate_warns_on_non_monotone_latency_chain() {
+        let mut cfg = MachineConfig::cxl_three_tier();
+        cfg.tiers.swap(1, 2); // far before cxl: legal but suspicious
+        let warnings = cfg.validate().expect("non-monotone chain is not an error");
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("not monotone"), "{}", warnings[0]);
+    }
+
+    #[test]
+    fn validate_rejects_unaligned_capacity() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.tiers[1].capacity_bytes = PAGE_SIZE + 1;
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

@@ -277,6 +277,13 @@ pub struct TickReport {
     /// and that expectation is direct, observable evidence of a
     /// migration-bandwidth collapse.
     pub mig_copy_ns: Option<f64>,
+    /// Per-(src, dst)-tier-pair mean copy duration of page copies
+    /// completed this tick, in ns: `(src, dst, mean_ns)` for every ordered
+    /// pair that finished at least one copy. In an N-tier machine the
+    /// links have different bandwidths, so a supervisor watching for a
+    /// bandwidth collapse must compare each pair against its own
+    /// expectation rather than a single global mean.
+    pub mig_copy_pair_ns: Vec<(u8, u8, f64)>,
     /// Mean *measured per-request* read latency per tier this tick, in ns
     /// (ground truth for validating Little's-Law estimates); `None` if the
     /// tier was idle. Unlike [`TickReport::tiers`], never perturbed by
@@ -325,6 +332,8 @@ pub struct Machine {
     tick_mig_bytes: u64,
     tick_copy_ns: f64,
     tick_copies: u64,
+    /// Per-(src, dst) copy-time accumulator: `(src, dst, total_ns, count)`.
+    tick_pair_copy: Vec<(u8, u8, f64, u64)>,
     rng_streams: u64,
 }
 
@@ -383,6 +392,7 @@ impl Machine {
             tick_mig_bytes: 0,
             tick_copy_ns: 0.0,
             tick_copies: 0,
+            tick_pair_copy: Vec::new(),
             rng_streams: 0,
         }
     }
@@ -665,6 +675,7 @@ impl Machine {
         self.tick_mig_bytes = 0;
         self.tick_copy_ns = 0.0;
         self.tick_copies = 0;
+        self.tick_pair_copy.clear();
         self.sh.mig_admitted_tick = 0;
 
         // Hard faults fire at tick boundaries: apply due tier shrinks, then
@@ -761,6 +772,11 @@ impl Machine {
             migration_backlog: self.sh.mig_queue.len(),
             mig_copy_ns: (self.tick_copies > 0)
                 .then(|| self.tick_copy_ns / self.tick_copies as f64),
+            mig_copy_pair_ns: self
+                .tick_pair_copy
+                .iter()
+                .map(|&(s, d, total, n)| (s, d, total / n as f64))
+                .collect(),
             true_latency_ns,
             fault_stats,
             failed_migrations,
@@ -1104,7 +1120,11 @@ impl Machine {
             return;
         }
         self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
-            telemetry::EventKind::MigrationStart { vpn, dst: dst.0 }
+            telemetry::EventKind::MigrationStart {
+                vpn,
+                src,
+                dst: dst.0,
+            }
         });
         // One async span per copy: it outlives this tick if the copy does,
         // and carries the decision span captured at enqueue as its cause.
@@ -1112,7 +1132,11 @@ impl Machine {
             t,
             telemetry::Source::Machine,
             "migration",
-            telemetry::SpanPayload::Migration { vpn, dst: dst.0 },
+            telemetry::SpanPayload::Migration {
+                vpn,
+                src,
+                dst: dst.0,
+            },
             cause,
         );
         let job = MigJob {
@@ -1188,13 +1212,26 @@ impl Machine {
             self.sh.mig_inflight_to[job.dst.index()] -= 1;
             self.sh.migrated_pages += 1;
             self.sh.migrated_bytes += PAGE_SIZE;
-            self.tick_copy_ns += t.saturating_sub(job.started).as_ns();
+            let copy_ns = t.saturating_sub(job.started).as_ns();
+            self.tick_copy_ns += copy_ns;
             self.tick_copies += 1;
+            // Per-(src, dst)-pair copy-time accumulation: a multi-tier
+            // supervisor needs to see which link is slow, not just that
+            // some copy somewhere was.
+            let pair = (src.0, job.dst.0);
+            match self.tick_pair_copy.iter_mut().find(|e| (e.0, e.1) == pair) {
+                Some(e) => {
+                    e.2 += copy_ns;
+                    e.3 += 1;
+                }
+                None => self.tick_pair_copy.push((pair.0, pair.1, copy_ns, 1)),
+            }
             self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
                 telemetry::EventKind::MigrationComplete {
                     vpn: job.vpn,
+                    src: src.0,
                     dst: job.dst.0,
-                    copy_ns: t.saturating_sub(job.started).as_ns(),
+                    copy_ns,
                 }
             });
             self.sh.sink.span_close_at(t, job.span);
@@ -1989,6 +2026,39 @@ mod tests {
     }
 
     #[test]
+    fn three_tier_machine_reports_per_pair_copy_times() {
+        let cfg = MachineConfig::cxl_three_tier();
+        let mut m = Machine::new(cfg);
+        m.place_range(0..64, TierId::DEFAULT);
+        m.place_range(64..128, TierId(2));
+        for v in 0..16 {
+            assert!(m.enqueue_migration(v, TierId(1)));
+        }
+        for v in 64..80 {
+            assert!(m.enqueue_migration(v, TierId(1)));
+        }
+        let rep = m.run_tick(SimTime::from_ms(2.0));
+        assert_eq!(rep.tiers.len(), 3);
+        assert_eq!(rep.true_latency_ns.len(), 3);
+        let pairs: Vec<(u8, u8)> = rep
+            .mig_copy_pair_ns
+            .iter()
+            .map(|&(s, d, _)| (s, d))
+            .collect();
+        assert!(
+            pairs.contains(&(0, 1)),
+            "demotions 0->1 finished: {pairs:?}"
+        );
+        assert!(
+            pairs.contains(&(2, 1)),
+            "promotions 2->1 finished: {pairs:?}"
+        );
+        for &(_, _, mean_ns) in &rep.mig_copy_pair_ns {
+            assert!(mean_ns.is_finite() && mean_ns > 0.0);
+        }
+    }
+
+    #[test]
     fn zero_duration_report_has_zero_ops_rate() {
         // Pin the division guard: a degenerate zero-length tick reports
         // 0 ops/s, never NaN or infinity.
@@ -2002,6 +2072,7 @@ mod tests {
             migrated_bytes: 0,
             migration_backlog: 0,
             mig_copy_ns: None,
+            mig_copy_pair_ns: Vec::new(),
             true_latency_ns: Vec::new(),
             fault_stats: FaultStats::default(),
             failed_migrations: Vec::new(),

@@ -100,20 +100,28 @@ impl MigrationAccounting {
 
 /// Classifies every migration event in `events`.
 ///
-/// With two tiers, consecutive completed moves of one page necessarily
-/// alternate direction, so of a page's `c` completed copies only the last
-/// can represent net displacement: `useful = c % 2` (odd count ⇒ the page
-/// ended on the other tier), and the remaining `c - useful` copies were
-/// ping-pong work that a later copy reverted.
+/// Useful vs. wasted follows per-tier round trips over each page's actual
+/// move history ([`crate::provenance::classify_round_trips`]): a copy is
+/// wasted iff a later copy returns the page to a tier it had already
+/// visited — net displacement along the tier chain decides. With two
+/// tiers, consecutive completed moves of one page necessarily alternate
+/// direction, so this degenerates to the historical rule `useful = c % 2`
+/// (odd count ⇒ the page ended on the other tier).
 pub fn migration_accounting(events: &[Event]) -> MigrationAccounting {
     let mut acc = MigrationAccounting::default();
-    let mut completes: HashMap<Vpn, u64> = HashMap::new();
+    // Per page: source tier of the first completed copy, then every
+    // destination in completion order.
+    let mut completes: HashMap<Vpn, (u8, Vec<u8>)> = HashMap::new();
     for ev in events {
         match &ev.kind {
             EventKind::MigrationStart { .. } => acc.started += 1,
-            EventKind::MigrationComplete { vpn, .. } => {
+            EventKind::MigrationComplete { vpn, src, dst, .. } => {
                 acc.completed += 1;
-                *completes.entry(*vpn).or_insert(0) += 1;
+                completes
+                    .entry(*vpn)
+                    .or_insert((*src, Vec::new()))
+                    .1
+                    .push(*dst);
             }
             EventKind::MigrationFail { .. } => acc.failed += 1,
             EventKind::MigrationRetry { .. } => acc.retried += 1,
@@ -121,10 +129,13 @@ pub fn migration_accounting(events: &[Event]) -> MigrationAccounting {
             _ => {}
         }
     }
-    for (_vpn, c) in completes {
-        let useful = c % 2;
+    for (_vpn, (first_src, dsts)) in completes {
+        let useful = crate::provenance::classify_round_trips(first_src, &dsts)
+            .iter()
+            .filter(|&&w| !w)
+            .count() as u64;
         acc.useful += useful;
-        acc.wasted += c - useful;
+        acc.wasted += dsts.len() as u64 - useful;
     }
     acc
 }
@@ -283,11 +294,19 @@ mod tests {
         // both wasted). Page 3 moves three times (net one move: 1 useful,
         // 2 wasted).
         let mut events = Vec::new();
-        let moves: &[(Vpn, u8)] = &[(1, 1), (2, 1), (2, 0), (3, 1), (3, 0), (3, 1)];
-        for &(vpn, dst) in moves {
-            events.push(mig_event(EventKind::MigrationStart { vpn, dst }));
+        let moves: &[(Vpn, u8, u8)] = &[
+            (1, 0, 1),
+            (2, 0, 1),
+            (2, 1, 0),
+            (3, 0, 1),
+            (3, 1, 0),
+            (3, 0, 1),
+        ];
+        for &(vpn, src, dst) in moves {
+            events.push(mig_event(EventKind::MigrationStart { vpn, src, dst }));
             events.push(mig_event(EventKind::MigrationComplete {
                 vpn,
+                src,
                 dst,
                 copy_ns: 1000.0,
             }));
@@ -312,6 +331,28 @@ mod tests {
     fn accounting_empty_is_fully_efficient() {
         let acc = migration_accounting(&[]);
         assert_eq!(acc.efficiency(), 1.0);
+    }
+
+    #[test]
+    fn accounting_counts_net_displacement_across_three_tiers() {
+        // Page 1 marches down the chain 0 -> 1 -> 2: both copies are real
+        // displacement (the old two-tier rule would have called one of
+        // them wasted). Page 2 detours 0 -> 1 -> 2 -> 1: only the first
+        // hop survives the round trip through tier 2.
+        let moves: &[(Vpn, u8, u8)] = &[(1, 0, 1), (1, 1, 2), (2, 0, 1), (2, 1, 2), (2, 2, 1)];
+        let mut events = Vec::new();
+        for &(vpn, src, dst) in moves {
+            events.push(mig_event(EventKind::MigrationComplete {
+                vpn,
+                src,
+                dst,
+                copy_ns: 1000.0,
+            }));
+        }
+        let acc = migration_accounting(&events);
+        assert_eq!(acc.completed, 5);
+        assert_eq!(acc.useful, 3);
+        assert_eq!(acc.wasted, 2);
     }
 
     #[test]

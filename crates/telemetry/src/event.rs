@@ -80,6 +80,8 @@ pub enum EventKind {
     MigrationStart {
         /// Page being copied.
         vpn: Vpn,
+        /// Source tier index the page is leaving.
+        src: u8,
         /// Destination tier index.
         dst: u8,
     },
@@ -87,6 +89,8 @@ pub enum EventKind {
     MigrationComplete {
         /// Page that moved.
         vpn: Vpn,
+        /// Source tier index the page left.
+        src: u8,
         /// Destination tier index.
         dst: u8,
         /// Wall-clock copy duration (engine start to mapping flip), ns.
@@ -240,7 +244,11 @@ mod tests {
     #[test]
     fn names_are_snake_case() {
         let kinds = [
-            EventKind::MigrationStart { vpn: 1, dst: 0 },
+            EventKind::MigrationStart {
+                vpn: 1,
+                src: 1,
+                dst: 0,
+            },
             EventKind::EquilibriumReset,
             EventKind::WorkloadShift {
                 what: "x".to_string(),

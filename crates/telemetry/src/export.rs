@@ -66,12 +66,19 @@ fn write_event_line(out: &mut String, seq: u64, ev: &Event) {
         ev.kind.name()
     );
     match &ev.kind {
-        EventKind::MigrationStart { vpn, dst } => {
+        EventKind::MigrationStart { vpn, src, dst } => {
             push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "src", *src as u64);
             push_field_u64(out, "dst", *dst as u64);
         }
-        EventKind::MigrationComplete { vpn, dst, copy_ns } => {
+        EventKind::MigrationComplete {
+            vpn,
+            src,
+            dst,
+            copy_ns,
+        } => {
             push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "src", *src as u64);
             push_field_u64(out, "dst", *dst as u64);
             push_field_f64(out, "copy_ns", *copy_ns);
         }
@@ -522,13 +529,18 @@ mod tests {
             Event {
                 t: SimTime::from_ns(100.0),
                 source: Source::Machine,
-                kind: EventKind::MigrationStart { vpn: 7, dst: 1 },
+                kind: EventKind::MigrationStart {
+                    vpn: 7,
+                    src: 0,
+                    dst: 1,
+                },
             },
             Event {
                 t: SimTime::from_ns(250.5),
                 source: Source::Machine,
                 kind: EventKind::MigrationComplete {
                     vpn: 7,
+                    src: 0,
                     dst: 1,
                     copy_ns: 150.5,
                 },

@@ -4,14 +4,15 @@
 //! that issued them (the "blame" report).
 //!
 //! The input is the recorded span stream: every completed page copy is one
-//! async `migration` span carrying `{vpn, dst}` and a `cause` link to the
-//! decision span in force when the migration was enqueued (see
+//! async `migration` span carrying `{vpn, src, dst}` and a `cause` link to
+//! the decision span in force when the migration was enqueued (see
 //! [`crate::span`]). The useful/wasted split follows the same rule as
-//! [`crate::analytics::migration_accounting`] — of a page's `c` completed
-//! copies only `c % 2` were useful, because under two tiers every pair of
-//! moves returns the page whence it came — so the blame report's wasted
-//! total always reconciles with the accounting (the `trace --smoke`
-//! binary asserts this).
+//! [`crate::analytics::migration_accounting`] — per-tier round trips over
+//! the page's actual move history (see [`classify_round_trips`]): a copy
+//! is wasted iff a later copy returns the page to a tier it had already
+//! visited, which for two tiers degenerates to the old `c % 2` rule. The
+//! blame report's wasted total always reconciles with the accounting (the
+//! `trace --smoke` binary asserts this).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -26,6 +27,8 @@ use crate::span::{SpanId, SpanIndex, SpanKind, SpanPayload, SpanRecord};
 pub struct PageMove {
     /// When the copy completed.
     pub t: SimTime,
+    /// Source tier the copy left.
+    pub src: u8,
     /// Destination tier.
     pub dst: u8,
     /// The migration span that carried the copy.
@@ -34,6 +37,41 @@ pub struct PageMove {
     pub cause: SpanId,
     /// Whether the accounting counts this copy as wasted.
     pub wasted: bool,
+}
+
+/// Splits a page's completed copies into useful and wasted by per-tier
+/// round trips: walking the move history with a stack of visited tiers
+/// (seeded with `first_src`), a copy into an unvisited tier extends the
+/// page's net displacement and is tentatively useful; a copy back into a
+/// tier already on the stack closes a round trip, wasting itself *and*
+/// every copy made since the page last left that tier. Returns one
+/// `wasted` flag per move, in order.
+///
+/// With two tiers every move alternates direction, so the stack never
+/// grows past two entries and the result degenerates to the historical
+/// rule: of `c` copies, `c % 2` are useful (the last one, iff the count
+/// is odd).
+pub fn classify_round_trips(first_src: u8, dsts: &[u8]) -> Vec<bool> {
+    // (tier, index of the move that entered it); the seed has no move.
+    let mut stack: Vec<(u8, Option<usize>)> = vec![(first_src, None)];
+    let mut wasted = vec![false; dsts.len()];
+    for (i, &dst) in dsts.iter().enumerate() {
+        if let Some(k) = stack.iter().position(|&(t, _)| t == dst) {
+            // Round trip: everything since the page last left `dst` —
+            // the copies that entered the now-abandoned tiers plus this
+            // returning copy — was net-zero displacement.
+            for &(_, entered) in &stack[k + 1..] {
+                if let Some(j) = entered {
+                    wasted[j] = true;
+                }
+            }
+            wasted[i] = true;
+            stack.truncate(k + 1);
+        } else {
+            stack.push((dst, Some(i)));
+        }
+    }
+    wasted
 }
 
 /// A page's full migration history.
@@ -53,14 +91,15 @@ impl PageHistory {
         self.moves.last().map_or(u8::MAX, |m| m.dst)
     }
 
-    /// Copies the accounting considers useful (`c % 2`).
+    /// Copies the accounting considers useful (net displacement along the
+    /// tier chain; see [`classify_round_trips`]).
     pub fn useful(&self) -> u64 {
-        (self.moves.len() % 2) as u64
+        self.moves.iter().filter(|m| !m.wasted).count() as u64
     }
 
-    /// Copies the accounting considers wasted (`c - c % 2`).
+    /// Copies the accounting considers wasted (undone by a round trip).
     pub fn wasted(&self) -> u64 {
-        (self.moves.len() - self.moves.len() % 2) as u64
+        self.moves.iter().filter(|m| m.wasted).count() as u64
     }
 }
 
@@ -82,7 +121,8 @@ pub struct ProvenanceReport {
     pub pages: Vec<PageHistory>,
     /// Total completed copies (sum of history lengths).
     pub completed: u64,
-    /// Copies that left a page at its final tier (`Σ c_i % 2`).
+    /// Copies contributing net displacement along each page's tier path
+    /// (for two tiers this is the historical `Σ c_i % 2`).
     pub useful: u64,
     /// Copies undone by a later move (`completed - useful`).
     pub wasted: u64,
@@ -159,11 +199,12 @@ pub fn provenance(events: &[Event], spans: &[SpanRecord], window: SimTime) -> Pr
         if sp.kind != SpanKind::Async {
             continue;
         }
-        let SpanPayload::Migration { vpn, dst } = sp.payload else {
+        let SpanPayload::Migration { vpn, src, dst } = sp.payload else {
             continue;
         };
         by_page.entry(vpn).or_default().push(PageMove {
             t: sp.t_end,
+            src,
             dst,
             span: sp.id,
             cause: sp.cause,
@@ -181,14 +222,14 @@ pub fn provenance(events: &[Event], spans: &[SpanRecord], window: SimTime) -> Pr
     let mut blame: HashMap<String, BlameEntry> = HashMap::new();
     for (vpn, mut moves) in by_page {
         moves.sort_by_key(|m| m.t);
-        let c = moves.len();
-        completed += c as u64;
-        useful += (c % 2) as u64;
-        // All copies are wasted except, for an odd count, the last one:
-        // every completed pair returned the page to where it started.
-        let useful_idx = (c % 2 == 1).then_some(c - 1);
-        for (i, m) in moves.iter_mut().enumerate() {
-            m.wasted = Some(i) != useful_idx;
+        completed += moves.len() as u64;
+        // A copy is wasted iff a later copy returns the page to a tier it
+        // already visited: net displacement along the move path decides.
+        let dsts: Vec<u8> = moves.iter().map(|m| m.dst).collect();
+        let wasted_flags = classify_round_trips(moves[0].src, &dsts);
+        useful += wasted_flags.iter().filter(|&&w| !w).count() as u64;
+        for (m, w) in moves.iter_mut().zip(wasted_flags) {
+            m.wasted = w;
             let site = if m.cause.is_some() {
                 index.decision_chain(m.cause).map(|chain| site_of(&chain))
             } else {
@@ -262,14 +303,14 @@ mod tests {
         }
     }
 
-    fn migration(id: u64, cause: u64, vpn: u64, dst: u8, t_us: f64) -> SpanRecord {
+    fn migration(id: u64, cause: u64, vpn: u64, src: u8, dst: u8, t_us: f64) -> SpanRecord {
         SpanRecord {
             id: SpanId(id),
             parent: SpanId::NONE,
             cause: SpanId(cause),
             source: Source::Machine,
             name: "migration",
-            payload: SpanPayload::Migration { vpn, dst },
+            payload: SpanPayload::Migration { vpn, src, dst },
             t_start: SimTime::from_us(t_us - 1.0),
             t_end: SimTime::from_us(t_us),
             kind: SpanKind::Async,
@@ -282,12 +323,12 @@ mod tests {
         // wasted); page 3: one (useful).
         let spans = vec![
             decision(1, "demote"),
-            migration(10, 1, 1, 1, 10.0),
-            migration(11, 1, 1, 0, 500.0),
-            migration(12, 1, 1, 1, 900.0),
-            migration(13, 1, 2, 1, 20.0),
-            migration(14, 1, 2, 0, 800.0),
-            migration(15, 1, 3, 1, 30.0),
+            migration(10, 1, 1, 0, 1, 10.0),
+            migration(11, 1, 1, 1, 0, 500.0),
+            migration(12, 1, 1, 0, 1, 900.0),
+            migration(13, 1, 2, 0, 1, 20.0),
+            migration(14, 1, 2, 1, 0, 800.0),
+            migration(15, 1, 3, 0, 1, 30.0),
         ];
         let r = provenance(&[], &spans, SimTime::from_us(50.0));
         assert_eq!(r.completed, 6);
@@ -315,11 +356,11 @@ mod tests {
         let spans = vec![
             decision(1, "tick"),
             // Page 5 bounces back within 40us (window 50us): ping-pong.
-            migration(10, 1, 5, 1, 100.0),
-            migration(11, 1, 5, 0, 140.0),
+            migration(10, 1, 5, 0, 1, 100.0),
+            migration(11, 1, 5, 1, 0, 140.0),
             // Page 6 bounces back after 400us: churn but not ping-pong.
-            migration(12, 1, 6, 1, 100.0),
-            migration(13, 1, 6, 0, 500.0),
+            migration(12, 1, 6, 0, 1, 100.0),
+            migration(13, 1, 6, 1, 0, 500.0),
         ];
         let r = provenance(&[], &spans, SimTime::from_us(50.0));
         assert_eq!(r.ping_pong_pages, 1);
@@ -331,8 +372,8 @@ mod tests {
     #[test]
     fn unresolvable_causes_count_as_unattributed() {
         let spans = vec![
-            migration(10, 99, 1, 1, 10.0), // cause id never recorded
-            migration(11, 0, 2, 1, 20.0),  // no cause at all
+            migration(10, 99, 1, 0, 1, 10.0), // cause id never recorded
+            migration(11, 0, 2, 0, 1, 20.0),  // no cause at all
         ];
         let r = provenance(&[], &spans, SimTime::from_us(1.0));
         assert_eq!(r.unattributed, 2);
@@ -347,13 +388,68 @@ mod tests {
             source: Source::Machine,
             kind: EventKind::MigrationComplete {
                 vpn: 1,
+                src: 0,
                 dst: 1,
                 copy_ns: 1000.0,
             },
         }];
-        let spans = vec![decision(1, "tick"), migration(10, 1, 1, 1, 10.0)];
+        let spans = vec![decision(1, "tick"), migration(10, 1, 1, 0, 1, 10.0)];
         let r = provenance(&events, &spans, SimTime::from_us(1.0));
         assert_eq!(r.completed, 1);
         assert_eq!(r.completed_events, 1);
+    }
+
+    #[test]
+    fn round_trip_rule_degenerates_to_c_mod_2_on_two_tiers() {
+        // Pin: for any alternating two-tier history the generalized rule
+        // reproduces the old accounting exactly — `c % 2` useful copies,
+        // and only the last copy of an odd count survives.
+        for c in 0..8usize {
+            let dsts: Vec<u8> = (0..c).map(|i| ((i + 1) % 2) as u8).collect();
+            let wasted = classify_round_trips(0, &dsts);
+            let useful = wasted.iter().filter(|&&w| !w).count();
+            assert_eq!(useful, c % 2, "c = {c}");
+            if c % 2 == 1 {
+                assert!(!wasted[c - 1], "odd count: last copy is the useful one");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_rule_counts_net_displacement_on_three_tiers() {
+        // 0 -> 1 -> 2: two hops of net displacement, both useful.
+        assert_eq!(classify_round_trips(0, &[1, 2]), vec![false, false]);
+        // 0 -> 1 -> 2 -> 1: the detour through tier 2 was a round trip.
+        assert_eq!(classify_round_trips(0, &[1, 2, 1]), vec![false, true, true]);
+        // 0 -> 2 -> 1 -> 0: everything comes home; all wasted.
+        assert_eq!(classify_round_trips(0, &[2, 1, 0]), vec![true, true, true]);
+        // 0 -> 1 -> 0 -> 2: the first excursion is undone, the final hop
+        // to tier 2 is real displacement.
+        assert_eq!(classify_round_trips(0, &[1, 0, 2]), vec![true, true, false]);
+    }
+
+    #[test]
+    fn three_tier_histories_fold_round_trips() {
+        // Page 1 walks 0 -> 1 -> 2 (all useful); page 2 detours
+        // 0 -> 1 -> 2 -> 1 (only the first hop survives).
+        let spans = vec![
+            decision(1, "demote"),
+            migration(10, 1, 1, 0, 1, 10.0),
+            migration(11, 1, 1, 1, 2, 500.0),
+            migration(12, 1, 2, 0, 1, 20.0),
+            migration(13, 1, 2, 1, 2, 600.0),
+            migration(14, 1, 2, 2, 1, 900.0),
+        ];
+        let r = provenance(&[], &spans, SimTime::from_us(50.0));
+        assert_eq!(r.completed, 5);
+        assert_eq!(r.useful, 3);
+        assert_eq!(r.wasted, 2);
+        let p1 = &r.pages[0];
+        assert_eq!((p1.useful(), p1.wasted(), p1.final_tier()), (2, 0, 2));
+        let p2 = &r.pages[1];
+        assert_eq!((p2.useful(), p2.wasted(), p2.final_tier()), (1, 2, 1));
+        // Blame still reconciles with the totals.
+        assert_eq!(r.blame[0].issued, 5);
+        assert_eq!(r.blame[0].wasted, 2);
     }
 }

@@ -622,7 +622,11 @@ mod tests {
             SimTime::from_ns(1.0),
             Source::Machine,
             "migration",
-            SpanPayload::Migration { vpn: 1, dst: 1 },
+            SpanPayload::Migration {
+                vpn: 1,
+                src: 0,
+                dst: 1,
+            },
             SpanId::NONE,
         );
         assert!(a.is_none());
@@ -679,7 +683,11 @@ mod tests {
             SimTime::from_ns(1.0),
             Source::Machine,
             "migration",
-            SpanPayload::Migration { vpn: 42, dst: 1 },
+            SpanPayload::Migration {
+                vpn: 42,
+                src: 0,
+                dst: 1,
+            },
             sink.cause(),
         );
         sink.span_exit(tick1);
@@ -692,7 +700,14 @@ mod tests {
         assert_eq!(m.cause, d);
         assert_eq!(m.parent, tick1);
         assert_eq!(m.t_end, SimTime::from_ns(9.0));
-        assert_eq!(m.payload, SpanPayload::Migration { vpn: 42, dst: 1 });
+        assert_eq!(
+            m.payload,
+            SpanPayload::Migration {
+                vpn: 42,
+                src: 0,
+                dst: 1,
+            }
+        );
         // The decision was recorded instantly, as a decision.
         assert!(spans[0].payload.is_decision());
     }

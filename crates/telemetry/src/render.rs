@@ -29,10 +29,15 @@ pub fn series(label: &str, points: &[(f64, f64)], max_lines: usize) -> String {
 /// One human-readable line describing an event's payload.
 pub fn describe_event(ev: &Event) -> String {
     match &ev.kind {
-        EventKind::MigrationStart { vpn, dst } => format!("vpn {vpn} -> tier {dst}"),
-        EventKind::MigrationComplete { vpn, dst, copy_ns } => {
-            format!("vpn {vpn} -> tier {dst} ({copy_ns:.0} ns)")
+        EventKind::MigrationStart { vpn, src, dst } => {
+            format!("vpn {vpn} tier {src} -> {dst}")
         }
+        EventKind::MigrationComplete {
+            vpn,
+            src,
+            dst,
+            copy_ns,
+        } => format!("vpn {vpn} tier {src} -> {dst} ({copy_ns:.0} ns)"),
         EventKind::MigrationFail { vpn, dst, reason } => {
             format!("vpn {vpn} -> tier {dst} ({})", reason.name())
         }

@@ -71,6 +71,8 @@ pub enum SpanPayload {
     Migration {
         /// Virtual page number being copied.
         vpn: u64,
+        /// Source tier the page left.
+        src: u8,
         /// Destination tier.
         dst: u8,
     },
@@ -190,7 +192,15 @@ mod tests {
         let spans = vec![
             sp(1, 0, SpanPayload::Decision { mode: "tick" }),
             sp(2, 1, SpanPayload::None),
-            sp(3, 2, SpanPayload::Migration { vpn: 7, dst: 1 }),
+            sp(
+                3,
+                2,
+                SpanPayload::Migration {
+                    vpn: 7,
+                    src: 0,
+                    dst: 1,
+                },
+            ),
         ];
         let idx = SpanIndex::new(&spans);
         let chain = idx.decision_chain(SpanId(3)).expect("resolvable");

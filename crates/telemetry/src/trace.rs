@@ -60,8 +60,8 @@ fn span_args(out: &mut String, sp: &SpanRecord) {
     );
     match sp.payload {
         SpanPayload::None => {}
-        SpanPayload::Migration { vpn, dst } => {
-            let _ = write!(out, ",\"vpn\":{vpn},\"dst\":{dst}");
+        SpanPayload::Migration { vpn, src, dst } => {
+            let _ = write!(out, ",\"vpn\":{vpn},\"src\":{src},\"dst\":{dst}");
         }
         SpanPayload::Decision { mode } => {
             let _ = write!(out, ",\"mode\":\"{mode}\"");
@@ -406,7 +406,11 @@ mod tests {
             cause: SpanId(3),
             source: Source::Machine,
             name: "migration",
-            payload: SpanPayload::Migration { vpn: 7, dst: 1 },
+            payload: SpanPayload::Migration {
+                vpn: 7,
+                src: 0,
+                dst: 1,
+            },
             t_start: SimTime::from_us(101.0),
             t_end: SimTime::from_us(250.0),
             kind: SpanKind::Async,

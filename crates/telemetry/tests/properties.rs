@@ -205,7 +205,11 @@ proptest! {
                     cause: SpanId(1),
                     source: Source::Machine,
                     name: "migration",
-                    payload: SpanPayload::Migration { vpn: vpn as u64, dst },
+                    payload: SpanPayload::Migration {
+                        vpn: vpn as u64,
+                        src: 1 - dst,
+                        dst,
+                    },
                     t_start: SimTime::from_us(t_us),
                     t_end: SimTime::from_us(t_us + 0.5),
                     kind: SpanKind::Async,

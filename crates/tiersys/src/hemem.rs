@@ -17,12 +17,12 @@
 //! within Δp and whose summed size stays within the dynamic migration
 //! limit.
 
-use colloid::{ColloidController, Mode, PageFinder};
+use colloid::{Mode, PageFinder};
 use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
 use tierctl::{FreqTracker, MigrationBudget, TierBins};
 
 use crate::retry::{RetryPolicy, RetryQueue, RetryStats};
-use crate::{measurements, SystemParams, TieringSystem};
+use crate::{measurements, ColloidDriver, SystemParams, TierMove, TieringSystem};
 
 /// HeMem's cooling threshold (counts halve when any page reaches it).
 const COOLING_THRESHOLD: u32 = 16;
@@ -82,14 +82,10 @@ impl<'a> BinnedFinder<'a> {
     pub fn new(bins: &'a TierBins, tracker: &'a FreqTracker) -> Self {
         BinnedFinder { bins, tracker }
     }
-}
 
-impl PageFinder for BinnedFinder<'_> {
-    fn find_pages(&mut self, mode: Mode, delta_p: f64, byte_limit: u64) -> Vec<Vpn> {
-        let from = match mode {
-            Mode::Promote => TierId::ALTERNATE,
-            Mode::Demote => TierId::DEFAULT,
-        };
+    /// The §4.1 bin walk with an explicit source tier — the N-tier entry
+    /// point ([`PageFinder::find_pages`] maps a two-tier [`Mode`] onto it).
+    pub fn find_pages_from(&self, from: TierId, delta_p: f64, byte_limit: u64) -> Vec<Vpn> {
         let mut rem_p = delta_p;
         let mut rem_bytes = byte_limit;
         let mut out = Vec::new();
@@ -116,13 +112,23 @@ impl PageFinder for BinnedFinder<'_> {
     }
 }
 
+impl PageFinder for BinnedFinder<'_> {
+    fn find_pages(&mut self, mode: Mode, delta_p: f64, byte_limit: u64) -> Vec<Vpn> {
+        let from = match mode {
+            Mode::Promote => TierId::ALTERNATE,
+            Mode::Demote => TierId::DEFAULT,
+        };
+        self.find_pages_from(from, delta_p, byte_limit)
+    }
+}
+
 /// The HeMem tiering system (vanilla or +Colloid).
 pub struct HeMem {
     params: SystemParams,
     tracker: FreqTracker,
     bins: TierBins,
     budget: MigrationBudget,
-    colloid: Option<ColloidController>,
+    colloid: Option<ColloidDriver>,
     retry: RetryQueue,
     initialized: bool,
     frozen: bool,
@@ -183,13 +189,15 @@ impl HeMem {
         }
     }
 
-    /// Demotes the coldest default-tier page to make room; returns whether
-    /// a frame was freed (the migration was enqueued). Prefers never-sampled
-    /// pages so recently-cooled hot pages are not churned out.
-    fn demote_one_cold(&mut self, machine: &mut Machine) -> bool {
+    /// Demotes the coldest page of `from` one hop down the tier chain to
+    /// make room; returns whether a frame was freed (the migration was
+    /// enqueued). Prefers never-sampled pages so recently-cooled hot pages
+    /// are not churned out. `from` must not be the last tier.
+    fn demote_one_cold(&mut self, machine: &mut Machine, from: TierId) -> bool {
+        let down = TierId(from.0 + 1);
         for pass in 0..2 {
             for bin in 0..self.bins.n_bins() {
-                let candidates = self.bins.pages(TierId::DEFAULT, bin).to_vec();
+                let candidates = self.bins.pages(from, bin).to_vec();
                 for vpn in candidates {
                     if pass == 0 && self.tracker.count(vpn) > 0 {
                         continue;
@@ -197,8 +205,8 @@ impl HeMem {
                     if !self.budget.try_take_page() {
                         return false;
                     }
-                    if machine.enqueue_migration(vpn, TierId::ALTERNATE) {
-                        self.bins.move_tier(vpn, TierId::ALTERNATE);
+                    if machine.enqueue_migration(vpn, down) {
+                        self.bins.move_tier(vpn, down);
                         self.stats.demoted += 1;
                         return true;
                     }
@@ -208,58 +216,65 @@ impl HeMem {
         false
     }
 
-    /// Vanilla HeMem placement: pack pages with count >= HOT_THRESHOLD into
-    /// the default tier.
+    /// Vanilla HeMem placement: pack pages with count >= HOT_THRESHOLD one
+    /// hop up the tier chain (on a two-tier machine: into the default
+    /// tier; hot pages on deeper tiers ratchet upwards tick by tick).
     fn vanilla_place(&mut self, machine: &mut Machine) {
+        let n_tiers = self.params.n_tiers() as u8;
         let hot_bin_floor = self.bins.bin_of_count(HOT_THRESHOLD);
-        for bin in (hot_bin_floor..self.bins.n_bins()).rev() {
-            let candidates = self.bins.pages(TierId::ALTERNATE, bin).to_vec();
-            for vpn in candidates {
-                if self.tracker.count(vpn) < HOT_THRESHOLD {
-                    continue;
-                }
-                // Make room if needed.
-                if machine.free_pages(TierId::DEFAULT) == 0 && !self.demote_one_cold(machine) {
-                    return;
-                }
-                if !self.budget.try_take_page() {
-                    return;
-                }
-                if self.retry.request(machine, vpn, TierId::DEFAULT) {
-                    self.bins.move_tier(vpn, TierId::DEFAULT);
-                    self.stats.promoted += 1;
+        for src in 1..n_tiers {
+            let (src, dst) = (TierId(src), TierId(src - 1));
+            for bin in (hot_bin_floor..self.bins.n_bins()).rev() {
+                let candidates = self.bins.pages(src, bin).to_vec();
+                for vpn in candidates {
+                    if self.tracker.count(vpn) < HOT_THRESHOLD {
+                        continue;
+                    }
+                    // Make room if needed.
+                    if machine.free_pages(dst) == 0 && !self.demote_one_cold(machine, dst) {
+                        return;
+                    }
+                    if !self.budget.try_take_page() {
+                        return;
+                    }
+                    if self.retry.request(machine, vpn, dst) {
+                        self.bins.move_tier(vpn, dst);
+                        self.stats.promoted += 1;
+                    }
                 }
             }
         }
     }
 
-    /// Colloid placement (§4.1): find pages with [`BinnedFinder`], then
-    /// migrate them through the machine's engine, making room with cold
-    /// demotions when promoting into a full default tier.
-    fn colloid_place(&mut self, machine: &mut Machine, mode: Mode, delta_p: f64, byte_limit: u64) {
-        let to = match mode {
-            Mode::Promote => TierId::DEFAULT,
-            Mode::Demote => TierId::ALTERNATE,
-        };
+    /// Colloid placement (§4.1): find pages with [`BinnedFinder`] in the
+    /// move's source tier, then migrate them through the machine's engine,
+    /// making room with cold demotions when promoting into a full tier.
+    fn colloid_place(&mut self, machine: &mut Machine, mv: &TierMove) {
         let candidates = {
-            let mut finder = BinnedFinder::new(&self.bins, &self.tracker);
-            finder.find_pages(mode, delta_p, byte_limit.min(self.budget.remaining()))
+            let finder = BinnedFinder::new(&self.bins, &self.tracker);
+            finder.find_pages_from(
+                mv.src,
+                mv.delta_p,
+                mv.byte_limit.min(self.budget.remaining()),
+            )
         };
+        let promotion = mv.is_promotion();
         for vpn in candidates {
-            if mode == Mode::Promote
-                && machine.free_pages(TierId::DEFAULT) == 0
-                && !self.demote_one_cold(machine)
+            if promotion
+                && machine.free_pages(mv.dst) == 0
+                && !self.demote_one_cold(machine, mv.dst)
             {
                 return;
             }
             if !self.budget.try_take_page() {
                 return;
             }
-            if self.retry.request(machine, vpn, to) {
-                self.bins.move_tier(vpn, to);
-                match mode {
-                    Mode::Promote => self.stats.promoted += 1,
-                    Mode::Demote => self.stats.demoted += 1,
+            if self.retry.request(machine, vpn, mv.dst) {
+                self.bins.move_tier(vpn, mv.dst);
+                if promotion {
+                    self.stats.promoted += 1;
+                } else {
+                    self.stats.demoted += 1;
                 }
             }
         }
@@ -306,8 +321,12 @@ impl TieringSystem for HeMem {
                     self.vanilla_place(machine)
                 }
             }
-            Some(None) => {} // Colloid enabled, tiers balanced: no work.
-            Some(Some(d)) => self.colloid_place(machine, d.mode, d.delta_p, d.byte_limit),
+            // Colloid enabled: act on each pair move (none when balanced).
+            Some(moves) => {
+                for mv in moves {
+                    self.colloid_place(machine, &mv);
+                }
+            }
         }
     }
 
@@ -507,6 +526,44 @@ mod tests {
             "retry queue must not accumulate, pending = {}",
             h.retry.pending()
         );
+    }
+
+    #[test]
+    fn three_tier_vanilla_ratchets_hot_pages_to_the_top() {
+        // Hot pages start at the BOTTOM of a three-tier chain; one-hop
+        // promotion must ratchet them far → cxl → local over time.
+        let mut cfg = MachineConfig::cxl_three_tier();
+        cfg.tiers[0].capacity_bytes = 64 * PAGE_SIZE;
+        cfg.tiers[1].capacity_bytes = 128 * PAGE_SIZE;
+        cfg.tiers[2].capacity_bytes = 1024 * PAGE_SIZE;
+        cfg.pebs_period = 16;
+        let mut m = Machine::new(cfg);
+        m.place_range(0..256, TierId(2));
+        m.add_core(
+            Box::new(HotCold {
+                hot: 32,
+                total: 256,
+            }),
+            CoreConfig::app_default(),
+            TrafficClass::App,
+        );
+        let mut p = params(false);
+        p.unloaded_ns = m
+            .config()
+            .tiers
+            .iter()
+            .map(|t| t.unloaded_latency().as_ns())
+            .collect();
+        let mut h = HeMem::new(p);
+        run(&mut h, &mut m, 400);
+        let hot_on_top = (0..32).filter(|&v| m.tier_of(v) == Some(TierId(0))).count();
+        assert!(
+            hot_on_top >= 24,
+            "hot set must ratchet 2 → 1 → 0, got {hot_on_top}/32 on the local tier"
+        );
+        // Page conservation: every managed page is still resident somewhere.
+        let resident = (0..256).filter(|&v| m.tier_of(v).is_some()).count();
+        assert_eq!(resident, 256);
     }
 
     #[test]

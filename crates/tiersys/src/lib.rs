@@ -24,7 +24,7 @@ pub mod retry;
 pub mod supervisor;
 pub mod tpp;
 
-use memsim::{Machine, TickReport, Vpn};
+use memsim::{Machine, TickReport, TierId, Vpn};
 use simkit::SimTime;
 
 pub use retry::{RetryPolicy, RetryQueue, RetryStats};
@@ -151,19 +151,138 @@ impl SystemParams {
         self.managed.iter().map(|r| r.end - r.start).sum()
     }
 
-    /// Builds the Colloid controller for this configuration, if enabled.
-    pub(crate) fn build_colloid(&self) -> Option<colloid::ColloidController> {
+    /// Number of memory tiers this configuration addresses.
+    pub fn n_tiers(&self) -> usize {
+        self.unloaded_ns.len()
+    }
+
+    /// Builds the Colloid decision engine for this configuration, if
+    /// enabled: the two-tier Algorithm 1 controller on a two-tier machine,
+    /// the pairwise multi-tier balancer (§3.1) beyond that.
+    pub(crate) fn build_colloid(&self) -> Option<ColloidDriver> {
         self.colloid.map(|c| {
-            colloid::ColloidController::new(colloid::ColloidConfig {
-                epsilon: c.epsilon,
-                delta: c.delta,
-                ewma_alpha: c.ewma_alpha,
-                static_limit_bytes: self.migration_limit_per_tick,
-                quantum_ns: self.tick.as_ns(),
-                unloaded_ns: self.unloaded_ns.clone(),
-                dynamic_limit: c.dynamic_limit,
-            })
+            if self.unloaded_ns.len() == 2 {
+                ColloidDriver::Pair(colloid::ColloidController::new(colloid::ColloidConfig {
+                    epsilon: c.epsilon,
+                    delta: c.delta,
+                    ewma_alpha: c.ewma_alpha,
+                    static_limit_bytes: self.migration_limit_per_tick,
+                    quantum_ns: self.tick.as_ns(),
+                    unloaded_ns: self.unloaded_ns.clone(),
+                    dynamic_limit: c.dynamic_limit,
+                }))
+            } else {
+                ColloidDriver::Chain(colloid::multitier::MultiTierBalancer::new(
+                    self.unloaded_ns.clone(),
+                    c.epsilon,
+                    c.delta,
+                    c.ewma_alpha,
+                    self.migration_limit_per_tick,
+                    self.tick.as_ns(),
+                ))
+            }
         })
+    }
+}
+
+/// One migration direction for a quantum, in tier terms: move pages whose
+/// summed access probability is within `delta_p` (and summed size within
+/// `byte_limit`) from `src` to `dst`. The systems act on this shape
+/// regardless of which decision engine produced it.
+#[derive(Debug, Clone, Copy)]
+pub struct TierMove {
+    /// Tier pages leave.
+    pub src: TierId,
+    /// Tier pages land in (adjacent to `src` in the tier chain).
+    pub dst: TierId,
+    /// Desired shift in summed access probability.
+    pub delta_p: f64,
+    /// Byte budget for this quantum's migrations.
+    pub byte_limit: u64,
+}
+
+impl TierMove {
+    /// Whether the move heads towards a faster (lower-latency) tier.
+    pub fn is_promotion(&self) -> bool {
+        self.dst.0 < self.src.0
+    }
+}
+
+/// The Colloid decision engine behind a system: on exactly two tiers the
+/// original Algorithm 1 controller runs verbatim (keeping two-tier runs
+/// bit-identical); with more tiers the pairwise [`MultiTierBalancer`]
+/// generalisation takes over, emitting moves between adjacent tier pairs.
+///
+/// [`MultiTierBalancer`]: colloid::multitier::MultiTierBalancer
+pub enum ColloidDriver {
+    /// `n == 2`: the paper's two-tier controller.
+    Pair(colloid::ColloidController),
+    /// `n > 2`: pairwise balancing along the tier chain (§3.1).
+    Chain(colloid::multitier::MultiTierBalancer),
+}
+
+impl ColloidDriver {
+    /// One quantum: per-tier measurements in, adjacent-pair moves out
+    /// (empty when balanced or idle; at most one move per quantum today).
+    pub fn on_quantum(&mut self, window: &[colloid::TierMeasurement]) -> Vec<TierMove> {
+        match self {
+            ColloidDriver::Pair(c) => c
+                .on_quantum(window)
+                .map(|d| {
+                    let (src, dst) = match d.mode {
+                        colloid::Mode::Promote => (TierId::ALTERNATE, TierId::DEFAULT),
+                        colloid::Mode::Demote => (TierId::DEFAULT, TierId::ALTERNATE),
+                    };
+                    TierMove {
+                        src,
+                        dst,
+                        delta_p: d.delta_p,
+                        byte_limit: d.byte_limit,
+                    }
+                })
+                .into_iter()
+                .collect(),
+            ColloidDriver::Chain(b) => b
+                .on_quantum(window)
+                .into_iter()
+                .map(|d| {
+                    let (src, dst) = match d.mode {
+                        colloid::Mode::Promote => (TierId(d.lower as u8), TierId(d.upper as u8)),
+                        colloid::Mode::Demote => (TierId(d.upper as u8), TierId(d.lower as u8)),
+                    };
+                    TierMove {
+                        src,
+                        dst,
+                        delta_p: d.delta_p,
+                        byte_limit: d.byte_limit,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Freezes or resumes the watermark controller(s).
+    pub fn set_frozen(&mut self, frozen: bool) {
+        match self {
+            ColloidDriver::Pair(c) => c.set_frozen(frozen),
+            ColloidDriver::Chain(b) => b.set_frozen(frozen),
+        }
+    }
+
+    /// Restarts the watermark search(es) from the full interval.
+    pub fn reset_equilibrium(&mut self) {
+        match self {
+            ColloidDriver::Pair(c) => c.reset_equilibrium(),
+            ColloidDriver::Chain(b) => b.reset_equilibrium(),
+        }
+    }
+
+    /// Attaches a telemetry sink.
+    pub fn set_telemetry(&mut self, sink: telemetry::Sink) {
+        match self {
+            ColloidDriver::Pair(c) => c.set_telemetry(sink),
+            ColloidDriver::Chain(b) => b.set_telemetry(sink),
+        }
     }
 }
 
@@ -231,9 +350,75 @@ mod tests {
     #[test]
     fn colloid_controller_built_when_enabled() {
         let p = SystemParams::new(vec![0..10], Some(ColloidParams::default()));
-        let c = p.build_colloid().expect("controller");
-        assert_eq!(c.shift().epsilon(), 0.01);
-        assert_eq!(c.shift().delta(), 0.05);
+        match p.build_colloid().expect("driver") {
+            ColloidDriver::Pair(c) => {
+                assert_eq!(c.shift().epsilon(), 0.01);
+                assert_eq!(c.shift().delta(), 0.05);
+            }
+            ColloidDriver::Chain(_) => panic!("two tiers must use the pair controller"),
+        }
+    }
+
+    #[test]
+    fn three_tier_params_build_the_chain_driver() {
+        let mut p = SystemParams::new(vec![0..10], Some(ColloidParams::default()));
+        p.unloaded_ns = vec![70.0, 180.0, 350.0];
+        assert_eq!(p.n_tiers(), 3);
+        assert!(matches!(p.build_colloid(), Some(ColloidDriver::Chain(_))));
+    }
+
+    #[test]
+    fn tier_move_direction_matches_tier_order() {
+        let up = TierMove {
+            src: TierId(2),
+            dst: TierId(1),
+            delta_p: 0.1,
+            byte_limit: 4096,
+        };
+        assert!(up.is_promotion());
+        let down = TierMove {
+            src: TierId(0),
+            dst: TierId(1),
+            delta_p: 0.1,
+            byte_limit: 4096,
+        };
+        assert!(!down.is_promotion());
+    }
+
+    #[test]
+    fn chain_driver_emits_adjacent_pair_moves() {
+        let mut p = SystemParams::new(vec![0..10], Some(ColloidParams::default()));
+        p.unloaded_ns = vec![70.0, 180.0, 350.0];
+        let mut d = p.build_colloid().expect("driver");
+        // Default tier heavily loaded (300 ns) against near-balanced lower
+        // tiers (190/195 ns): once the latency EWMAs converge, pair 0-1 is
+        // the most imbalanced and the driver demotes tier 0 → tier 1.
+        let window = [
+            colloid::TierMeasurement {
+                occupancy: 90.0,
+                rate_per_ns: 0.3,
+            },
+            colloid::TierMeasurement {
+                occupancy: 19.0,
+                rate_per_ns: 0.1,
+            },
+            colloid::TierMeasurement {
+                occupancy: 9.75,
+                rate_per_ns: 0.05,
+            },
+        ];
+        let mut last = Vec::new();
+        for _ in 0..50 {
+            let moves = d.on_quantum(&window);
+            if !moves.is_empty() {
+                last = moves;
+            }
+        }
+        assert_eq!(last.len(), 1);
+        assert_eq!(last[0].src, TierId(0));
+        assert_eq!(last[0].dst, TierId(1));
+        assert!(!last[0].is_promotion());
+        assert!(last[0].delta_p > 0.0);
     }
 
     #[test]

@@ -24,12 +24,11 @@
 
 use std::collections::HashSet;
 
-use colloid::{ColloidController, Mode};
 use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
 use tierctl::{FreqTracker, MigrationBudget};
 
 use crate::retry::{RetryPolicy, RetryQueue, RetryStats};
-use crate::{SystemParams, TieringSystem};
+use crate::{ColloidDriver, SystemParams, TierMove, TieringSystem};
 
 /// MEMTIS-specific knobs.
 #[derive(Debug, Clone)]
@@ -116,7 +115,7 @@ pub struct Memtis {
     tracker: FreqTracker,
     split: HashSet<Vpn>, // region base vpns that have been split
     budget: MigrationBudget,
-    colloid: Option<ColloidController>,
+    colloid: Option<ColloidDriver>,
     ticks: u32,
     pebs_period: u64,
     /// Virtual-address-space cursor of the background coalescer.
@@ -330,31 +329,37 @@ impl Memtis {
             used += u.bytes();
             hot_end = i + 1;
         }
-        // Promote hot units not yet in the default tier.
+        // Promote hot units one hop up the tier chain (on a two-tier
+        // machine: alternate → default).
         for u in &units[..hot_end] {
             if u.tier != TierId::DEFAULT {
+                let dst = TierId(u.tier.0 - 1);
+                let down = TierId(dst.0 + 1);
                 let needed = u.pages;
-                if machine.free_pages(TierId::DEFAULT) < needed {
-                    // Demote the coldest default-tier units to make room.
+                if machine.free_pages(dst) < needed {
+                    // Demote the coldest dst-resident units one hop down to
+                    // make room.
                     for cold in units[hot_end..].iter().rev() {
-                        if cold.tier == TierId::DEFAULT {
-                            let moved = self.migrate_unit(machine, cold, TierId::ALTERNATE);
+                        if cold.tier == dst {
+                            let moved = self.migrate_unit(machine, cold, down);
                             self.stats.demoted += moved;
-                            if machine.free_pages(TierId::DEFAULT) >= needed {
+                            if machine.free_pages(dst) >= needed {
                                 break;
                             }
                         }
                     }
                 }
-                let moved = self.migrate_unit(machine, u, TierId::DEFAULT);
+                let moved = self.migrate_unit(machine, u, dst);
                 self.stats.promoted += moved;
             }
         }
-        // Proactive demotion of non-hot units resident in the default tier.
+        // Proactive demotion of non-hot units one hop down — for every tier
+        // that has a slower neighbour (on two tiers: default → alternate).
         if self.cfg.proactive_demotion {
+            let n_tiers = self.params.n_tiers();
             for u in &units[hot_end..] {
-                if u.tier == TierId::DEFAULT {
-                    let moved = self.migrate_unit(machine, u, TierId::ALTERNATE);
+                if usize::from(u.tier.0) + 1 < n_tiers {
+                    let moved = self.migrate_unit(machine, u, TierId(u.tier.0 + 1));
                     self.stats.demoted += moved;
                 }
             }
@@ -363,21 +368,14 @@ impl Memtis {
 
     /// Colloid kmigrated pass (§4.2): scan the source tier's units in
     /// density order, pick while Δp and the migration limit allow.
-    fn colloid_place(
-        &mut self,
-        machine: &mut Machine,
-        units: &[Unit],
-        mode: Mode,
-        delta_p: f64,
-        byte_limit: u64,
-    ) {
-        let (src, dst) = match mode {
-            Mode::Promote => (TierId::ALTERNATE, TierId::DEFAULT),
-            Mode::Demote => (TierId::DEFAULT, TierId::ALTERNATE),
-        };
+    fn colloid_place(&mut self, machine: &mut Machine, units: &[Unit], mv: &TierMove) {
+        let (src, dst) = (mv.src, mv.dst);
+        let promotion = mv.is_promotion();
+        let can_spill = usize::from(dst.0) + 1 < self.params.n_tiers();
+        let down = TierId(dst.0 + 1);
         let total = self.tracker.total().max(1) as f64;
-        let mut rem_p = delta_p;
-        let mut rem_bytes = byte_limit;
+        let mut rem_p = mv.delta_p;
+        let mut rem_bytes = mv.byte_limit;
         for u in units {
             if u.tier != src || u.count == 0 {
                 continue;
@@ -389,14 +387,14 @@ impl Memtis {
             if u.bytes() > rem_bytes {
                 continue; // page-size aware limit check (paper §4.2)
             }
-            if dst == TierId::DEFAULT && machine.free_pages(TierId::DEFAULT) < u.pages {
-                // Make room by demoting zero-count default units.
+            if can_spill && machine.free_pages(dst) < u.pages {
+                // Make room by demoting zero-count dst units one hop down.
                 let mut freed = false;
                 for cold in units.iter().rev() {
-                    if cold.tier == TierId::DEFAULT && cold.count == 0 {
-                        let moved = self.migrate_unit(machine, cold, TierId::ALTERNATE);
+                    if cold.tier == dst && cold.count == 0 {
+                        let moved = self.migrate_unit(machine, cold, down);
                         self.stats.demoted += moved;
-                        if machine.free_pages(TierId::DEFAULT) >= u.pages {
+                        if machine.free_pages(dst) >= u.pages {
                             freed = true;
                             break;
                         }
@@ -410,9 +408,10 @@ impl Memtis {
             if moved > 0 {
                 rem_p -= prob;
                 rem_bytes = rem_bytes.saturating_sub(moved * PAGE_SIZE);
-                match mode {
-                    Mode::Promote => self.stats.promoted += moved,
-                    Mode::Demote => self.stats.demoted += moved,
+                if promotion {
+                    self.stats.promoted += moved;
+                } else {
+                    self.stats.demoted += moved;
                 }
             }
         }
@@ -470,8 +469,11 @@ impl TieringSystem for Memtis {
                     self.vanilla_place(machine, &units)
                 }
             }
-            Some(None) => {}
-            Some(Some(d)) => self.colloid_place(machine, &units, d.mode, d.delta_p, d.byte_limit),
+            Some(moves) => {
+                for mv in moves {
+                    self.colloid_place(machine, &units, &mv);
+                }
+            }
         }
     }
 

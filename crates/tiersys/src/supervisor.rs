@@ -460,20 +460,30 @@ impl Supervisor {
             }
             over_capacity += machine.used_pages(t).saturating_sub(eff);
         }
-        let latency_inverted = match (
-            report.true_latency_ns.first().copied().flatten(),
-            report.true_latency_ns.get(1).copied().flatten(),
-        ) {
-            (Some(default), Some(alternate)) => default > alternate,
-            _ => false,
-        };
+        // Inversion anywhere along the tier chain: a faster-by-design tier
+        // measuring slower than its slower neighbour (on two tiers: the
+        // default tier slower than the alternate).
+        let latency_inverted = report
+            .true_latency_ns
+            .windows(2)
+            .any(|w| matches!((w[0], w[1]), (Some(upper), Some(lower)) if upper > lower));
         // Expected copy time at the *configured* bandwidth — what a healthy
         // engine delivers regardless of queue depth (pacing is per page).
         let expected_ns = memsim::PAGE_SIZE as f64 / machine.config().migration_bandwidth * 1e9;
-        let copy_slowdown = report
-            .mig_copy_ns
-            .map(|obs| obs / expected_ns.max(1.0))
-            .unwrap_or(0.0);
+        let copy_slowdown = if machine.config().tiers.len() == 2 {
+            report
+                .mig_copy_ns
+                .map(|obs| obs / expected_ns.max(1.0))
+                .unwrap_or(0.0)
+        } else {
+            // N tiers: the worst adjacent pair's mean copy time — a single
+            // collapsed link must not be averaged away by healthy ones.
+            report
+                .mig_copy_pair_ns
+                .iter()
+                .map(|&(_, _, ns)| ns / expected_ns.max(1.0))
+                .fold(0.0, f64::max)
+        };
         HealthSample {
             failed: report.failed_migrations.len() as u64,
             succeeded,

@@ -20,12 +20,11 @@
 
 use std::collections::HashMap;
 
-use colloid::{ColloidController, Mode};
 use memsim::{Machine, TickReport, TierId, Vpn, PAGE_SIZE};
 use tierctl::{MigrationBudget, RegionScanner};
 
 use crate::retry::{RetryPolicy, RetryQueue, RetryStats};
-use crate::{measurements, SystemParams, TieringSystem};
+use crate::{measurements, ColloidDriver, SystemParams, TieringSystem};
 
 /// TPP-specific knobs.
 #[derive(Debug, Clone)]
@@ -104,7 +103,7 @@ pub struct Tpp {
     cfg: TppConfig,
     scanner: RegionScanner,
     budget: MigrationBudget,
-    colloid: Option<ColloidController>,
+    colloid: Option<ColloidDriver>,
     /// Dynamic time-to-fault threshold (vanilla hotness test).
     threshold_ns: f64,
     /// Last observed time-to-fault per page: large = cold. Pages that never
@@ -178,9 +177,11 @@ impl Tpp {
         if need == 0 || self.budget.remaining() < need * PAGE_SIZE {
             return 0;
         }
-        if dst == TierId::DEFAULT {
-            while machine.free_pages(TierId::DEFAULT) < need {
-                if !self.kswapd_demote_one(machine) {
+        // Make room by demoting one hop further down the chain — possible
+        // for every destination except the last tier.
+        if usize::from(dst.0) + 1 < self.params.n_tiers() {
+            while machine.free_pages(dst) < need {
+                if !self.kswapd_demote_one(machine, dst) {
                     return 0;
                 }
             }
@@ -197,12 +198,13 @@ impl Tpp {
         moved
     }
 
-    /// kswapd victim selection: one clock sweep over default-tier pages,
-    /// demoting the first page whose last time-to-fault marks it cold
-    /// (larger than the hotness threshold), or — if every resident page
-    /// looks hot — the coldest page seen. Returns whether a frame was
-    /// freed (enqueued for demotion).
-    fn kswapd_demote_one(&mut self, machine: &mut Machine) -> bool {
+    /// kswapd victim selection: one clock sweep over `tier`'s resident
+    /// pages, demoting (one hop down the chain) the first page whose last
+    /// time-to-fault marks it cold (larger than the hotness threshold), or
+    /// — if every resident page looks hot — the coldest page seen. Returns
+    /// whether a frame was freed (enqueued for demotion). `tier` must not
+    /// be the last tier.
+    fn kswapd_demote_one(&mut self, machine: &mut Machine, tier: TierId) -> bool {
         if self.clock_pages.is_empty() {
             return false;
         }
@@ -210,7 +212,7 @@ impl Tpp {
         for _ in 0..self.clock_pages.len() {
             let vpn = self.clock_pages[self.clock_hand];
             self.clock_hand = (self.clock_hand + 1) % self.clock_pages.len();
-            if machine.tier_of(vpn) != Some(TierId::DEFAULT) {
+            if machine.tier_of(vpn) != Some(tier) {
                 continue;
             }
             let ttf = self.last_ttf.get(&vpn).copied().unwrap_or(f64::INFINITY);
@@ -222,24 +224,26 @@ impl Tpp {
             // Pages that are merely lukewarm are handled by the
             // coldest-page fallback below.
             if ttf > (self.threshold_ns * 10.0).max(150_000.0) {
-                return self.demote_unit_of(machine, vpn);
+                return self.demote_unit_of(machine, vpn, tier);
             }
             if coldest.map(|(_, c)| ttf > c).unwrap_or(true) {
                 coldest = Some((vpn, ttf));
             }
         }
         match coldest {
-            Some((vpn, _)) => self.demote_unit_of(machine, vpn),
+            Some((vpn, _)) => self.demote_unit_of(machine, vpn, tier),
             None => false,
         }
     }
 
-    /// Demotes the whole unit of `vpn` (THP regions stay intact).
-    fn demote_unit_of(&mut self, machine: &mut Machine, vpn: Vpn) -> bool {
+    /// Demotes the whole unit of `vpn` from `from` one hop down the tier
+    /// chain (THP regions stay intact). `from` must not be the last tier.
+    fn demote_unit_of(&mut self, machine: &mut Machine, vpn: Vpn, from: TierId) -> bool {
+        let down = TierId(from.0 + 1);
         let pages: Vec<Vpn> = self
             .unit_pages(vpn)
             .into_iter()
-            .filter(|&p| machine.tier_of(p) == Some(TierId::DEFAULT))
+            .filter(|&p| machine.tier_of(p) == Some(from))
             .collect();
         if self.budget.remaining() < pages.len() as u64 * PAGE_SIZE {
             return false;
@@ -249,7 +253,7 @@ impl Tpp {
             if !self.budget.try_take_page() {
                 break;
             }
-            if self.retry.request(machine, page, TierId::ALTERNATE) {
+            if self.retry.request(machine, page, down) {
                 self.stats.demoted += 1;
                 any = true;
             }
@@ -257,19 +261,23 @@ impl Tpp {
         any
     }
 
-    /// kswapd main loop: keep default-tier free frames above the
-    /// watermarks.
+    /// kswapd main loop: keep every non-terminal tier's free frames above
+    /// the watermarks (on a two-tier machine this is exactly the
+    /// default-tier kswapd; deeper tiers spill one hop further down).
     fn kswapd(&mut self, machine: &mut Machine) {
-        // Effective capacity: watermarks must track post-shrink reality.
-        let cap = machine.capacity_pages(TierId::DEFAULT);
-        let low = ((cap as f64 * self.cfg.watermark_low) as u64).max(1);
-        let high = ((cap as f64 * self.cfg.watermark_high) as u64).max(2);
-        if machine.free_pages(TierId::DEFAULT) >= low {
-            return;
-        }
-        while machine.free_pages(TierId::DEFAULT) < high {
-            if !self.kswapd_demote_one(machine) {
-                break;
+        for i in 0..self.params.n_tiers().saturating_sub(1) {
+            let tier = TierId(i as u8);
+            // Effective capacity: watermarks must track post-shrink reality.
+            let cap = machine.capacity_pages(tier);
+            let low = ((cap as f64 * self.cfg.watermark_low) as u64).max(1);
+            let high = ((cap as f64 * self.cfg.watermark_high) as u64).max(2);
+            if machine.free_pages(tier) >= low {
+                continue;
+            }
+            while machine.free_pages(tier) < high {
+                if !self.kswapd_demote_one(machine, tier) {
+                    break;
+                }
             }
         }
     }
@@ -296,22 +304,16 @@ impl TieringSystem for Tpp {
         self.retry.on_tick(machine);
         self.budget.refill();
 
-        // Colloid mode/Δp for this quantum (None = vanilla).
-        let decision = self
+        // Colloid move/Δp for this quantum (None = vanilla; the drivers
+        // emit at most one adjacent-pair move per quantum).
+        let has_colloid = self.colloid.is_some();
+        let mv = self
             .colloid
             .as_mut()
-            .map(|c| c.on_quantum(&measurements(report)));
-        let mut rem_p = decision
-            .as_ref()
-            .and_then(|d| d.as_ref())
-            .map(|d| d.delta_p)
-            .unwrap_or(0.0);
-        let mode = decision.as_ref().and_then(|d| d.as_ref()).map(|d| d.mode);
-        let mut rem_bytes = decision
-            .as_ref()
-            .and_then(|d| d.as_ref())
-            .map(|d| d.byte_limit)
-            .unwrap_or(u64::MAX);
+            .map(|c| c.on_quantum(&measurements(report)))
+            .and_then(|moves| moves.first().copied());
+        let mut rem_p = mv.map(|m| m.delta_p).unwrap_or(0.0);
+        let mut rem_bytes = mv.map(|m| m.byte_limit).unwrap_or(u64::MAX);
 
         // Per-tier request rates for the access-probability estimate
         // p = 1 / (Δt · r)   (paper §4.3).
@@ -329,48 +331,45 @@ impl TieringSystem for Tpp {
             self.stats.faults += 1;
             self.last_ttf.insert(fault.vpn, fault.time_to_fault_ns);
 
-            match (&self.colloid, mode) {
-                // Vanilla: promote hot (fast-faulting) alternate-tier pages.
-                (None, _) => {
+            match (has_colloid, mv) {
+                // Vanilla: promote hot (fast-faulting) pages one hop up the
+                // chain (on a two-tier machine: alternate → default).
+                (false, _) => {
                     if !self.frozen
                         && fault.tier != TierId::DEFAULT
                         && fault.time_to_fault_ns <= self.threshold_ns * self.cfg.promotion_boost
                     {
                         candidate_bytes += self.unit_pages(fault.vpn).len() as u64 * PAGE_SIZE;
-                        let moved = self.migrate_unit(machine, fault.vpn, TierId::DEFAULT);
+                        let dst = TierId(fault.tier.0 - 1);
+                        let moved = self.migrate_unit(machine, fault.vpn, dst);
                         promoted_this_tick += moved;
                         self.stats.promoted += moved;
                     }
                 }
                 // Colloid, but balanced this quantum: no migrations.
-                (Some(_), None) => {}
-                // Colloid: migrate along the balancing direction while the
-                // page's access probability fits the remaining Δp.
-                (Some(_), Some(m)) => {
-                    let (src, dst) = match m {
-                        Mode::Promote => (TierId::ALTERNATE, TierId::DEFAULT),
-                        Mode::Demote => (TierId::DEFAULT, TierId::ALTERNATE),
-                    };
-                    if fault.tier != src {
+                (true, None) => {}
+                // Colloid: migrate along the balancing pair's direction while
+                // the page's access probability fits the remaining Δp.
+                (true, Some(m)) => {
+                    if fault.tier != m.src {
                         continue;
                     }
-                    let r = rate_of(src);
+                    let r = rate_of(m.src);
                     if r <= 0.0 {
                         continue;
                     }
                     let prob = 1.0 / (fault.time_to_fault_ns.max(1.0) * r);
                     let unit_bytes = self.unit_pages(fault.vpn).len() as u64 * PAGE_SIZE;
                     if prob <= rem_p && unit_bytes <= rem_bytes {
-                        let moved = self.migrate_unit(machine, fault.vpn, dst);
+                        let moved = self.migrate_unit(machine, fault.vpn, m.dst);
                         if moved > 0 {
                             rem_p -= prob;
                             rem_bytes -= moved * PAGE_SIZE;
-                            match m {
-                                Mode::Promote => {
-                                    promoted_this_tick += moved;
-                                    self.stats.promoted += moved;
-                                }
-                                Mode::Demote => self.stats.demoted += moved,
+                            if m.is_promotion() {
+                                promoted_this_tick += moved;
+                                self.stats.promoted += moved;
+                            } else {
+                                self.stats.demoted += moved;
                             }
                         }
                     }

@@ -6,6 +6,9 @@
 //! actually prevents flapping (oscillating health signals cannot thrash
 //! modes). Both are checked over randomly generated sample sequences.
 
+// `SystemParams::new` genuinely takes a Vec of managed page ranges.
+#![allow(clippy::single_range_in_vec_init)]
+
 use proptest::prelude::*;
 use tiersys::{HealthSample, SupervisorConfig, SupervisorMode};
 
@@ -171,5 +174,149 @@ proptest! {
             mode = mm.step(&healthy);
         }
         prop_assert_eq!(mode, SupervisorMode::Normal);
+    }
+}
+
+mod n_tier_conservation {
+    use super::*;
+    use memsim::{
+        AccessStream, CoreConfig, Machine, MachineConfig, ObjectAccess, TierId, TrafficClass,
+        LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE,
+    };
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use simkit::SimTime;
+    use tiersys::{build_system, ColloidParams, SystemKind, SystemParams};
+
+    /// First page of the application's region (the antagonist's pinned
+    /// buffer lives at the bottom of the address space).
+    const APP_BASE: u64 = 1024;
+    /// Pinned antagonist buffer on the local tier, pages `[0, 64)`.
+    const ANTAGONIST_PAGES: u64 = 64;
+
+    /// 90/10 hot/cold stream over `[base, base + total)`.
+    struct HotCold {
+        base: u64,
+        hot: u64,
+        total: u64,
+    }
+    impl AccessStream for HotCold {
+        fn next(&mut self, _now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+            let off = if rng.gen_bool(0.9) {
+                rng.gen_range(0..self.hot)
+            } else {
+                rng.gen_range(0..self.total)
+            };
+            let vpn = self.base + off;
+            ObjectAccess::read_line(vpn * PAGE_SIZE + rng.gen_range(0..LINES_PER_PAGE) * LINE_SIZE)
+        }
+    }
+
+    /// Every page accounted for: each managed page resident in exactly one
+    /// tier (that is what `tier_of` can report), every pinned antagonist
+    /// page still on the local tier, and no tier over its capacity.
+    fn assert_conserved(m: &Machine, ws: u64, ctx: &str) -> Result<(), TestCaseError> {
+        let mut per_tier = vec![0u64; m.config().tiers.len()];
+        for vpn in (0..ANTAGONIST_PAGES).chain(APP_BASE..APP_BASE + ws) {
+            match m.tier_of(vpn) {
+                Some(t) => per_tier[usize::from(t.0)] += 1,
+                None => {
+                    return Err(TestCaseError::Fail(format!(
+                        "{ctx}: page {vpn} lost (not resident in any tier)"
+                    )))
+                }
+            }
+        }
+        for vpn in 0..ANTAGONIST_PAGES {
+            prop_assert_eq!(
+                m.tier_of(vpn),
+                Some(TierId(0)),
+                "{}: pinned page {} moved",
+                ctx,
+                vpn
+            );
+        }
+        for (i, (&n, t)) in per_tier.iter().zip(m.config().tiers.iter()).enumerate() {
+            prop_assert!(
+                n <= t.capacity_bytes / PAGE_SIZE,
+                "{}: tier {} holds {} pages, over its capacity",
+                ctx,
+                i,
+                n
+            );
+        }
+        Ok(())
+    }
+
+    proptest! {
+        /// Across every tiering system ± Colloid on a three-tier chain, a
+        /// mid-run antagonist storm on the local tier never loses, forks,
+        /// or overflows a page: one-hop promotion/demotion and the room-
+        /// making spills conserve the page population at every step.
+        #[test]
+        fn contention_shift_conserves_pages_on_three_tiers(
+            kind_idx in 0usize..3,
+            colloid in prop::bool::ANY,
+            ws in 128u64..=192,
+            hot in 16u64..=48,
+            seed in 0u64..1_000_000,
+        ) {
+            let kind = SystemKind::ALL[kind_idx];
+            let mut cfg = MachineConfig::cxl_three_tier();
+            cfg.tiers[0].capacity_bytes = 96 * PAGE_SIZE;
+            cfg.tiers[1].capacity_bytes = 128 * PAGE_SIZE;
+            cfg.tiers[2].capacity_bytes = 2048 * PAGE_SIZE;
+            cfg.pebs_period = 16;
+            cfg.seed = seed;
+            let mut m = Machine::new(cfg);
+            m.place_range(0..ANTAGONIST_PAGES, TierId(0));
+            for vpn in 0..ANTAGONIST_PAGES {
+                m.pin(vpn);
+            }
+            let mut antagonists = Vec::new();
+            for _ in 0..2 {
+                let id = m.add_core(
+                    Box::new(HotCold { base: 0, hot: ANTAGONIST_PAGES, total: ANTAGONIST_PAGES }),
+                    CoreConfig::antagonist_default(),
+                    TrafficClass::Antagonist,
+                );
+                m.set_core_active(id, false);
+                antagonists.push(id);
+            }
+            m.place_range(APP_BASE..APP_BASE + ws, TierId(2));
+            m.add_core(
+                Box::new(HotCold { base: APP_BASE, hot, total: ws }),
+                CoreConfig::app_default(),
+                TrafficClass::App,
+            );
+            let mut params = SystemParams::new(
+                vec![APP_BASE..APP_BASE + ws],
+                colloid.then(ColloidParams::default),
+            );
+            params.unloaded_ns = m
+                .config()
+                .tiers
+                .iter()
+                .map(|t| t.unloaded_latency().as_ns())
+                .collect();
+            let mut system = build_system(kind, params);
+            for tick in 0..40 {
+                let rep = m.run_tick(SimTime::from_us(100.0));
+                system.on_tick(&mut m, &rep);
+                if tick % 10 == 9 {
+                    assert_conserved(&m, ws, &format!("pre-shift tick {tick}"))?;
+                }
+            }
+            for &id in &antagonists {
+                m.set_core_active(id, true);
+            }
+            for tick in 0..40 {
+                let rep = m.run_tick(SimTime::from_us(100.0));
+                system.on_tick(&mut m, &rep);
+                if tick % 10 == 9 {
+                    assert_conserved(&m, ws, &format!("post-shift tick {tick}"))?;
+                }
+            }
+        }
     }
 }
