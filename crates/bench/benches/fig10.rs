@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             },
             |mut m| {
                 for vpn in 0..64 {
-                    m.enqueue_migration(vpn, TierId::ALTERNATE);
+                    let _ = m.enqueue_migration(vpn, TierId::ALTERNATE);
                 }
                 m.run_tick(SimTime::from_us(100.0));
                 m.migrated_pages()

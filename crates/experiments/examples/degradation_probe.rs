@@ -185,7 +185,13 @@ fn migration_trace(tick: SimTime, which: &str) {
 /// outage end (tick 370).
 fn outage_trace() {
     use experiments::degradation::{build_cell, HardFault};
-    let mut exp = build_cell(HardFault::EngineOutage, SystemKind::Hemem, true, false);
+    let mut exp = build_cell(
+        HardFault::EngineOutage,
+        SystemKind::Hemem,
+        true,
+        false,
+        false,
+    );
     let mut last_migrated = 0u64;
     for i in 0..500usize {
         exp.apply_schedule();

@@ -1,0 +1,20 @@
+//! Transactional-migration matrix: exclusive vs transactional engine
+//! under {baseline, write-conflict storm, channel stall}.
+//!
+//! `--quick` shortens the timelines; `--smoke` enforces the
+//! self-validation gates (page conservation across aborts/failovers,
+//! double-entry abort accounting, the read-mostly latency win) with a
+//! non-zero exit on failure. The CI `migration-smoke` job runs
+//! `--quick --smoke`.
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let fails = experiments::migration::run(quick, smoke);
+    if !fails.is_empty() {
+        for f in &fails {
+            eprintln!("smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ use memsim::{BandwidthPhase, EngineOutage, FaultPlan, TierId, TierShrink, Vpn};
 use simkit::SimTime;
 use tiersys::{Supervisor, SupervisorConfig, SystemKind, TieringSystem};
 
-use crate::report::{mode_timeline, mops, retry_counts, Table};
+use crate::report::{mode_timeline, mops, retry_counts, txn_counts, Table};
 use crate::runner::{run as run_exp, RunConfig, RunResult, TickSample};
 use crate::scenario::{build_gups, Experiment, GupsScenario, Policy};
 
@@ -212,9 +212,21 @@ pub fn supervise(exp: &mut Experiment, managed: Vec<std::ops::Range<Vpn>>) {
 
 /// Builds one cell's experiment. Panics if the fault plan is infeasible
 /// for the assembled machine ([`memsim::Machine::validate_fault_feasibility`]).
-pub fn build_cell(fault: HardFault, kind: SystemKind, supervised: bool, quick: bool) -> Experiment {
+/// `transactional` swaps the exclusive legacy migration engine for the
+/// multi-channel transactional one; everything else in the cell is
+/// identical, so the column pair isolates the engine.
+pub fn build_cell(
+    fault: HardFault,
+    kind: SystemKind,
+    supervised: bool,
+    transactional: bool,
+    quick: bool,
+) -> Experiment {
     let tick = SimTime::from_us(100.0);
-    let sc = fault.scenario(tick, quick);
+    let mut sc = fault.scenario(tick, quick);
+    if transactional {
+        sc.engine = memsim::MigrationEngineConfig::transactional();
+    }
     let mut exp = build_gups(
         &sc,
         Policy::System {
@@ -232,8 +244,14 @@ pub fn build_cell(fault: HardFault, kind: SystemKind, supervised: bool, quick: b
 }
 
 /// Runs one cell end to end.
-pub fn run_cell(fault: HardFault, kind: SystemKind, supervised: bool, quick: bool) -> CellResult {
-    let mut exp = build_cell(fault, kind, supervised, quick);
+pub fn run_cell(
+    fault: HardFault,
+    kind: SystemKind,
+    supervised: bool,
+    transactional: bool,
+    quick: bool,
+) -> CellResult {
+    let mut exp = build_cell(fault, kind, supervised, transactional, quick);
     let ws = fault.scenario(exp.tick, quick).gups_config().ws_range();
     let rc = RunConfig::timeline(fault.run_ticks(quick));
     let result = run_exp(&mut exp, &rc);
@@ -244,8 +262,13 @@ pub fn run_cell(fault: HardFault, kind: SystemKind, supervised: bool, quick: boo
         .clone()
         .filter(|&v| exp.machine.tier_of(v).is_some())
         .count() as u64;
+    let name = if transactional {
+        format!("{} [txn]", exp.system.name())
+    } else {
+        exp.system.name()
+    };
     CellResult {
-        name: exp.system.name(),
+        name,
         result,
         post_fault_latency_ns,
         post_fault_mig_bytes,
@@ -271,35 +294,40 @@ pub fn run(quick: bool, smoke: bool) -> String {
             "Mops/s",
             "post-lat (ns)",
             "post-mig (MB)",
+            "mig c/a/r/f/b",
             "retry s/r/d(g) q",
             "modes",
         ]);
         for &kind in kinds {
-            for supervised in [false, true] {
-                eprintln!(
-                    "[degradation] {} / {}{} ...",
-                    fault.label(),
-                    kind.name(),
-                    if supervised { " (supervised)" } else { "" },
-                );
-                let cell = run_cell(fault, kind, supervised, quick);
-                assert_eq!(
-                    cell.pages_mapped,
-                    cell.pages_expected,
-                    "{} lost pages under {}",
-                    cell.name,
-                    fault.label()
-                );
-                t.row(vec![
-                    cell.name,
-                    mops(cell.result.ops_per_sec),
-                    cell.post_fault_latency_ns
-                        .map(|l| format!("{l:.2}"))
-                        .unwrap_or_else(|| "-".into()),
-                    format!("{:.1}", cell.post_fault_mig_bytes as f64 / 1e6),
-                    retry_counts(cell.result.retry_stats.as_ref()),
-                    mode_timeline(cell.result.supervision.as_ref()),
-                ]);
+            for transactional in [false, true] {
+                for supervised in [false, true] {
+                    eprintln!(
+                        "[degradation] {} / {}{}{} ...",
+                        fault.label(),
+                        kind.name(),
+                        if transactional { " [txn]" } else { "" },
+                        if supervised { " (supervised)" } else { "" },
+                    );
+                    let cell = run_cell(fault, kind, supervised, transactional, quick);
+                    assert_eq!(
+                        cell.pages_mapped,
+                        cell.pages_expected,
+                        "{} lost pages under {}",
+                        cell.name,
+                        fault.label()
+                    );
+                    t.row(vec![
+                        cell.name,
+                        mops(cell.result.ops_per_sec),
+                        cell.post_fault_latency_ns
+                            .map(|l| format!("{l:.2}"))
+                            .unwrap_or_else(|| "-".into()),
+                        format!("{:.1}", cell.post_fault_mig_bytes as f64 / 1e6),
+                        txn_counts(&cell.result.migration),
+                        retry_counts(cell.result.retry_stats.as_ref()),
+                        mode_timeline(cell.result.supervision.as_ref()),
+                    ]);
+                }
             }
         }
         out.push_str(&format!("\n-- {} --\n", fault.label()));
@@ -329,13 +357,16 @@ mod tests {
     fn cells_build_and_pass_feasibility() {
         for fault in HardFault::ALL {
             for supervised in [false, true] {
-                let exp = build_cell(fault, SystemKind::Hemem, supervised, true);
-                assert_eq!(
-                    exp.system.name().contains("supervised"),
-                    supervised,
-                    "{}",
-                    exp.system.name()
-                );
+                for transactional in [false, true] {
+                    let exp = build_cell(fault, SystemKind::Hemem, supervised, transactional, true);
+                    assert_eq!(
+                        exp.system.name().contains("supervised"),
+                        supervised,
+                        "{}",
+                        exp.system.name()
+                    );
+                    assert_eq!(exp.machine.config().engine.transactional, transactional);
+                }
             }
         }
     }
@@ -343,7 +374,7 @@ mod tests {
     #[test]
     fn shrink_scenario_reserves_headroom() {
         let tick = SimTime::from_us(100.0);
-        let exp = build_cell(HardFault::TierShrink, SystemKind::Hemem, false, true);
+        let exp = build_cell(HardFault::TierShrink, SystemKind::Hemem, false, false, true);
         assert_eq!(
             exp.machine.free_pages(TierId::DEFAULT),
             SHRINK_HEADROOM,

@@ -32,6 +32,10 @@
 //! - [`degradation`] — the hard-fault matrix (binary `degradation`):
 //!   tier shrink, permanent bandwidth collapse, and engine outages, each
 //!   run with and without the [`tiersys::Supervisor`].
+//! - [`migration`] — the transactional-migration matrix (binary
+//!   `migration`): the exclusive legacy engine vs the multi-channel
+//!   transactional engine under write-conflict storms and channel
+//!   stalls, with double-entry accounting smoke gates.
 //!
 //! Every driver accepts a *quick* mode (fewer sweep points, shorter
 //! warm-up) used by the Criterion benches; the binaries run full mode by
@@ -39,6 +43,7 @@
 
 pub mod degradation;
 pub mod figures;
+pub mod migration;
 pub mod multitier;
 pub mod oracle;
 pub mod report;

@@ -103,15 +103,17 @@ pub struct TierObservation {
     pub resident_pages: u64,
 }
 
-/// Result of one (system, colloid) cell of the grid.
+/// Result of one (system, colloid, engine) cell of the grid.
 #[derive(Debug, Clone)]
 pub struct MultiTierResult {
-    /// Policy display name ("HeMem", "HeMem+Colloid", ...).
+    /// Policy display name ("HeMem", "HeMem+Colloid", "HeMem [txn]", ...).
     pub system: String,
     /// Per-tier steady-state observations, tier 0 first.
     pub tiers: Vec<TierObservation>,
     /// Steady-state application throughput.
     pub ops_per_sec: f64,
+    /// Cumulative migration-engine counters at the end of the run.
+    pub migration: memsim::MigrationCounters,
 }
 
 impl MultiTierResult {
@@ -148,12 +150,15 @@ impl MultiTierResult {
 /// Builds the three-tier machine: the `cxl_three_tier` preset resized to
 /// the scenario, the antagonist buffer pinned to the local tier, and the
 /// working set first-touch-filled down the chain.
-fn build_machine(sc: &MultiTierScenario) -> (Machine, Vec<memsim::CoreId>) {
+fn build_machine(sc: &MultiTierScenario, transactional: bool) -> (Machine, Vec<memsim::CoreId>) {
     let mut cfg = MachineConfig::cxl_three_tier();
     cfg.tiers[0].capacity_bytes = sc.local_pages * PAGE_SIZE;
     cfg.tiers[1].capacity_bytes = sc.cxl_pages * PAGE_SIZE;
     cfg.tiers[2].capacity_bytes = sc.far_pages * PAGE_SIZE;
     cfg.seed = sc.seed;
+    if transactional {
+        cfg.engine = memsim::MigrationEngineConfig::transactional();
+    }
     cfg.validate().expect("three-tier preset must validate");
     let mut machine = Machine::new(cfg);
 
@@ -208,9 +213,16 @@ fn gups_config(sc: &MultiTierScenario) -> GupsConfig {
     g
 }
 
-/// Assembles one grid cell as a runnable [`Experiment`].
-pub fn build(sc: &MultiTierScenario, kind: SystemKind, colloid: bool) -> Experiment {
-    let (machine, antagonist_core_ids) = build_machine(sc);
+/// Assembles one grid cell as a runnable [`Experiment`]. `transactional`
+/// swaps the exclusive legacy migration engine for the multi-channel
+/// transactional one.
+pub fn build(
+    sc: &MultiTierScenario,
+    kind: SystemKind,
+    colloid: bool,
+    transactional: bool,
+) -> Experiment {
+    let (machine, antagonist_core_ids) = build_machine(sc, transactional);
     let mut params = SystemParams::new(vec![sc.ws_range()], colloid.then(ColloidParams::default));
     params.unloaded_ns = machine
         .config()
@@ -242,10 +254,19 @@ fn step(exp: &mut Experiment) -> TickReport {
 }
 
 /// Runs one grid cell to completion and measures every tier.
-pub fn run_cell(sc: &MultiTierScenario, kind: SystemKind, colloid: bool) -> MultiTierResult {
-    let mut exp = build(sc, kind, colloid);
+pub fn run_cell(
+    sc: &MultiTierScenario,
+    kind: SystemKind,
+    colloid: bool,
+    transactional: bool,
+) -> MultiTierResult {
+    let mut exp = build(sc, kind, colloid, transactional);
     let n_tiers = exp.machine.config().tiers.len();
-    let name = exp.system.name();
+    let name = if transactional {
+        format!("{} [txn]", exp.system.name())
+    } else {
+        exp.system.name()
+    };
 
     for _ in 0..sc.warmup_ticks + sc.converge_ticks {
         step(&mut exp);
@@ -296,16 +317,20 @@ pub fn run_cell(sc: &MultiTierScenario, kind: SystemKind, colloid: bool) -> Mult
         } else {
             0.0
         },
+        migration: exp.machine.migration_counters(),
     }
 }
 
-/// Runs the full grid (three systems × {vanilla, Colloid}), in system
-/// order with the vanilla cell first.
+/// Runs the full grid (three systems × {vanilla, Colloid} × {exclusive,
+/// transactional engine}), in system order with the vanilla-exclusive
+/// cell first.
 pub fn run_grid(sc: &MultiTierScenario) -> Vec<MultiTierResult> {
     let mut out = Vec::new();
     for kind in SystemKind::ALL {
         for colloid in [false, true] {
-            out.push(run_cell(sc, kind, colloid));
+            for transactional in [false, true] {
+                out.push(run_cell(sc, kind, colloid, transactional));
+            }
         }
     }
     out
@@ -321,6 +346,7 @@ pub fn render(results: &[MultiTierResult]) -> String {
         "max gap",
         "shares L0/L1/L2",
         "resident",
+        "mig c/a/r/f/b",
         "Mops/s",
     ]);
     for r in results {
@@ -342,6 +368,7 @@ pub fn render(results: &[MultiTierResult]) -> String {
                 .collect::<Vec<_>>()
                 .join("/"),
             format!("{}", r.resident_total()),
+            crate::report::txn_counts(&r.migration),
             format!("{:.1}", r.ops_per_sec / 1e6),
         ]);
     }
@@ -352,10 +379,13 @@ pub fn render(results: &[MultiTierResult]) -> String {
 /// pass):
 ///
 /// 1. page conservation — every run ends with the full working set
-///    resident somewhere on the chain;
-/// 2. the contention shift bites — at least one vanilla run ends with an
+///    resident somewhere on the chain (transactional cells included:
+///    aborts and failovers must not lose or duplicate pages);
+/// 2. transactional commit accounting reconciles — every committed
+///    transaction went through a shootdown batch;
+/// 3. the contention shift bites — at least one vanilla run ends with an
 ///    adjacent latency inversion (the paper's failure mode);
-/// 3. Colloid balances — averaged across systems, the Colloid cells'
+/// 4. Colloid balances — averaged across systems, the Colloid cells'
 ///    worst adjacent latency gap is strictly smaller than the vanilla
 ///    cells'.
 pub fn smoke_failures(sc: &MultiTierScenario, results: &[MultiTierResult]) -> Vec<String> {
@@ -367,6 +397,12 @@ pub fn smoke_failures(sc: &MultiTierScenario, results: &[MultiTierResult]) -> Ve
                 r.system,
                 r.resident_total(),
                 sc.ws_pages
+            ));
+        }
+        if r.system.contains("[txn]") && r.migration.batched_pages != r.migration.completed {
+            fails.push(format!(
+                "{}: {} committed transactions but {} batched shootdown pages",
+                r.system, r.migration.completed, r.migration.batched_pages
             ));
         }
     }
@@ -412,7 +448,7 @@ mod tests {
     #[test]
     fn build_selects_the_chain_driver_and_places_the_chain() {
         let sc = tiny();
-        let exp = build(&sc, SystemKind::Hemem, true);
+        let exp = build(&sc, SystemKind::Hemem, true, false);
         assert_eq!(exp.system.name(), "HeMem+Colloid");
         assert_eq!(exp.machine.config().tiers.len(), 3);
         // First-touch reached the bottom tier and the hot set starts there.
@@ -426,12 +462,25 @@ mod tests {
     #[test]
     fn cells_conserve_pages_and_measure_every_tier() {
         let sc = tiny();
-        let r = run_cell(&sc, SystemKind::Hemem, true);
+        let r = run_cell(&sc, SystemKind::Hemem, true, false);
         assert_eq!(r.resident_total(), sc.ws_pages);
         assert_eq!(r.tiers.len(), 3);
         assert!(r.ops_per_sec > 0.0);
         let share: f64 = r.tiers.iter().map(|t| t.app_share).sum();
         assert!((share - 1.0).abs() < 1e-9, "shares sum to {share}");
+    }
+
+    #[test]
+    fn transactional_cells_conserve_pages_and_reconcile() {
+        let sc = tiny();
+        let r = run_cell(&sc, SystemKind::Hemem, true, true);
+        assert!(r.system.ends_with("[txn]"));
+        assert_eq!(r.resident_total(), sc.ws_pages);
+        let m = &r.migration;
+        assert!(m.completed > 0, "the chain driver should migrate pages");
+        assert_eq!(m.batched_pages, m.completed);
+        assert!(m.commit_batches <= m.completed);
+        assert_eq!(m.started, m.completed + m.aborted() + m.in_flight());
     }
 
     #[test]
@@ -445,6 +494,7 @@ mod tests {
             system: "x".into(),
             tiers: vec![obs(Some(300.0)), obs(Some(150.0)), obs(None)],
             ops_per_sec: 0.0,
+            migration: memsim::MigrationCounters::default(),
         };
         assert!(r.inverted());
         assert!((r.max_adjacent_gap() - 1.0).abs() < 1e-9);
@@ -452,6 +502,7 @@ mod tests {
             system: "y".into(),
             tiers: vec![obs(Some(200.0)), obs(Some(200.0)), obs(Some(205.0))],
             ops_per_sec: 0.0,
+            migration: memsim::MigrationCounters::default(),
         };
         assert!(!balanced.inverted());
         assert!(balanced.max_adjacent_gap() < 0.05);

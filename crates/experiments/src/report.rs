@@ -124,6 +124,7 @@ pub fn fault_counts(fs: &memsim::FaultStats) -> String {
         ("pebs", fs.pebs_dropped),
         ("evac", fs.pages_evacuated),
         ("outage", fs.engine_outage_aborts),
+        ("storm", fs.storm_dirties),
     ] {
         if n > 0 {
             parts.push(format!("{label} {n}"));
@@ -145,6 +146,25 @@ pub fn retry_counts(rs: Option<&tiersys::RetryStats>) -> String {
         ),
         None => "-".into(),
     }
+}
+
+/// Formats cumulative migration-engine counters as
+/// `completed/aborted/dirty-retries/failovers/batches` (`-` when the
+/// engine never started a copy). Exclusive-engine rows show zeros in the
+/// transactional columns; transactional rows are where retries, failovers
+/// and shootdown batches appear.
+pub fn txn_counts(c: &memsim::MigrationCounters) -> String {
+    if c.started == 0 {
+        return "-".into();
+    }
+    format!(
+        "{}/{}/{}/{}/{}",
+        c.completed,
+        c.aborted(),
+        c.dirty_retries,
+        c.failovers,
+        c.commit_batches
+    )
 }
 
 /// Formats a supervisor's mode timeline as `mode@ms -> mode@ms ...` with a
@@ -244,6 +264,23 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(retry_counts(Some(&rs)), "5/4/1(1) q=3");
+    }
+
+    #[test]
+    fn txn_counts_cell() {
+        assert_eq!(txn_counts(&memsim::MigrationCounters::default()), "-");
+        let c = memsim::MigrationCounters {
+            started: 12,
+            completed: 9,
+            aborted_write_conflict: 2,
+            aborted_watchdog: 1,
+            dirty_retries: 5,
+            failovers: 1,
+            commit_batches: 3,
+            batched_pages: 9,
+            ..Default::default()
+        };
+        assert_eq!(txn_counts(&c), "9/3/5/1/3");
     }
 
     #[test]

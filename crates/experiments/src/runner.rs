@@ -138,6 +138,10 @@ pub struct RunResult {
     /// and drain counters — when the policy runs under a
     /// [`tiersys::Supervisor`] (`None` otherwise).
     pub supervision: Option<tiersys::SupervisionReport>,
+    /// Migration-engine accounting at the end of the run: starts, commits,
+    /// typed aborts, dirty retries, failovers, shootdown batches. The books
+    /// always balance (`started == completed + aborted() + in_flight()`).
+    pub migration: memsim::MigrationCounters,
     /// Per-tick samples (empty unless `collect_series`).
     pub series: Vec<TickSample>,
 }
@@ -297,6 +301,7 @@ pub fn run(exp: &mut Experiment, rc: &RunConfig) -> RunResult {
         fault_stats,
         retry_stats: exp.system.retry_stats(),
         supervision: exp.system.supervision(),
+        migration: exp.machine.migration_counters(),
         series: collector.with(|r| r.metrics()).unwrap_or_default(),
     }
 }
@@ -484,6 +489,7 @@ mod tests {
             fault_stats: FaultStats::default(),
             retry_stats: None,
             supervision: None,
+            migration: memsim::MigrationCounters::default(),
             series: Vec::new(),
         };
         assert_eq!(r.default_tier_app_share(), 0.0);

@@ -90,6 +90,10 @@ pub struct GupsScenario {
     /// nothing, which leaves every run bit-identical to the fault-free
     /// machine).
     pub faults: FaultPlan,
+    /// Migration-engine shape. Defaults to the exclusive legacy engine,
+    /// which the golden outputs pin; the transactional-migration matrix
+    /// swaps in [`memsim::MigrationEngineConfig::transactional`].
+    pub engine: memsim::MigrationEngineConfig,
     /// Default-tier frames the first-touch fill leaves free (degradation
     /// experiments use this headroom as the rescue space for hot pages
     /// drained off a shrinking alternate tier). Zero — the default — keeps
@@ -111,6 +115,7 @@ impl GupsScenario {
             phases: Vec::new(),
             antagonist_change: None,
             faults: FaultPlan::none(),
+            engine: memsim::MigrationEngineConfig::default(),
             first_touch_headroom: 0,
             seed: 0xC0_11_01,
         }
@@ -388,6 +393,7 @@ pub fn build_gups_with_stream(
     let mut cfg = MachineConfig::with_alt_latency_ratio(scenario.alt_latency_ratio);
     cfg.seed = scenario.seed;
     cfg.faults = scenario.faults.clone();
+    cfg.engine = scenario.engine.clone();
     let mut machine = Machine::new(cfg);
     let antagonist_core_ids = add_antagonist(&mut machine, scenario.antagonist_cores);
 

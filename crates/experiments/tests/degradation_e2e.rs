@@ -67,8 +67,8 @@ fn fault_free_defaults_are_bit_identical_to_golden() {
 /// invariants: completion without panic, page conservation, and a
 /// supervision report on exactly the supervised run.
 fn check_pair(fault: HardFault, kind: SystemKind) -> (f64, f64, u64, u64) {
-    let base = run_cell(fault, kind, false, true);
-    let sup = run_cell(fault, kind, true, true);
+    let base = run_cell(fault, kind, false, false, true);
+    let sup = run_cell(fault, kind, true, false, true);
     for cell in [&base, &sup] {
         assert_eq!(
             cell.pages_mapped,

@@ -193,6 +193,95 @@ impl CoreConfig {
     }
 }
 
+/// Configuration of the page-migration engine (DESIGN.md §13).
+///
+/// The default is the *exclusive* legacy engine: one serial DMA channel,
+/// no transactions — bit-identical to the pre-transactional engine, which
+/// the golden-output tests pin. Setting [`Self::transactional`] switches to
+/// the Nomad-style non-exclusive pipeline: up to [`Self::channels`]
+/// concurrent copy transactions, each snapshot-copying while the source
+/// page stays readable, validating against write conflicts, and committing
+/// through a batched TLB shootdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationEngineConfig {
+    /// Concurrent DMA copy channels. Only consulted by the transactional
+    /// engine; the exclusive engine is always a single serial channel.
+    pub channels: u32,
+    /// Use the transactional (non-exclusive) pipeline instead of the
+    /// exclusive legacy engine.
+    pub transactional: bool,
+    /// Dirty-retry budget: a transaction invalidated by a concurrent write
+    /// re-copies at most this many times before aborting. `0` aborts on
+    /// the first conflict.
+    pub dirty_retry_max: u32,
+    /// Base backoff before the first dirty re-copy; doubles per retry
+    /// (capped at 8 doublings).
+    pub dirty_retry_backoff: SimTime,
+    /// Watchdog bound on one copy pass. A transaction that has not reached
+    /// validation this long after (re)starting its copy — e.g. because its
+    /// channel stalled — fails over to a healthy channel, or aborts when
+    /// none exists.
+    pub watchdog: SimTime,
+    /// Validated transactions commit together once this many are pending
+    /// (or when the batch linger timer fires), amortizing the shootdown.
+    pub shootdown_batch: u32,
+    /// Cost of one batched TLB-shootdown commit, charged once per batch
+    /// between validation and the mapping flip.
+    pub shootdown_cost: SimTime,
+}
+
+impl Default for MigrationEngineConfig {
+    /// The exclusive legacy engine (provably inert: golden outputs pin it).
+    fn default() -> Self {
+        MigrationEngineConfig {
+            channels: 1,
+            transactional: false,
+            dirty_retry_max: 3,
+            dirty_retry_backoff: SimTime::from_us(2.0),
+            watchdog: SimTime::from_us(200.0),
+            shootdown_batch: 8,
+            shootdown_cost: SimTime::from_us(4.0),
+        }
+    }
+}
+
+impl MigrationEngineConfig {
+    /// The transactional pipeline at its paper-default operating point:
+    /// four channels, three dirty retries, batch-of-8 shootdowns.
+    pub fn transactional() -> Self {
+        MigrationEngineConfig {
+            channels: 4,
+            transactional: true,
+            ..MigrationEngineConfig::default()
+        }
+    }
+
+    /// Hard validation errors (empty = valid).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("migration engine needs at least 1 channel".into());
+        }
+        if self.shootdown_batch == 0 {
+            return Err("shootdown batch size must be at least 1".into());
+        }
+        if self.watchdog <= SimTime::ZERO {
+            return Err("watchdog bound must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Worst-case lifetime of one transaction under this config: every
+    /// copy pass runs to the watchdog, every retry backs off fully. The
+    /// proptest suite asserts all transactions terminate within this.
+    pub fn max_txn_lifetime(&self) -> SimTime {
+        let passes = self.dirty_retry_max as u64 + 1;
+        // Each pass may burn the watchdog once per channel via failover.
+        let pass = self.watchdog * self.channels.max(1) as u64;
+        let backoff_total = self.dirty_retry_backoff * (1u64 << self.dirty_retry_max.min(8)) * 2;
+        pass * passes + backoff_total + self.shootdown_cost * 2
+    }
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -207,8 +296,12 @@ pub struct MachineConfig {
     /// (0 disables sampling).
     pub pebs_period: u64,
     /// Page-migration copy bandwidth of the kernel's migration path
-    /// (bytes/second); the DMA engine paces migration traffic at this rate.
+    /// (bytes/second); each DMA channel paces migration traffic at this
+    /// rate.
     pub migration_bandwidth: f64,
+    /// Migration-engine shape (exclusive legacy vs. transactional
+    /// multi-channel pipeline; see [`MigrationEngineConfig`]).
+    pub engine: MigrationEngineConfig,
     /// Extra latency charged to an access that triggers a hint page fault
     /// (kernel fault-handler cost; TPP promotes from the handler).
     pub hint_fault_cost: SimTime,
@@ -246,6 +339,7 @@ impl MachineConfig {
             llc_hit_latency: SimTime::from_ns(20.0),
             pebs_period: 16,
             migration_bandwidth: 2.4e9,
+            engine: MigrationEngineConfig::default(),
             hint_fault_cost: SimTime::from_us(0.4),
             seed: 0xC01_101D,
             faults: FaultPlan::none(),
@@ -306,6 +400,7 @@ impl MachineConfig {
             llc_hit_latency: SimTime::from_ns(20.0),
             pebs_period: 16,
             migration_bandwidth: 2.4e9,
+            engine: MigrationEngineConfig::default(),
             hint_fault_cost: SimTime::from_us(0.4),
             seed: 0xC01_101D,
             faults: FaultPlan::none(),
@@ -339,6 +434,7 @@ impl MachineConfig {
                 ));
             }
         }
+        self.engine.validate()?;
         let mut warnings = Vec::new();
         for pair in self.tiers.windows(2) {
             let (a, b) = (&pair[0], &pair[1]);
@@ -470,6 +566,32 @@ mod tests {
     fn validate_rejects_unaligned_capacity() {
         let mut cfg = MachineConfig::icelake_two_tier();
         cfg.tiers[1].capacity_bytes = PAGE_SIZE + 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn engine_default_is_the_exclusive_legacy_shape() {
+        let e = MigrationEngineConfig::default();
+        assert_eq!(e.channels, 1);
+        assert!(!e.transactional);
+        assert!(e.validate().is_ok());
+        let t = MigrationEngineConfig::transactional();
+        assert!(t.transactional);
+        assert!(t.channels > 1);
+        assert!(t.validate().is_ok());
+        assert!(t.max_txn_lifetime() > t.watchdog);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_engines() {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.engine.channels = 0;
+        assert!(cfg.validate().is_err());
+        cfg.engine.channels = 1;
+        cfg.engine.shootdown_batch = 0;
+        assert!(cfg.validate().is_err());
+        cfg.engine.shootdown_batch = 8;
+        cfg.engine.watchdog = SimTime::ZERO;
         assert!(cfg.validate().is_err());
     }
 

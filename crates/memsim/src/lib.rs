@@ -31,9 +31,17 @@ pub mod machine;
 pub mod request;
 
 pub use cha::{Cha, ChaCounters, TierWindow};
-pub use config::{CoreConfig, DramConfig, LinkConfig, MachineConfig, TierConfig};
-pub use faults::{BandwidthPhase, EngineOutage, FaultPlan, FaultStats, TierShrink};
-pub use machine::{AccessStream, CoreId, Machine, TickReport};
+pub use config::{
+    CoreConfig, DramConfig, LinkConfig, MachineConfig, MigrationEngineConfig, TierConfig,
+};
+pub use faults::{
+    BandwidthPhase, ChannelStall, EngineOutage, FaultPlan, FaultStats, TierShrink,
+    WriteConflictStorm,
+};
+pub use machine::{
+    AbortReason, AccessStream, CoreId, EnqueueError, FailedMigration, Machine, MigrationCounters,
+    TickReport, TxnTickStats,
+};
 pub use request::{
     AccessKind, HintFault, ObjectAccess, PebsSample, TierId, TrafficClass, Vpn, LINES_PER_PAGE,
     LINE_SIZE, PAGE_SIZE,

@@ -116,7 +116,9 @@ impl Core {
     }
 }
 
-/// One in-flight migration page job.
+/// One in-flight migration page job (a copy transaction on the
+/// transactional engine; a plain exclusive copy on the legacy engine,
+/// which ignores the transactional fields).
 #[derive(Debug, Clone, Copy)]
 struct MigJob {
     vpn: Vpn,
@@ -130,6 +132,21 @@ struct MigJob {
     /// Open async telemetry span covering this copy ([`SpanId::NONE`]
     /// when tracing is off).
     span: telemetry::SpanId,
+    /// DMA channel the transaction is assigned to.
+    channel: u32,
+    /// Copy pass number, 1-based; bumped by each dirty retry.
+    attempt: u32,
+    /// The snapshot was invalidated by a concurrent write this pass.
+    dirty: bool,
+    /// Validated and parked in the commit batch, waiting for the
+    /// shootdown flush; immune to further dirtying (the PTE is
+    /// write-protected for the shootdown).
+    committing: bool,
+    /// Failovers consumed (capped at the channel count).
+    failovers: u32,
+    /// Generation counter: copy/watchdog events stamped with an older
+    /// epoch belong to an abandoned pass and are ignored.
+    epoch: u32,
 }
 
 /// Simulator events.
@@ -155,6 +172,21 @@ enum Ev {
     MigLineDone { job: u32, src: TierId },
     /// Migration engine: start the next queued page.
     MigStart,
+    /// Transactional engine: channel `ch` picks up the next queued page.
+    TxnStart { ch: u32 },
+    /// Transactional engine: issue the next snapshot read of a copy pass.
+    /// Stale epochs (abandoned passes) are ignored.
+    TxnRead { job: u32, epoch: u32 },
+    /// Transactional engine: a snapshot read returned; write to the
+    /// destination if the pass is still current.
+    TxnLineDone { job: u32, src: TierId, epoch: u32 },
+    /// Transactional engine: dirty-retry backoff expired; start a fresh
+    /// copy pass.
+    TxnRetry { job: u32, epoch: u32 },
+    /// Transactional engine: watchdog deadline for one copy pass.
+    TxnWatchdog { job: u32, epoch: u32 },
+    /// Transactional engine: batched TLB-shootdown commit flush.
+    TxnFlush,
     /// CHA read-queue departure decoupled from the core's completion (used
     /// when a hint fault delays the core beyond the memory response).
     ChaDepart { tier: TierId },
@@ -227,11 +259,38 @@ struct Shared {
     mig_inflight_to: Vec<u64>,
     migrated_pages: u64,
     migrated_bytes: u64,
+    /// Per-page count of queued or in-flight migrations (rejects duplicate
+    /// enqueues); decremented on every exit path: drop, abort, commit.
+    mig_pending: Vec<u16>,
     /// Migrations admitted (successfully enqueued) this tick.
     mig_admitted_tick: u64,
     /// Per-tick cap on admitted migrations (`None` = unlimited); set by a
     /// supervisor's admission controller.
     mig_admission_limit: Option<u64>,
+    /// Migrations aborted this tick, with typed reasons (drained into the
+    /// tick report).
+    tick_failed: Vec<FailedMigration>,
+    /// Cumulative engine accounting (see [`MigrationCounters`]).
+    mig_started: u64,
+    mig_aborted: [u64; 4],
+    txn_dirty_retries: u64,
+    txn_failovers: u64,
+    txn_batches: u64,
+    txn_batched_pages: u64,
+    // Transactional engine (used only when `cfg.engine.transactional`).
+    /// Per-channel pacing: when each DMA channel next has bandwidth budget.
+    txn_channel_free: Vec<SimTime>,
+    /// Channels with no pending `TxnStart` pickup event.
+    txn_channel_idle: Vec<bool>,
+    /// Validated transactions parked for the next batched shootdown.
+    txn_commit_batch: Vec<u32>,
+    /// A `TxnFlush` event is already scheduled.
+    txn_flush_scheduled: bool,
+    /// Runtime override of the shootdown batch size (supervisor lever).
+    txn_batch_override: Option<u32>,
+    /// Runtime override of the in-flight transaction cap (supervisor
+    /// lever; default = channel count).
+    txn_inflight_override: Option<u32>,
     // Fault injection (no-op unless cfg.faults configures something).
     faults: FaultInjector,
     // Telemetry.
@@ -248,6 +307,154 @@ impl Shared {
         debug_assert!(t != u8::MAX, "access to unmapped page {vpn}");
         TierId(t)
     }
+}
+
+/// Why [`Machine::enqueue_migration`] rejected a migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The page is unmapped or already resident at the destination.
+    Moot,
+    /// The page is pinned and must never migrate.
+    Pinned,
+    /// The page is already queued or mid-copy: a second migration would
+    /// race the first for the same frame.
+    DuplicateInFlight,
+    /// The destination tier has no free frames (counting in-flight
+    /// reservations).
+    DestinationFull,
+    /// The per-tick admission limit is reached (supervisor throttle).
+    EngineFrozen,
+}
+
+impl EnqueueError {
+    /// Display name (snake_case, for telemetry and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            EnqueueError::Moot => "moot",
+            EnqueueError::Pinned => "pinned",
+            EnqueueError::DuplicateInFlight => "duplicate_in_flight",
+            EnqueueError::DestinationFull => "destination_full",
+            EnqueueError::EngineFrozen => "engine_frozen",
+        }
+    }
+}
+
+/// Why an accepted migration aborted instead of completing. Every abort
+/// is clean: the page is intact at its source and the destination
+/// reservation has been released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The engine was in an injected outage window.
+    Outage,
+    /// An injected transient in-flight failure.
+    Transient,
+    /// The copy transaction exhausted its dirty-retry budget: the page is
+    /// write-hot and migrating it would only ping-pong.
+    WriteConflict,
+    /// The copy transaction hit the watchdog bound with no healthy channel
+    /// left to fail over to.
+    Watchdog,
+}
+
+impl AbortReason {
+    /// Display name (snake_case, matching `telemetry::FailReason`).
+    pub fn name(self) -> &'static str {
+        self.fail_reason().name()
+    }
+
+    fn fail_reason(self) -> telemetry::FailReason {
+        match self {
+            AbortReason::Outage => telemetry::FailReason::Outage,
+            AbortReason::Transient => telemetry::FailReason::Transient,
+            AbortReason::WriteConflict => telemetry::FailReason::WriteConflict,
+            AbortReason::Watchdog => telemetry::FailReason::Watchdog,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            AbortReason::Outage => 0,
+            AbortReason::Transient => 1,
+            AbortReason::WriteConflict => 2,
+            AbortReason::Watchdog => 3,
+        }
+    }
+}
+
+/// One migration that aborted this tick, with its typed reason. The page
+/// stays at its source and the destination reservation has been released;
+/// control software decides per reason whether (and how eagerly) to retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailedMigration {
+    /// The page that stayed put.
+    pub vpn: Vpn,
+    /// The destination it never reached.
+    pub dst: TierId,
+    /// Why the copy aborted.
+    pub reason: AbortReason,
+}
+
+/// Cumulative migration-engine accounting since machine construction.
+/// The books must balance: `started == completed + aborted() + in_flight`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationCounters {
+    /// Migrations the engine accepted from the queue and began processing
+    /// (including ones aborted immediately by an injected fault).
+    pub started: u64,
+    /// Migrations whose mapping flipped.
+    pub completed: u64,
+    /// Aborts from engine-outage windows.
+    pub aborted_outage: u64,
+    /// Aborts from injected transient failures.
+    pub aborted_transient: u64,
+    /// Transactions aborted at the dirty-retry cap.
+    pub aborted_write_conflict: u64,
+    /// Transactions aborted at the watchdog with no healthy channel.
+    pub aborted_watchdog: u64,
+    /// Copy passes restarted after a dirtied snapshot.
+    pub dirty_retries: u64,
+    /// Transactions moved to a healthy channel by the watchdog.
+    pub failovers: u64,
+    /// Batched TLB-shootdown flushes issued.
+    pub commit_batches: u64,
+    /// Transactions committed across all flushes.
+    pub batched_pages: u64,
+}
+
+impl MigrationCounters {
+    /// Total aborts across all reasons.
+    pub fn aborted(&self) -> u64 {
+        self.aborted_outage
+            + self.aborted_transient
+            + self.aborted_write_conflict
+            + self.aborted_watchdog
+    }
+
+    /// Migrations started but neither completed nor aborted yet.
+    pub fn in_flight(&self) -> u64 {
+        self.started - self.completed - self.aborted()
+    }
+}
+
+/// Per-tick transactional-engine deltas, reported in [`TickReport::txn`].
+/// On the exclusive legacy engine only `begun` and `committed` are
+/// populated (legacy copies count too); the rest stay zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnTickStats {
+    /// Copies the engine began this tick.
+    pub begun: u64,
+    /// Transactions committed (mapping flipped) this tick.
+    pub committed: u64,
+    /// Transactions aborted at the dirty-retry cap this tick.
+    pub aborted_write_conflict: u64,
+    /// Transactions aborted at the watchdog this tick.
+    pub aborted_watchdog: u64,
+    /// Copy passes restarted after a dirtied snapshot this tick.
+    pub dirty_retries: u64,
+    /// Channel failovers this tick.
+    pub failovers: u64,
+    /// Batched shootdown flushes this tick.
+    pub commit_batches: u64,
 }
 
 /// Hardware counters and tracking data collected over one tick.
@@ -291,10 +498,13 @@ pub struct TickReport {
     pub true_latency_ns: Vec<Option<f64>>,
     /// Faults injected during this tick (all-zero without a fault plan).
     pub fault_stats: FaultStats,
-    /// Migrations aborted by injected transient failures this tick; the
-    /// page stays at its source and the destination reservation has been
-    /// released. Tiering systems should retry these.
-    pub failed_migrations: Vec<(Vpn, TierId)>,
+    /// Migrations aborted this tick, each with its typed reason; the page
+    /// stays at its source and the destination reservation has been
+    /// released. Tiering systems decide per reason whether to retry.
+    pub failed_migrations: Vec<FailedMigration>,
+    /// Transactional-engine deltas for this tick (all-zero except `begun`
+    /// on the exclusive legacy engine).
+    pub txn: TxnTickStats,
     /// Pages force-evacuated by a tier-shrink hard fault this tick, with
     /// the tier each page landed in. Tiering systems must re-sync any
     /// per-page tier metadata with these moves.
@@ -334,12 +544,24 @@ pub struct Machine {
     tick_copies: u64,
     /// Per-(src, dst) copy-time accumulator: `(src, dst, total_ns, count)`.
     tick_pair_copy: Vec<(u8, u8, f64, u64)>,
+    /// Per-tick engine deltas (see [`TxnTickStats`]).
+    tick_txn: TxnTickStats,
     rng_streams: u64,
 }
 
 impl Machine {
     /// Builds an empty machine (no cores yet) from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
+        if let Err(e) = cfg.engine.validate() {
+            panic!("invalid MigrationEngineConfig: {e}");
+        }
+        if let Some(ch) = cfg.faults.max_stalled_channel() {
+            assert!(
+                ch < cfg.engine.channels,
+                "FaultPlan stalls channel {ch} but the engine has only {} channels",
+                cfg.engine.channels
+            );
+        }
         let vp = cfg.virtual_pages as usize;
         let tiers = cfg
             .tiers
@@ -375,8 +597,22 @@ impl Machine {
             mig_inflight_to: vec![0; n_tiers],
             migrated_pages: 0,
             migrated_bytes: 0,
+            mig_pending: vec![0; vp],
             mig_admitted_tick: 0,
             mig_admission_limit: None,
+            tick_failed: Vec::new(),
+            mig_started: 0,
+            mig_aborted: [0; 4],
+            txn_dirty_retries: 0,
+            txn_failovers: 0,
+            txn_batches: 0,
+            txn_batched_pages: 0,
+            txn_channel_free: vec![SimTime::ZERO; cfg.engine.channels as usize],
+            txn_channel_idle: vec![true; cfg.engine.channels as usize],
+            txn_commit_batch: Vec::new(),
+            txn_flush_scheduled: false,
+            txn_batch_override: None,
+            txn_inflight_override: None,
             faults: FaultInjector::new(cfg.faults.clone(), cfg.seed, n_tiers),
             lat_hist: vec![LatencyHist::new(); n_tiers],
             sink: telemetry::Sink::default(),
@@ -393,6 +629,7 @@ impl Machine {
             tick_copy_ns: 0.0,
             tick_copies: 0,
             tick_pair_copy: Vec::new(),
+            tick_txn: TxnTickStats::default(),
             rng_streams: 0,
         }
     }
@@ -593,34 +830,48 @@ impl Machine {
 
     // ---- Migration -------------------------------------------------------
 
-    /// Enqueues a page migration to `dst`. Returns `false` (and does
-    /// nothing) if the page is unmapped, pinned, already at `dst`, `dst`
-    /// has no free frames left, or the per-tick admission limit is reached.
-    pub fn enqueue_migration(&mut self, vpn: Vpn, dst: TierId) -> bool {
+    /// Enqueues a page migration to `dst`. Rejects (and does nothing) with
+    /// a typed [`EnqueueError`] if the page is unmapped, pinned, already at
+    /// `dst`, already in flight, `dst` has no free frames left, or the
+    /// per-tick admission limit is reached.
+    pub fn enqueue_migration(&mut self, vpn: Vpn, dst: TierId) -> Result<(), EnqueueError> {
         let cur = self.sh.placement[vpn as usize];
-        if cur == u8::MAX || cur == dst.0 || self.sh.pinned[vpn as usize] {
-            return false;
+        if cur == u8::MAX || cur == dst.0 {
+            return Err(EnqueueError::Moot);
+        }
+        if self.sh.pinned[vpn as usize] {
+            return Err(EnqueueError::Pinned);
+        }
+        // Only the transactional engine rejects duplicates up front. The
+        // legacy engine historically admitted them (reserving a second
+        // frame and dropping the stale entry at dequeue revalidation);
+        // golden outputs pin that behavior bit-for-bit.
+        if self.sh.cfg.engine.transactional && self.sh.mig_pending[vpn as usize] > 0 {
+            return Err(EnqueueError::DuplicateInFlight);
         }
         if self.free_pages(dst) == 0 {
-            return false;
+            return Err(EnqueueError::DestinationFull);
         }
         if let Some(limit) = self.sh.mig_admission_limit {
             if self.sh.mig_admitted_tick >= limit {
-                return false;
+                return Err(EnqueueError::EngineFrozen);
             }
         }
         self.sh.mig_admitted_tick += 1;
         // Reserve the destination frame now so capacity cannot oversubscribe.
         self.sh.mig_inflight_to[dst.index()] += 1;
+        self.sh.mig_pending[vpn as usize] += 1;
         self.sh
             .mig_queue
             .push_back((vpn, dst, self.sh.sink.cause()));
-        if self.sh.mig_engine_idle {
+        if self.sh.cfg.engine.transactional {
+            self.txn_kick(self.now);
+        } else if self.sh.mig_engine_idle {
             self.sh.mig_engine_idle = false;
             let t = self.now.max(self.sh.mig_engine_free);
             self.sh.events.push(t, Ev::MigStart);
         }
-        true
+        Ok(())
     }
 
     /// Pages waiting in the migration queue.
@@ -644,6 +895,56 @@ impl Machine {
     /// Total pages migrated since construction.
     pub fn migrated_pages(&self) -> u64 {
         self.sh.migrated_pages
+    }
+
+    /// Cumulative migration-engine accounting. The books always balance:
+    /// `started == completed + aborted() + in_flight()`.
+    pub fn migration_counters(&self) -> MigrationCounters {
+        MigrationCounters {
+            started: self.sh.mig_started,
+            completed: self.sh.migrated_pages,
+            aborted_outage: self.sh.mig_aborted[AbortReason::Outage.index()],
+            aborted_transient: self.sh.mig_aborted[AbortReason::Transient.index()],
+            aborted_write_conflict: self.sh.mig_aborted[AbortReason::WriteConflict.index()],
+            aborted_watchdog: self.sh.mig_aborted[AbortReason::Watchdog.index()],
+            dirty_retries: self.sh.txn_dirty_retries,
+            failovers: self.sh.txn_failovers,
+            commit_batches: self.sh.txn_batches,
+            batched_pages: self.sh.txn_batched_pages,
+        }
+    }
+
+    /// Overrides the transactional engine's shootdown batch size at
+    /// runtime (`None` restores the configured value; clamped to ≥ 1).
+    /// A supervisor lever: smaller batches commit sooner under churn,
+    /// larger ones amortize shootdown cost. No-op on the legacy engine.
+    pub fn set_shootdown_batch(&mut self, batch: Option<u32>) {
+        self.sh.txn_batch_override = batch.map(|b| b.max(1));
+    }
+
+    /// Overrides the transactional engine's in-flight transaction cap at
+    /// runtime (`None` restores the default — the channel count; clamped
+    /// to `1..=channels`). No-op on the legacy engine.
+    pub fn set_max_inflight_txns(&mut self, limit: Option<u32>) {
+        let ch = self.sh.cfg.engine.channels;
+        self.sh.txn_inflight_override = limit.map(|l| l.clamp(1, ch));
+    }
+
+    /// Effective `(shootdown_batch, max_inflight_txns)` after overrides.
+    pub fn engine_tuning(&self) -> (u32, u32) {
+        (self.txn_batch_limit(), self.txn_inflight_limit())
+    }
+
+    fn txn_batch_limit(&self) -> u32 {
+        self.sh
+            .txn_batch_override
+            .unwrap_or(self.sh.cfg.engine.shootdown_batch)
+            .max(1)
+    }
+
+    fn txn_inflight_limit(&self) -> u32 {
+        let ch = self.sh.cfg.engine.channels;
+        self.sh.txn_inflight_override.unwrap_or(ch).clamp(1, ch)
     }
 
     // ---- Simulation loop --------------------------------------------------
@@ -676,6 +977,7 @@ impl Machine {
         self.tick_copy_ns = 0.0;
         self.tick_copies = 0;
         self.tick_pair_copy.clear();
+        self.tick_txn = TxnTickStats::default();
         self.sh.mig_admitted_tick = 0;
 
         // Hard faults fire at tick boundaries: apply due tier shrinks, then
@@ -742,7 +1044,8 @@ impl Machine {
             })
             .collect();
 
-        let (fault_stats, failed_migrations) = self.sh.faults.take_tick();
+        let fault_stats = self.sh.faults.take_tick();
+        let failed_migrations = std::mem::take(&mut self.sh.tick_failed);
         // Advance the shared telemetry clock so downstream layers (which
         // run between ticks and hold no clock of their own) stamp events
         // at this tick's end time.
@@ -757,6 +1060,7 @@ impl Machine {
                     pebs_dropped: fault_stats.pebs_dropped,
                     evacuated: fault_stats.pages_evacuated,
                     outage_aborts: fault_stats.engine_outage_aborts,
+                    storm_dirties: fault_stats.storm_dirties,
                 }
             });
         }
@@ -780,6 +1084,7 @@ impl Machine {
             true_latency_ns,
             fault_stats,
             failed_migrations,
+            txn: self.tick_txn,
             evacuated,
         }
     }
@@ -891,6 +1196,12 @@ impl Machine {
                     let tier = self.sh.tier_of(vpn);
                     self.sh.cha.on_write(tier, class);
                     self.sh.tiers[tier.index()].write(t, line_addr);
+                    // A write to a page mid-copy invalidates the
+                    // transaction's snapshot (Nomad-style non-exclusive
+                    // copy: the app keeps writing the source unhindered).
+                    if self.sh.cfg.engine.transactional && self.sh.mig_pending[vpn as usize] > 0 {
+                        self.txn_note_write(vpn);
+                    }
                 }
             }
             Ev::MigStart => {
@@ -902,6 +1213,27 @@ impl Machine {
             Ev::MigLineDone { job, src } => {
                 self.sh.cha.on_read_departure(src, t);
                 self.mig_line_done(t, job);
+            }
+            Ev::TxnStart { ch } => {
+                self.txn_start(t, ch);
+            }
+            Ev::TxnRead { job, epoch } => {
+                self.txn_read(t, job, epoch);
+            }
+            Ev::TxnLineDone { job, src, epoch } => {
+                // The DMA read completed and leaves the source queue even
+                // if the pass it belonged to has been abandoned.
+                self.sh.cha.on_read_departure(src, t);
+                self.txn_line_done(t, job, epoch);
+            }
+            Ev::TxnRetry { job, epoch } => {
+                self.txn_retry(t, job, epoch);
+            }
+            Ev::TxnWatchdog { job, epoch } => {
+                self.txn_watchdog(t, job, epoch);
+            }
+            Ev::TxnFlush => {
+                self.txn_flush(t);
             }
             Ev::ChaDepart { tier } => {
                 self.sh.cha.on_read_departure(tier, t);
@@ -1079,22 +1411,18 @@ impl Machine {
         let src = self.sh.placement[vpn as usize];
         if src == u8::MAX || src == dst.0 {
             self.sh.mig_inflight_to[dst.index()] -= 1;
+            self.sh.mig_pending[vpn as usize] -= 1;
             // Try the next queued page immediately.
             self.sh.events.push(t, Ev::MigStart);
             return;
         }
+        self.sh.mig_started += 1;
+        self.tick_txn.begun += 1;
         // Engine outage (hard fault): the copy thread is wedged — the
         // migration aborts *and still burns the engine's time budget*, so a
         // backlog builds up exactly as it would behind a hung kthread.
-        if self.sh.faults.outage_aborts(vpn, dst, t) {
-            self.sh.mig_inflight_to[dst.index()] -= 1;
-            self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
-                telemetry::EventKind::MigrationFail {
-                    vpn,
-                    dst: dst.0,
-                    reason: telemetry::FailReason::Outage,
-                }
-            });
+        if self.sh.faults.outage_aborts(t) {
+            self.record_abort(t, vpn, dst, AbortReason::Outage);
             let bw = self
                 .sh
                 .faults
@@ -1107,15 +1435,8 @@ impl Machine {
         // DMA engine. The reserved destination frame is released and the
         // failure is surfaced in the next TickReport so control software can
         // retry.
-        if self.sh.faults.migration_aborts(vpn, dst) {
-            self.sh.mig_inflight_to[dst.index()] -= 1;
-            self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
-                telemetry::EventKind::MigrationFail {
-                    vpn,
-                    dst: dst.0,
-                    reason: telemetry::FailReason::Transient,
-                }
-            });
+        if self.sh.faults.migration_aborts() {
+            self.record_abort(t, vpn, dst, AbortReason::Transient);
             self.sh.events.push(t, Ev::MigStart);
             return;
         }
@@ -1147,14 +1468,14 @@ impl Machine {
             live: true,
             started: t,
             span,
+            channel: 0,
+            attempt: 1,
+            dirty: false,
+            committing: false,
+            failovers: 0,
+            epoch: 0,
         };
-        let id = if let Some(i) = self.sh.mig_free_jobs.pop() {
-            self.sh.mig_jobs[i as usize] = job;
-            i
-        } else {
-            self.sh.mig_jobs.push(job);
-            (self.sh.mig_jobs.len() - 1) as u32
-        };
+        let id = self.alloc_job(job);
         // Pace the copy at the configured migration bandwidth (possibly
         // degraded by an active fault phase).
         let bw = self
@@ -1205,39 +1526,435 @@ impl Machine {
         j.lines_done += 1;
         if j.lines_done as u64 == LINES_PER_PAGE {
             // Copy complete: flip the mapping.
-            let src = self.sh.tier_of(job.vpn);
-            self.sh.placement[job.vpn as usize] = job.dst.0;
-            self.sh.used_pages[src.index()] -= 1;
-            self.sh.used_pages[job.dst.index()] += 1;
-            self.sh.mig_inflight_to[job.dst.index()] -= 1;
-            self.sh.migrated_pages += 1;
-            self.sh.migrated_bytes += PAGE_SIZE;
-            let copy_ns = t.saturating_sub(job.started).as_ns();
-            self.tick_copy_ns += copy_ns;
-            self.tick_copies += 1;
-            // Per-(src, dst)-pair copy-time accumulation: a multi-tier
-            // supervisor needs to see which link is slow, not just that
-            // some copy somewhere was.
-            let pair = (src.0, job.dst.0);
-            match self.tick_pair_copy.iter_mut().find(|e| (e.0, e.1) == pair) {
-                Some(e) => {
-                    e.2 += copy_ns;
-                    e.3 += 1;
-                }
-                None => self.tick_pair_copy.push((pair.0, pair.1, copy_ns, 1)),
-            }
-            self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
-                telemetry::EventKind::MigrationComplete {
-                    vpn: job.vpn,
-                    src: src.0,
-                    dst: job.dst.0,
-                    copy_ns,
-                }
-            });
-            self.sh.sink.span_close_at(t, job.span);
-            self.sh.mig_jobs[job_id as usize].live = false;
-            self.sh.mig_free_jobs.push(job_id);
+            self.commit_job(t, job_id);
         }
+    }
+
+    /// Flips the mapping of a fully copied job and retires it (shared by
+    /// the legacy engine and the transactional commit flush).
+    fn commit_job(&mut self, t: SimTime, job_id: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        let src = self.sh.tier_of(job.vpn);
+        self.sh.placement[job.vpn as usize] = job.dst.0;
+        self.sh.used_pages[src.index()] -= 1;
+        self.sh.used_pages[job.dst.index()] += 1;
+        self.sh.mig_inflight_to[job.dst.index()] -= 1;
+        self.sh.mig_pending[job.vpn as usize] -= 1;
+        self.sh.migrated_pages += 1;
+        self.sh.migrated_bytes += PAGE_SIZE;
+        self.tick_txn.committed += 1;
+        let copy_ns = t.saturating_sub(job.started).as_ns();
+        self.tick_copy_ns += copy_ns;
+        self.tick_copies += 1;
+        // Per-(src, dst)-pair copy-time accumulation: a multi-tier
+        // supervisor needs to see which link is slow, not just that
+        // some copy somewhere was.
+        let pair = (src.0, job.dst.0);
+        match self.tick_pair_copy.iter_mut().find(|e| (e.0, e.1) == pair) {
+            Some(e) => {
+                e.2 += copy_ns;
+                e.3 += 1;
+            }
+            None => self.tick_pair_copy.push((pair.0, pair.1, copy_ns, 1)),
+        }
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::MigrationComplete {
+                vpn: job.vpn,
+                src: src.0,
+                dst: job.dst.0,
+                copy_ns,
+            }
+        });
+        self.sh.sink.span_close_at(t, job.span);
+        self.sh.mig_jobs[job_id as usize].live = false;
+        self.sh.mig_free_jobs.push(job_id);
+    }
+
+    /// Records one clean abort: the destination reservation is released,
+    /// the page's pending count drops, the typed failure lands in this
+    /// tick's report, and accounting/telemetry are updated.
+    fn record_abort(&mut self, t: SimTime, vpn: Vpn, dst: TierId, reason: AbortReason) {
+        self.sh.mig_inflight_to[dst.index()] -= 1;
+        self.sh.mig_pending[vpn as usize] -= 1;
+        self.sh.mig_aborted[reason.index()] += 1;
+        match reason {
+            AbortReason::WriteConflict => self.tick_txn.aborted_write_conflict += 1,
+            AbortReason::Watchdog => self.tick_txn.aborted_watchdog += 1,
+            _ => {}
+        }
+        self.sh
+            .tick_failed
+            .push(FailedMigration { vpn, dst, reason });
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::MigrationFail {
+                vpn,
+                dst: dst.0,
+                reason: reason.fail_reason(),
+            }
+        });
+    }
+
+    /// Allocates a job slot, preserving each slot's epoch monotonicity so
+    /// events stamped for a retired occupant can never match its successor.
+    fn alloc_job(&mut self, mut job: MigJob) -> u32 {
+        if let Some(i) = self.sh.mig_free_jobs.pop() {
+            job.epoch = self.sh.mig_jobs[i as usize].epoch.wrapping_add(1);
+            self.sh.mig_jobs[i as usize] = job;
+            i
+        } else {
+            self.sh.mig_jobs.push(job);
+            (self.sh.mig_jobs.len() - 1) as u32
+        }
+    }
+
+    // ---- Transactional migration engine -------------------------------------
+    //
+    // N concurrent DMA channels each run copy *transactions*:
+    // snapshot-copy → validate → batched-shootdown commit. The source page
+    // stays readable and writable throughout; a write to an in-flight page
+    // dirties the transaction, which backs off exponentially and re-copies
+    // up to `dirty_retry_max` times before aborting cleanly with
+    // `AbortReason::WriteConflict`. A watchdog bounds every pass; stuck
+    // passes fail over to a healthy channel or abort with
+    // `AbortReason::Watchdog`. Validated transactions commit in batches
+    // under one TLB shootdown.
+
+    /// Marks every live, not-yet-committing transaction on `vpn` dirty.
+    fn txn_note_write(&mut self, vpn: Vpn) {
+        for j in self.sh.mig_jobs.iter_mut() {
+            if j.live && !j.committing && j.vpn == vpn {
+                j.dirty = true;
+            }
+        }
+    }
+
+    /// Live (not yet retired) transactions.
+    fn txn_live(&self) -> usize {
+        self.sh.mig_jobs.iter().filter(|j| j.live).count()
+    }
+
+    /// Schedules pickup events on idle channels while queued pages remain.
+    fn txn_kick(&mut self, now: SimTime) {
+        let mut want = self.sh.mig_queue.len();
+        for ch in 0..self.sh.txn_channel_idle.len() {
+            if want == 0 {
+                break;
+            }
+            if self.sh.txn_channel_idle[ch] {
+                self.sh.txn_channel_idle[ch] = false;
+                let t = now.max(self.sh.txn_channel_free[ch]);
+                self.sh.events.push(t, Ev::TxnStart { ch: ch as u32 });
+                want -= 1;
+            }
+        }
+    }
+
+    /// Channel `ch` tries to pick up the next queued migration.
+    fn txn_start(&mut self, t: SimTime, ch: u32) {
+        let _prof = simkit::profile::scope("machine.mig_engine");
+        // A stalled channel takes nothing until its stall lifts.
+        if let Some(end) = self.sh.faults.channel_stalled_until(ch, t) {
+            self.sh.events.push(end, Ev::TxnStart { ch });
+            return;
+        }
+        if self.txn_live() >= self.txn_inflight_limit() as usize {
+            // At the in-flight cap: go idle; retiring a transaction re-kicks.
+            self.sh.txn_channel_idle[ch as usize] = true;
+            return;
+        }
+        let Some((vpn, dst, cause)) = self.sh.mig_queue.pop_front() else {
+            self.sh.txn_channel_idle[ch as usize] = true;
+            return;
+        };
+        // Re-validate: the page may have been migrated or unmapped since.
+        let src = self.sh.placement[vpn as usize];
+        if src == u8::MAX || src == dst.0 {
+            self.sh.mig_inflight_to[dst.index()] -= 1;
+            self.sh.mig_pending[vpn as usize] -= 1;
+            self.sh.events.push(t, Ev::TxnStart { ch });
+            return;
+        }
+        self.sh.mig_started += 1;
+        self.tick_txn.begun += 1;
+        // The injected engine faults hit the transactional engine too: an
+        // outage wedges the channel for a page time, a transient failure
+        // aborts before the copy starts.
+        if self.sh.faults.outage_aborts(t) {
+            self.record_abort(t, vpn, dst, AbortReason::Outage);
+            let bw = self
+                .sh
+                .faults
+                .migration_bandwidth_at(self.sh.cfg.migration_bandwidth, t);
+            let free = t + SimTime::from_ns(PAGE_SIZE as f64 / bw * 1e9);
+            self.sh.txn_channel_free[ch as usize] = free;
+            self.sh.events.push(free, Ev::TxnStart { ch });
+            return;
+        }
+        if self.sh.faults.migration_aborts() {
+            self.record_abort(t, vpn, dst, AbortReason::Transient);
+            self.sh.events.push(t, Ev::TxnStart { ch });
+            return;
+        }
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::MigrationStart {
+                vpn,
+                src,
+                dst: dst.0,
+            }
+        });
+        let span = self.sh.sink.span_open_at(
+            t,
+            telemetry::Source::Machine,
+            "migration",
+            telemetry::SpanPayload::Migration {
+                vpn,
+                src,
+                dst: dst.0,
+            },
+            cause,
+        );
+        let id = self.alloc_job(MigJob {
+            vpn,
+            dst,
+            lines_read: 0,
+            lines_done: 0,
+            live: true,
+            started: t,
+            span,
+            channel: ch,
+            attempt: 1,
+            dirty: false,
+            committing: false,
+            failovers: 0,
+            epoch: 0,
+        });
+        let epoch = self.sh.mig_jobs[id as usize].epoch;
+        // Pace this channel at the configured per-channel bandwidth; other
+        // channels copy concurrently (aggregate engine bandwidth scales
+        // with the channel count).
+        let bw = self
+            .sh
+            .faults
+            .migration_bandwidth_at(self.sh.cfg.migration_bandwidth, t);
+        let page_time = SimTime::from_ns(PAGE_SIZE as f64 / bw * 1e9);
+        self.sh.txn_channel_free[ch as usize] = t + page_time;
+        self.sh.events.push(t, Ev::TxnRead { job: id, epoch });
+        self.sh.events.push(
+            t + self.sh.cfg.engine.watchdog,
+            Ev::TxnWatchdog { job: id, epoch },
+        );
+        // The channel picks up its next transaction when it has bandwidth
+        // budget again (passes pipeline behind the in-flight cap).
+        self.sh
+            .events
+            .push(self.sh.txn_channel_free[ch as usize], Ev::TxnStart { ch });
+    }
+
+    /// Issues the next snapshot read of a copy pass.
+    fn txn_read(&mut self, t: SimTime, job_id: u32, epoch: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        if !job.live || job.epoch != epoch || job.committing {
+            return; // abandoned pass
+        }
+        // A stall freezes the channel mid-pass: reads defer to the stall's
+        // end (the watchdog rescues the transaction before then).
+        if let Some(end) = self.sh.faults.channel_stalled_until(job.channel, t) {
+            self.sh.events.push(end, Ev::TxnRead { job: job_id, epoch });
+            return;
+        }
+        let src = self.sh.tier_of(job.vpn);
+        let line_addr = job.vpn * LINES_PER_PAGE + job.lines_read as u64;
+        self.sh.cha.on_read_arrival(src, t, TrafficClass::Migration);
+        let done = self.sh.tiers[src.index()].read(t, line_addr);
+        self.sh.events.push(
+            done,
+            Ev::TxnLineDone {
+                job: job_id,
+                src,
+                epoch,
+            },
+        );
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.lines_read += 1;
+        if (j.lines_read as u64) < LINES_PER_PAGE {
+            let bw = self
+                .sh
+                .faults
+                .migration_bandwidth_at(self.sh.cfg.migration_bandwidth, t);
+            let spacing = SimTime::from_ns(PAGE_SIZE as f64 / bw * 1e9) / LINES_PER_PAGE;
+            self.sh
+                .events
+                .push(t + spacing, Ev::TxnRead { job: job_id, epoch });
+        }
+    }
+
+    /// A snapshot read returned: write it out and validate at page end.
+    fn txn_line_done(&mut self, t: SimTime, job_id: u32, epoch: u32) {
+        let _prof = simkit::profile::scope("machine.mig_engine");
+        let job = self.sh.mig_jobs[job_id as usize];
+        if !job.live || job.epoch != epoch {
+            return; // the pass was abandoned while this read was in flight
+        }
+        let line_addr = job.vpn * LINES_PER_PAGE + job.lines_done as u64;
+        self.sh.cha.on_write(job.dst, TrafficClass::Migration);
+        self.sh.tiers[job.dst.index()].write(t, line_addr);
+        self.tick_mig_bytes += LINE_SIZE;
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.lines_done += 1;
+        if j.lines_done as u64 == LINES_PER_PAGE {
+            self.txn_validate(t, job_id);
+        }
+    }
+
+    /// Validates a fully copied pass: clean snapshots join the commit
+    /// batch; dirty ones retry with exponential backoff or abort.
+    fn txn_validate(&mut self, t: SimTime, job_id: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        let dirty = job.dirty || self.sh.faults.storm_dirties(job.vpn, job.attempt, t);
+        if !dirty {
+            self.sh.mig_jobs[job_id as usize].committing = true;
+            self.sh.txn_commit_batch.push(job_id);
+            if !self.sh.txn_flush_scheduled {
+                // The shootdown cost doubles as the batch linger window:
+                // transactions validated while the IPI is in flight ride
+                // the same flush.
+                self.sh.txn_flush_scheduled = true;
+                self.sh
+                    .events
+                    .push(t + self.sh.cfg.engine.shootdown_cost, Ev::TxnFlush);
+            }
+            return;
+        }
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::TxnDirty {
+                vpn: job.vpn,
+                attempt: job.attempt,
+            }
+        });
+        if job.attempt > self.sh.cfg.engine.dirty_retry_max {
+            // Out of retries: the page is write-hot; keep it at the source
+            // rather than ping-ponging.
+            self.txn_abort(t, job_id, AbortReason::WriteConflict);
+            return;
+        }
+        self.sh.txn_dirty_retries += 1;
+        self.tick_txn.dirty_retries += 1;
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.attempt += 1;
+        j.dirty = false;
+        j.lines_read = 0;
+        j.lines_done = 0;
+        j.epoch = j.epoch.wrapping_add(1);
+        let epoch = j.epoch;
+        // Exponential backoff, capped at 8 doublings.
+        let shift = (j.attempt - 2).min(8);
+        let delay = self.sh.cfg.engine.dirty_retry_backoff * (1u64 << shift);
+        self.sh
+            .events
+            .push(t + delay, Ev::TxnRetry { job: job_id, epoch });
+    }
+
+    /// Backoff expired: start a fresh copy pass with a fresh deadline.
+    fn txn_retry(&mut self, t: SimTime, job_id: u32, epoch: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        if !job.live || job.epoch != epoch {
+            return;
+        }
+        self.sh.events.push(t, Ev::TxnRead { job: job_id, epoch });
+        self.sh.events.push(
+            t + self.sh.cfg.engine.watchdog,
+            Ev::TxnWatchdog { job: job_id, epoch },
+        );
+    }
+
+    /// Watchdog deadline hit while the pass is still copying: fail over to
+    /// a healthy channel, or abort when none is left.
+    fn txn_watchdog(&mut self, t: SimTime, job_id: u32, epoch: u32) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        if !job.live || job.epoch != epoch || job.committing {
+            return; // the pass finished (or moved on) before the deadline
+        }
+        let channels = self.sh.txn_channel_free.len() as u32;
+        let healthy = (0..channels)
+            .filter(|&c| self.sh.faults.channel_stalled_until(c, t).is_none())
+            .min_by_key(|&c| self.sh.txn_channel_free[c as usize]);
+        let (Some(to), true) = (healthy, job.failovers < channels) else {
+            // Every channel is stalled, or this transaction has already
+            // burned a failover per channel: give up cleanly.
+            self.txn_abort(t, job_id, AbortReason::Watchdog);
+            return;
+        };
+        self.sh.txn_failovers += 1;
+        self.tick_txn.failovers += 1;
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::TxnFailover {
+                vpn: job.vpn,
+                from_channel: job.channel,
+                to_channel: to,
+            }
+        });
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.failovers += 1;
+        j.channel = to;
+        j.lines_read = 0;
+        j.lines_done = 0;
+        j.dirty = false;
+        j.epoch = j.epoch.wrapping_add(1);
+        let epoch = j.epoch;
+        self.sh.events.push(t, Ev::TxnRead { job: job_id, epoch });
+        self.sh.events.push(
+            t + self.sh.cfg.engine.watchdog,
+            Ev::TxnWatchdog { job: job_id, epoch },
+        );
+    }
+
+    /// Aborts a live transaction cleanly: the page is intact at its
+    /// source, the reservation is released, and the span closes with the
+    /// typed reason in this tick's report.
+    fn txn_abort(&mut self, t: SimTime, job_id: u32, reason: AbortReason) {
+        let job = self.sh.mig_jobs[job_id as usize];
+        self.record_abort(t, job.vpn, job.dst, reason);
+        self.sh.sink.span_close_at(t, job.span);
+        let j = &mut self.sh.mig_jobs[job_id as usize];
+        j.live = false;
+        j.epoch = j.epoch.wrapping_add(1);
+        self.sh.mig_free_jobs.push(job_id);
+        // Retiring a transaction frees an in-flight slot.
+        self.txn_kick(t);
+    }
+
+    /// Batched commit: up to `shootdown_batch` parked transactions flip
+    /// under one shootdown; any overflow pipelines into the next flush.
+    fn txn_flush(&mut self, t: SimTime) {
+        let _prof = simkit::profile::scope("machine.mig_engine");
+        self.sh.txn_flush_scheduled = false;
+        if self.sh.txn_commit_batch.is_empty() {
+            return;
+        }
+        let n = self
+            .sh
+            .txn_commit_batch
+            .len()
+            .min(self.txn_batch_limit() as usize);
+        let batch: Vec<u32> = self.sh.txn_commit_batch.drain(..n).collect();
+        self.sh.txn_batches += 1;
+        self.sh.txn_batched_pages += batch.len() as u64;
+        self.tick_txn.commit_batches += 1;
+        let pages = batch.len() as u64;
+        let cost_ns = self.sh.cfg.engine.shootdown_cost.as_ns();
+        for job_id in batch {
+            self.commit_job(t, job_id);
+        }
+        self.sh.sink.emit_at(t, telemetry::Source::Machine, || {
+            telemetry::EventKind::BatchCommit { pages, cost_ns }
+        });
+        if !self.sh.txn_commit_batch.is_empty() {
+            self.sh.txn_flush_scheduled = true;
+            self.sh
+                .events
+                .push(t + self.sh.cfg.engine.shootdown_cost, Ev::TxnFlush);
+        }
+        self.txn_kick(t);
     }
 }
 
@@ -1395,11 +2112,13 @@ mod tests {
             CoreConfig::default(),
             TrafficClass::App,
         );
-        assert!(m.enqueue_migration(5, TierId::ALTERNATE));
-        // Duplicate enqueue succeeds (queue revalidates) but no-op later;
-        // pinned page refuses.
+        m.enqueue_migration(5, TierId::ALTERNATE).unwrap();
+        // A pinned page refuses outright.
         m.pin(6);
-        assert!(!m.enqueue_migration(6, TierId::ALTERNATE));
+        assert_eq!(
+            m.enqueue_migration(6, TierId::ALTERNATE),
+            Err(EnqueueError::Pinned)
+        );
         // Give the engine time: 4 KB at 2.4 GB/s is ~1.7 us.
         m.run_tick(SimTime::from_us(20.0));
         assert_eq!(m.tier_of(5), Some(TierId::ALTERNATE));
@@ -1413,7 +2132,10 @@ mod tests {
         let cfg = MachineConfig::icelake_two_tier();
         let mut m = Machine::new(cfg);
         m.place_range(0..8, TierId::DEFAULT);
-        assert!(!m.enqueue_migration(0, TierId::DEFAULT));
+        assert_eq!(
+            m.enqueue_migration(0, TierId::DEFAULT),
+            Err(EnqueueError::Moot)
+        );
     }
 
     #[test]
@@ -1422,10 +2144,13 @@ mod tests {
         cfg.tiers[1].capacity_bytes = 2 * PAGE_SIZE;
         let mut m = Machine::new(cfg);
         m.place_range(0..8, TierId::DEFAULT);
-        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
-        assert!(m.enqueue_migration(1, TierId::ALTERNATE));
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
+        m.enqueue_migration(1, TierId::ALTERNATE).unwrap();
         // Third must fail: both frames are reserved by in-flight migrations.
-        assert!(!m.enqueue_migration(2, TierId::ALTERNATE));
+        assert_eq!(
+            m.enqueue_migration(2, TierId::ALTERNATE),
+            Err(EnqueueError::DestinationFull)
+        );
     }
 
     #[test]
@@ -1434,7 +2159,7 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..128, TierId::DEFAULT);
         for vpn in 0..32 {
-            assert!(m.enqueue_migration(vpn, TierId::ALTERNATE));
+            m.enqueue_migration(vpn, TierId::ALTERNATE).unwrap();
         }
         let rep = m.run_tick(SimTime::from_ms(1.0));
         assert_eq!(rep.migrated_bytes, 32 * PAGE_SIZE);
@@ -1451,7 +2176,7 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..2048, TierId::DEFAULT);
         for vpn in 0..2048 {
-            m.enqueue_migration(vpn, TierId::ALTERNATE);
+            let _ = m.enqueue_migration(vpn, TierId::ALTERNATE);
         }
         let rep = m.run_tick(SimTime::from_ms(1.0));
         // At 1 GB/s, one millisecond moves ~1 MB.
@@ -1655,7 +2380,7 @@ mod tests {
             },
             TrafficClass::App,
         );
-        m.enqueue_migration(0, TierId::ALTERNATE);
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
         m.run_tick(SimTime::from_us(50.0));
         let rep = m.run_tick(SimTime::from_us(50.0));
         // All post-migration app reads land on the alternate tier.
@@ -1673,7 +2398,7 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..8, TierId::DEFAULT);
         for vpn in 0..8 {
-            assert!(m.enqueue_migration(vpn, TierId::ALTERNATE));
+            m.enqueue_migration(vpn, TierId::ALTERNATE).unwrap();
         }
         let rep = m.run_tick(SimTime::from_ms(1.0));
         // Every migration aborted: pages stay put, reservations are released,
@@ -1683,13 +2408,19 @@ mod tests {
         assert_eq!(rep.migrated_bytes, 0);
         assert_eq!(rep.failed_migrations.len(), 8);
         assert_eq!(rep.fault_stats.migration_failures, 8);
-        for (vpn, dst) in &rep.failed_migrations {
-            assert!(*vpn < 8);
-            assert_eq!(*dst, TierId::ALTERNATE);
-            assert_eq!(m.tier_of(*vpn), Some(TierId::DEFAULT));
+        for f in &rep.failed_migrations {
+            assert!(f.vpn < 8);
+            assert_eq!(f.dst, TierId::ALTERNATE);
+            assert_eq!(f.reason, AbortReason::Transient);
+            assert_eq!(m.tier_of(f.vpn), Some(TierId::DEFAULT));
         }
+        // The books balance across total failure.
+        let c = m.migration_counters();
+        assert_eq!(c.started, 8);
+        assert_eq!(c.aborted_transient, 8);
+        assert_eq!(c.in_flight(), 0);
         // Released frames are immediately reusable.
-        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
     }
 
     #[test]
@@ -1699,7 +2430,7 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..64, TierId::DEFAULT);
         for vpn in 0..64 {
-            assert!(m.enqueue_migration(vpn, TierId::ALTERNATE));
+            m.enqueue_migration(vpn, TierId::ALTERNATE).unwrap();
         }
         let rep = m.run_tick(SimTime::from_ms(2.0));
         let failed = rep.failed_migrations.len() as u64;
@@ -1707,8 +2438,8 @@ mod tests {
         assert!(failed > 0 && failed < 64, "expected a mix, got {failed}");
         assert_eq!(m.migrated_pages() + failed, 64);
         // A failed page is still at the source; a migrated one at the dest.
-        for (vpn, _) in &rep.failed_migrations {
-            assert_eq!(m.tier_of(*vpn), Some(TierId::DEFAULT));
+        for f in &rep.failed_migrations {
+            assert_eq!(m.tier_of(f.vpn), Some(TierId::DEFAULT));
         }
     }
 
@@ -1762,7 +2493,7 @@ mod tests {
         let mut m = Machine::new(cfg);
         m.place_range(0..2048, TierId::DEFAULT);
         for vpn in 0..2048 {
-            m.enqueue_migration(vpn, TierId::ALTERNATE);
+            let _ = m.enqueue_migration(vpn, TierId::ALTERNATE);
         }
         let rep = m.run_tick(SimTime::from_ms(1.0));
         // Degraded to 250 MB/s: one millisecond moves ~0.25 MB.
@@ -1829,8 +2560,8 @@ mod tests {
         let (mut a, mut b) = (build(), build());
         for i in 0..10 {
             if i % 3 == 0 {
-                a.enqueue_migration(i, TierId::ALTERNATE);
-                b.enqueue_migration(i, TierId::ALTERNATE);
+                let _ = a.enqueue_migration(i, TierId::ALTERNATE);
+                let _ = b.enqueue_migration(i, TierId::ALTERNATE);
             }
             let ra = a.run_tick(SimTime::from_us(100.0));
             let rb = b.run_tick(SimTime::from_us(100.0));
@@ -1940,17 +2671,24 @@ mod tests {
         });
         let mut m = Machine::new(cfg);
         m.place_range(0..64, TierId::DEFAULT);
-        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
         let rep = m.run_tick(SimTime::from_us(100.0));
         assert_eq!(rep.fault_stats.engine_outage_aborts, 1);
-        assert_eq!(rep.failed_migrations, vec![(0, TierId::ALTERNATE)]);
+        assert_eq!(
+            rep.failed_migrations,
+            vec![FailedMigration {
+                vpn: 0,
+                dst: TierId::ALTERNATE,
+                reason: AbortReason::Outage,
+            }]
+        );
         assert_eq!(m.tier_of(0), Some(TierId::DEFAULT));
         assert_eq!(m.migrated_pages(), 0);
         // Past the outage window the engine works again.
         for _ in 0..4 {
             m.run_tick(SimTime::from_us(100.0));
         }
-        assert!(m.enqueue_migration(0, TierId::ALTERNATE));
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
         m.run_tick(SimTime::from_us(100.0));
         assert_eq!(m.tier_of(0), Some(TierId::ALTERNATE));
         assert_eq!(m.migrated_pages(), 1);
@@ -1962,17 +2700,21 @@ mod tests {
         m.place_range(0..64, TierId::DEFAULT);
         m.set_migration_admission_limit(Some(2));
         let admitted = (0..5)
-            .filter(|&v| m.enqueue_migration(v, TierId::ALTERNATE))
+            .filter(|&v| m.enqueue_migration(v, TierId::ALTERNATE).is_ok())
             .count();
         assert_eq!(admitted, 2);
+        assert_eq!(
+            m.enqueue_migration(5, TierId::ALTERNATE),
+            Err(EnqueueError::EngineFrozen)
+        );
         // The counter resets at each tick boundary …
         m.run_tick(SimTime::from_us(100.0));
-        assert!(m.enqueue_migration(10, TierId::ALTERNATE));
+        m.enqueue_migration(10, TierId::ALTERNATE).unwrap();
         m.run_tick(SimTime::from_ms(1.0));
         // … and lifting the cap restores unlimited admission.
         m.set_migration_admission_limit(None);
         let admitted = (20..40)
-            .filter(|&v| m.enqueue_migration(v, TierId::ALTERNATE))
+            .filter(|&v| m.enqueue_migration(v, TierId::ALTERNATE).is_ok())
             .count();
         assert_eq!(admitted, 20);
     }
@@ -1988,7 +2730,7 @@ mod tests {
             let mut m = Machine::new(MachineConfig::icelake_two_tier());
             m.place_range(0..64, TierId::DEFAULT);
             for v in 0..32 {
-                assert!(m.enqueue_migration(v, TierId::ALTERNATE));
+                m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
             }
             let rep = m.run_tick(SimTime::from_ms(1.0));
             rep.mig_copy_ns.expect("copies completed")
@@ -2006,7 +2748,7 @@ mod tests {
             let mut m = Machine::new(cfg);
             m.place_range(0..64, TierId::DEFAULT);
             for v in 0..32 {
-                assert!(m.enqueue_migration(v, TierId::ALTERNATE));
+                m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
             }
             let rep = m.run_tick(SimTime::from_ms(1.0));
             rep.mig_copy_ns.expect("copies completed")
@@ -2032,10 +2774,10 @@ mod tests {
         m.place_range(0..64, TierId::DEFAULT);
         m.place_range(64..128, TierId(2));
         for v in 0..16 {
-            assert!(m.enqueue_migration(v, TierId(1)));
+            m.enqueue_migration(v, TierId(1)).unwrap();
         }
         for v in 64..80 {
-            assert!(m.enqueue_migration(v, TierId(1)));
+            m.enqueue_migration(v, TierId(1)).unwrap();
         }
         let rep = m.run_tick(SimTime::from_ms(2.0));
         assert_eq!(rep.tiers.len(), 3);
@@ -2076,9 +2818,248 @@ mod tests {
             true_latency_ns: Vec::new(),
             fault_stats: FaultStats::default(),
             failed_migrations: Vec::new(),
+            txn: TxnTickStats::default(),
             evacuated: Vec::new(),
         };
         assert_eq!(rep.app_ops_per_sec(), 0.0);
         assert!(rep.app_ops_per_sec().is_finite());
+    }
+
+    /// A two-tier config running the transactional pipeline.
+    fn txn_cfg() -> MachineConfig {
+        let mut cfg = MachineConfig::icelake_two_tier();
+        cfg.engine = crate::config::MigrationEngineConfig::transactional();
+        cfg
+    }
+
+    #[test]
+    fn transactional_engine_commits_and_reconciles() {
+        let mut m = Machine::new(txn_cfg());
+        m.place_range(0..64, TierId::DEFAULT);
+        for v in 0..32 {
+            m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
+        }
+        // The transactional engine rejects duplicate in-flight pages.
+        assert_eq!(
+            m.enqueue_migration(0, TierId::ALTERNATE),
+            Err(EnqueueError::DuplicateInFlight)
+        );
+        let rep = m.run_tick(SimTime::from_ms(2.0));
+        assert_eq!(m.migrated_pages(), 32);
+        assert_eq!(m.used_pages(TierId::ALTERNATE), 32);
+        assert!(rep.failed_migrations.is_empty());
+        assert_eq!(rep.txn.begun, 32);
+        assert_eq!(rep.txn.committed, 32);
+        // Commits were batched: strictly fewer shootdowns than pages.
+        let c = m.migration_counters();
+        assert_eq!(c.started, 32);
+        assert_eq!(c.completed, 32);
+        assert_eq!(c.aborted(), 0);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(c.batched_pages, 32);
+        assert!(
+            c.commit_batches >= 1 && c.commit_batches < 32,
+            "expected amortized shootdowns, got {} batches",
+            c.commit_batches
+        );
+        // Accesses land on the destination tier afterwards.
+        for v in 0..32 {
+            assert_eq!(m.tier_of(v), Some(TierId::ALTERNATE));
+        }
+    }
+
+    #[test]
+    fn write_conflict_storm_drives_dirty_retries_then_commit() {
+        use crate::faults::{FaultPlan, WriteConflictStorm};
+        // The storm dirties the first two copy passes of every transaction;
+        // with a retry budget of 3 the third pass validates clean, so every
+        // page still commits — after observable retries.
+        let mut cfg = txn_cfg();
+        cfg.faults = FaultPlan {
+            write_conflict_storms: vec![WriteConflictStorm {
+                start: SimTime::ZERO,
+                end: SimTime::from_ms(100.0),
+                hot_fraction: 1.0,
+                dirties_per_txn: 2,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut m = Machine::new(cfg);
+        m.place_range(0..32, TierId::DEFAULT);
+        for v in 0..8 {
+            m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
+        }
+        let rep = m.run_tick(SimTime::from_ms(5.0));
+        assert_eq!(m.migrated_pages(), 8);
+        assert!(rep.failed_migrations.is_empty());
+        let c = m.migration_counters();
+        assert_eq!(c.completed, 8);
+        assert_eq!(c.aborted(), 0);
+        assert_eq!(
+            c.dirty_retries, 16,
+            "each of 8 transactions re-copies twice"
+        );
+        assert_eq!(rep.txn.dirty_retries, 16);
+        assert_eq!(rep.fault_stats.storm_dirties, 16);
+    }
+
+    #[test]
+    fn retry_exhaustion_aborts_cleanly_and_releases_reservation() {
+        use crate::faults::{FaultPlan, WriteConflictStorm};
+        // The storm outlasts the retry budget: every pass dirties, so every
+        // transaction aborts with `WriteConflict` — source page intact,
+        // reservation released, abort typed in the report.
+        let mut cfg = txn_cfg();
+        cfg.engine.dirty_retry_max = 2;
+        cfg.faults = FaultPlan {
+            write_conflict_storms: vec![WriteConflictStorm {
+                start: SimTime::ZERO,
+                end: SimTime::from_ms(100.0),
+                hot_fraction: 1.0,
+                dirties_per_txn: u32::MAX,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut m = Machine::new(cfg);
+        m.place_range(0..16, TierId::DEFAULT);
+        for v in 0..4 {
+            m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
+        }
+        let rep = m.run_tick(SimTime::from_ms(5.0));
+        assert_eq!(m.migrated_pages(), 0);
+        assert_eq!(m.used_pages(TierId::ALTERNATE), 0);
+        assert_eq!(rep.failed_migrations.len(), 4);
+        for f in &rep.failed_migrations {
+            assert_eq!(f.reason, AbortReason::WriteConflict);
+            assert_eq!(m.tier_of(f.vpn), Some(TierId::DEFAULT));
+        }
+        let c = m.migration_counters();
+        assert_eq!(c.aborted_write_conflict, 4);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(rep.txn.aborted_write_conflict, 4);
+        // Released frames are immediately reusable.
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
+    }
+
+    #[test]
+    fn stalled_channel_fails_over_to_healthy_one() {
+        use crate::faults::{ChannelStall, FaultPlan};
+        // Slow copies (1 ms/page) so the stall lands mid-copy: channel 0
+        // freezes shortly after its first pass begins, the watchdog fires,
+        // and the transaction finishes on channel 1. The watchdog must
+        // outlast a healthy copy pass or it punishes the innocent.
+        let mut cfg = txn_cfg();
+        cfg.engine.channels = 2;
+        cfg.engine.watchdog = SimTime::from_ms(2.0);
+        cfg.migration_bandwidth = PAGE_SIZE as f64 * 1000.0; // 1 ms/page
+        cfg.faults = FaultPlan {
+            channel_stalls: vec![ChannelStall {
+                channel: 0,
+                start: SimTime::from_us(10.0),
+                end: SimTime::from_ms(50.0),
+            }],
+            ..FaultPlan::none()
+        };
+        let mut m = Machine::new(cfg);
+        m.place_range(0..8, TierId::DEFAULT);
+        for v in 0..4 {
+            m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
+        }
+        let rep = m.run_tick(SimTime::from_ms(20.0));
+        assert_eq!(m.migrated_pages(), 4, "failover rescued every page");
+        assert!(rep.failed_migrations.is_empty());
+        let c = m.migration_counters();
+        assert!(c.failovers >= 1, "watchdog should have fired: {c:?}");
+        assert_eq!(c.completed, 4);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(rep.txn.failovers, c.failovers);
+    }
+
+    #[test]
+    fn watchdog_aborts_when_no_healthy_channel_exists() {
+        use crate::faults::{ChannelStall, FaultPlan};
+        // Single channel, stalled mid-copy with nowhere to fail over: the
+        // watchdog bounds the transaction's lifetime by aborting it.
+        let mut cfg = txn_cfg();
+        cfg.engine.channels = 1;
+        cfg.migration_bandwidth = PAGE_SIZE as f64 * 1000.0; // 1 ms/page
+        cfg.faults = FaultPlan {
+            channel_stalls: vec![ChannelStall {
+                channel: 0,
+                start: SimTime::from_us(10.0),
+                end: SimTime::from_ms(50.0),
+            }],
+            ..FaultPlan::none()
+        };
+        let mut m = Machine::new(cfg);
+        m.place_range(0..8, TierId::DEFAULT);
+        m.enqueue_migration(0, TierId::ALTERNATE).unwrap();
+        let rep = m.run_tick(SimTime::from_ms(10.0));
+        assert_eq!(m.migrated_pages(), 0);
+        assert_eq!(
+            rep.failed_migrations,
+            vec![FailedMigration {
+                vpn: 0,
+                dst: TierId::ALTERNATE,
+                reason: AbortReason::Watchdog,
+            }]
+        );
+        assert_eq!(m.tier_of(0), Some(TierId::DEFAULT));
+        let c = m.migration_counters();
+        assert_eq!(c.aborted_watchdog, 1);
+        assert_eq!(c.in_flight(), 0);
+        assert_eq!(rep.txn.aborted_watchdog, 1);
+    }
+
+    #[test]
+    fn supervisor_tuning_overrides_batch_and_inflight() {
+        let mut m = Machine::new(txn_cfg());
+        assert_eq!(m.engine_tuning(), (8, 4));
+        m.set_shootdown_batch(Some(2));
+        m.set_max_inflight_txns(Some(1));
+        assert_eq!(m.engine_tuning(), (2, 1));
+        // Overrides are clamped to sane floors/ceilings.
+        m.set_shootdown_batch(Some(0));
+        m.set_max_inflight_txns(Some(99));
+        assert_eq!(m.engine_tuning(), (1, 4));
+        m.set_shootdown_batch(None);
+        m.set_max_inflight_txns(None);
+        assert_eq!(m.engine_tuning(), (8, 4));
+        // A throttled engine still moves every page, just more serially.
+        m.set_max_inflight_txns(Some(1));
+        m.place_range(0..16, TierId::DEFAULT);
+        for v in 0..8 {
+            m.enqueue_migration(v, TierId::ALTERNATE).unwrap();
+        }
+        m.run_tick(SimTime::from_ms(5.0));
+        assert_eq!(m.migrated_pages(), 8);
+    }
+
+    #[test]
+    fn transactional_flag_off_leaves_legacy_engine_bit_identical() {
+        // Exotic engine knobs must be inert while `transactional` is off:
+        // the legacy engine's report stream may not move by a single byte.
+        let mut exotic = MachineConfig::icelake_two_tier();
+        exotic.engine.channels = 7;
+        exotic.engine.dirty_retry_max = 1;
+        exotic.engine.shootdown_batch = 3;
+        exotic.engine.shootdown_cost = SimTime::from_us(123.0);
+        exotic.engine.watchdog = SimTime::from_us(5.0);
+        let mut a = Machine::new(MachineConfig::icelake_two_tier());
+        let mut b = Machine::new(exotic);
+        for m in [&mut a, &mut b] {
+            m.place_range(0..256, TierId::DEFAULT);
+        }
+        for tick in 0..4u64 {
+            for v in (tick * 32)..(tick * 32 + 16) {
+                let ra = a.enqueue_migration(v, TierId::ALTERNATE);
+                let rb = b.enqueue_migration(v, TierId::ALTERNATE);
+                assert_eq!(ra, rb);
+            }
+            let ra = a.run_tick(SimTime::from_ms(1.0));
+            let rb = b.run_tick(SimTime::from_ms(1.0));
+            assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+        }
+        assert_eq!(a.migrated_pages(), b.migrated_pages());
     }
 }

@@ -1,0 +1,209 @@
+//! Property-based tests for the transactional migration engine.
+//!
+//! The tentpole's safety story rests on two invariants that must survive
+//! *any* fault plan — write-conflict storms, channel stalls, engine
+//! outages, transient failures — on any engine shape:
+//!
+//! 1. **Page conservation**: across commit, dirty-retry, abort, and
+//!    failover, no page is ever lost or duplicated. Every page stays
+//!    mapped to exactly one tier, and an aborted transaction leaves its
+//!    page intact at the source with the destination reservation
+//!    released.
+//! 2. **Termination**: every opened transaction commits or aborts within
+//!    the configured watchdog bound
+//!    ([`memsim::MigrationEngineConfig::max_txn_lifetime`]); nothing
+//!    stays in flight forever, even when every channel stalls.
+
+use memsim::{
+    ChannelStall, EngineOutage, FaultPlan, Machine, MachineConfig, MigrationEngineConfig, TierId,
+    WriteConflictStorm,
+};
+use proptest::prelude::*;
+use simkit::SimTime;
+
+/// Pages placed on the default tier at the start of every case.
+const PAGES: u64 = 128;
+/// Pages enqueued for migration to the alternate tier.
+const ENQUEUED: u64 = 64;
+/// Per-case tick budget; far beyond any generated fault horizon (20 ms)
+/// plus the worst-case transaction lifetime.
+const MAX_TICKS: usize = 400;
+
+/// A random engine shape: 1–4 channels, retry budget 0–4, a watchdog
+/// spanning both sides of the page-copy time, and small-to-large
+/// shootdown batches.
+fn engine() -> impl Strategy<Value = MigrationEngineConfig> {
+    ((1u32..=4, 0u32..=4), (50.0f64..500.0, 1u32..=16)).prop_map(
+        |((channels, dirty_retry_max), (watchdog_us, shootdown_batch))| {
+            let mut e = MigrationEngineConfig::transactional();
+            e.channels = channels;
+            e.dirty_retry_max = dirty_retry_max;
+            e.watchdog = SimTime::from_us(watchdog_us);
+            e.shootdown_batch = shootdown_batch;
+            e
+        },
+    )
+}
+
+/// A random fault plan aimed at the migration path: storms that dirty
+/// in-flight transactions (sometimes past the retry cap), channel stalls,
+/// one optional outage window, and transient failures. All windows close
+/// before 20 ms so the case horizon covers them.
+fn plan(channels: u32) -> impl Strategy<Value = FaultPlan> {
+    (
+        prop::collection::vec(
+            ((0.0f64..10.0, 0.5f64..10.0), (0.05f64..1.0, 1u32..6)),
+            0..3,
+        ),
+        prop::collection::vec((0u32..4, (0.0f64..5.0, 0.5f64..1.9)), 0..3),
+        (prop::bool::ANY, 0.0f64..0.25),
+    )
+        .prop_map(move |(storms, stalls, (outage, fail_prob))| FaultPlan {
+            write_conflict_storms: storms
+                .into_iter()
+                .map(
+                    |((start_ms, len_ms), (hot_fraction, dirties_per_txn))| WriteConflictStorm {
+                        start: SimTime::from_ms(start_ms),
+                        end: SimTime::from_ms(start_ms + len_ms),
+                        hot_fraction,
+                        dirties_per_txn,
+                    },
+                )
+                .collect(),
+            // Each stall lives in its own 7 ms slot so two stalls can
+            // never overlap on one channel (the plan validator rejects
+            // overlapping windows).
+            channel_stalls: stalls
+                .into_iter()
+                .enumerate()
+                .map(|(i, (ch, (start_ms, len_ms)))| {
+                    let base = i as f64 * 7.0;
+                    ChannelStall {
+                        channel: ch % channels,
+                        start: SimTime::from_ms(base + start_ms),
+                        end: SimTime::from_ms(base + start_ms + len_ms),
+                    }
+                })
+                .collect(),
+            engine_outages: if outage {
+                vec![EngineOutage {
+                    start: SimTime::from_ms(2.0),
+                    end: SimTime::from_ms(5.0),
+                }]
+            } else {
+                Vec::new()
+            },
+            migration_fail_prob: fail_prob,
+            ..FaultPlan::none()
+        })
+}
+
+/// Builds the machine for one case and enqueues the working set.
+fn build(engine: MigrationEngineConfig, faults: FaultPlan, seed: u64) -> Machine {
+    let mut cfg = MachineConfig::icelake_two_tier();
+    cfg.engine = engine;
+    cfg.faults = faults;
+    cfg.seed = seed;
+    cfg.validate().expect("generated config must validate");
+    let mut m = Machine::new(cfg);
+    m.place_range(0..PAGES, TierId::DEFAULT);
+    for v in 0..ENQUEUED {
+        m.enqueue_migration(v, TierId::ALTERNATE)
+            .expect("first enqueue of each page must be accepted");
+    }
+    m
+}
+
+proptest! {
+    /// No fault plan may lose or duplicate a page: at every tick each
+    /// working-set page is mapped to exactly one tier, the per-tier used
+    /// counts sum to the working set, and the engine's books balance.
+    #[test]
+    fn pages_are_conserved_under_any_fault_plan(
+        engine in engine(),
+        seed in 0u64..1 << 32,
+        plan in plan(4),
+    ) {
+        let mut plan = plan;
+        for s in &mut plan.channel_stalls {
+            s.channel %= engine.channels;
+        }
+        let mut m = build(engine, plan, seed);
+        let tick = SimTime::from_us(100.0);
+        for _ in 0..MAX_TICKS {
+            let rep = m.run_tick(tick);
+            // Mid-run, every page is mapped to exactly one tier; the
+            // per-tier used counts may legitimately exceed the working
+            // set while in-flight destination reservations are held.
+            for v in 0..PAGES {
+                prop_assert!(m.tier_of(v).is_some(), "page {} lost mid-run", v);
+            }
+            let c = m.migration_counters();
+            prop_assert_eq!(c.started, c.completed + c.aborted() + c.in_flight());
+            // An aborted page is intact at its source: still mapped.
+            for f in &rep.failed_migrations {
+                prop_assert!(m.tier_of(f.vpn).is_some(), "aborted page unmapped");
+            }
+            if rep.migration_backlog == 0 && c.in_flight() == 0 {
+                break;
+            }
+        }
+        for v in 0..PAGES {
+            prop_assert!(m.tier_of(v).is_some(), "page {} lost", v);
+        }
+        let c = m.migration_counters();
+        prop_assert_eq!(c.in_flight(), 0, "transactions leaked past the horizon");
+        // With nothing in flight the reservations are all released, so the
+        // per-tier used counts must sum exactly to the working set: no
+        // page was duplicated into a second frame.
+        prop_assert_eq!(
+            m.used_pages(TierId::DEFAULT) + m.used_pages(TierId::ALTERNATE),
+            PAGES
+        );
+        prop_assert_eq!(c.completed + c.aborted(), c.started);
+        // Every committed transaction went through a shootdown batch.
+        prop_assert_eq!(c.batched_pages, c.completed);
+    }
+
+    /// Every opened transaction terminates within the watchdog bound:
+    /// once the queue drains, the remaining in-flight transactions all
+    /// commit or abort within `max_txn_lifetime`.
+    #[test]
+    fn transactions_terminate_within_the_watchdog_bound(
+        engine in engine(),
+        seed in 0u64..1 << 32,
+        plan in plan(4),
+    ) {
+        let mut plan = plan;
+        for s in &mut plan.channel_stalls {
+            s.channel %= engine.channels;
+        }
+        let lifetime = engine.max_txn_lifetime();
+        let mut m = build(engine, plan, seed);
+        let tick = SimTime::from_us(100.0);
+        let lifetime_ticks = (lifetime.as_ns() / tick.as_ns()).ceil() as usize + 1;
+        let mut drained_at = None;
+        let mut done_at = None;
+        for i in 0..MAX_TICKS {
+            let rep = m.run_tick(tick);
+            let c = m.migration_counters();
+            if drained_at.is_none() && rep.migration_backlog == 0 {
+                drained_at = Some(i);
+            }
+            if c.in_flight() == 0 && rep.migration_backlog == 0 {
+                done_at = Some(i);
+                break;
+            }
+        }
+        let drained = drained_at.expect("the queue never drained within the horizon");
+        let done = done_at.expect("in-flight transactions never terminated");
+        // Once no new transactions can start, the stragglers must resolve
+        // within one watchdog-bounded lifetime.
+        prop_assert!(
+            done <= drained + lifetime_ticks,
+            "transactions lived {} ticks past queue drain (bound {})",
+            done - drained,
+            lifetime_ticks
+        );
+    }
+}

@@ -61,6 +61,12 @@ pub enum FailReason {
     /// Transient in-flight failure: the copy aborted before touching the
     /// DMA engine and the destination reservation was released.
     Transient,
+    /// A copy transaction exhausted its dirty-retry budget: the page is
+    /// write-hot and stays put in the source tier.
+    WriteConflict,
+    /// A copy transaction hit the watchdog bound with no healthy channel
+    /// left to fail over to.
+    Watchdog,
 }
 
 impl FailReason {
@@ -69,6 +75,8 @@ impl FailReason {
         match self {
             FailReason::Outage => "outage",
             FailReason::Transient => "transient",
+            FailReason::WriteConflict => "write_conflict",
+            FailReason::Watchdog => "watchdog",
         }
     }
 }
@@ -104,6 +112,32 @@ pub enum EventKind {
         dst: u8,
         /// Failure class.
         reason: FailReason,
+    },
+    /// A copy transaction's validation found the snapshot dirtied by a
+    /// concurrent write; the transaction backs off and re-copies (or
+    /// aborts with [`FailReason::WriteConflict`] once out of retries).
+    TxnDirty {
+        /// Page whose copy was invalidated.
+        vpn: Vpn,
+        /// The copy pass that just failed validation (1-based).
+        attempt: u32,
+    },
+    /// The watchdog moved a stuck copy transaction to a healthy channel.
+    TxnFailover {
+        /// Page whose transaction failed over.
+        vpn: Vpn,
+        /// The stalled channel being abandoned.
+        from_channel: u32,
+        /// The healthy channel restarting the copy.
+        to_channel: u32,
+    },
+    /// A batch of validated copy transactions committed under one TLB
+    /// shootdown and flipped their mappings together.
+    BatchCommit {
+        /// Transactions committed by this shootdown.
+        pages: u64,
+        /// Shootdown cost charged to the batch, ns.
+        cost_ns: f64,
     },
     /// The retry queue successfully re-enqueued a parked migration.
     MigrationRetry {
@@ -171,6 +205,9 @@ pub enum EventKind {
         evacuated: u64,
         /// Migrations aborted by an engine outage.
         outage_aborts: u64,
+        /// Copy-transaction validations forced dirty by a write-conflict
+        /// storm.
+        storm_dirties: u64,
     },
     /// A tier-shrink hard fault force-evacuated pages this tick.
     TierEvacuation {
@@ -195,6 +232,9 @@ impl EventKind {
             EventKind::MigrationStart { .. } => "migration_start",
             EventKind::MigrationComplete { .. } => "migration_complete",
             EventKind::MigrationFail { .. } => "migration_fail",
+            EventKind::TxnDirty { .. } => "txn_dirty",
+            EventKind::TxnFailover { .. } => "txn_failover",
+            EventKind::BatchCommit { .. } => "batch_commit",
             EventKind::MigrationRetry { .. } => "migration_retry",
             EventKind::RetryExhausted { .. } => "retry_exhausted",
             EventKind::WatermarkMove { .. } => "watermark_move",
@@ -249,6 +289,16 @@ mod tests {
                 src: 1,
                 dst: 0,
             },
+            EventKind::TxnDirty { vpn: 1, attempt: 2 },
+            EventKind::TxnFailover {
+                vpn: 1,
+                from_channel: 0,
+                to_channel: 1,
+            },
+            EventKind::BatchCommit {
+                pages: 8,
+                cost_ns: 4000.0,
+            },
             EventKind::EquilibriumReset,
             EventKind::WorkloadShift {
                 what: "x".to_string(),
@@ -258,6 +308,8 @@ mod tests {
             assert!(k.name().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }
         assert_eq!(FailReason::Outage.name(), "outage");
+        assert_eq!(FailReason::WriteConflict.name(), "write_conflict");
+        assert_eq!(FailReason::Watchdog.name(), "watchdog");
         assert_eq!(Source::Supervisor.name(), "supervisor");
     }
 }

@@ -91,6 +91,23 @@ fn write_event_line(out: &mut String, seq: u64, ev: &Event) {
             push_field_u64(out, "vpn", *vpn);
             push_field_u64(out, "dst", *dst as u64);
         }
+        EventKind::TxnDirty { vpn, attempt } => {
+            push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "attempt", *attempt as u64);
+        }
+        EventKind::TxnFailover {
+            vpn,
+            from_channel,
+            to_channel,
+        } => {
+            push_field_u64(out, "vpn", *vpn);
+            push_field_u64(out, "from_channel", *from_channel as u64);
+            push_field_u64(out, "to_channel", *to_channel as u64);
+        }
+        EventKind::BatchCommit { pages, cost_ns } => {
+            push_field_u64(out, "pages", *pages);
+            push_field_f64(out, "cost_ns", *cost_ns);
+        }
         EventKind::WatermarkMove { p_lo, p_hi, reset } => {
             push_field_f64(out, "p_lo", *p_lo);
             push_field_f64(out, "p_hi", *p_hi);
@@ -126,6 +143,7 @@ fn write_event_line(out: &mut String, seq: u64, ev: &Event) {
             pebs_dropped,
             evacuated,
             outage_aborts,
+            storm_dirties,
         } => {
             push_field_u64(out, "noisy", *noisy);
             push_field_u64(out, "stale", *stale);
@@ -134,6 +152,7 @@ fn write_event_line(out: &mut String, seq: u64, ev: &Event) {
             push_field_u64(out, "pebs_dropped", *pebs_dropped);
             push_field_u64(out, "evacuated", *evacuated);
             push_field_u64(out, "outage_aborts", *outage_aborts);
+            push_field_u64(out, "storm_dirties", *storm_dirties);
         }
         EventKind::TierEvacuation { pages } => {
             push_field_u64(out, "pages", *pages);
@@ -452,6 +471,9 @@ const KNOWN_EVENTS: &[&str] = &[
     "migration_start",
     "migration_complete",
     "migration_fail",
+    "txn_dirty",
+    "txn_failover",
+    "batch_commit",
     "migration_retry",
     "retry_exhausted",
     "watermark_move",
@@ -585,6 +607,39 @@ mod tests {
         assert!(log.lines().next().unwrap().contains("\"t_ps\":100000"));
         // Escaped quotes inside the workload-shift description.
         assert!(log.contains("antagonist \\\"stream\\\" -> 3x"));
+    }
+
+    #[test]
+    fn transactional_event_names_validate() {
+        let events = vec![
+            Event {
+                t: SimTime::ZERO,
+                source: Source::Machine,
+                kind: EventKind::TxnDirty { vpn: 1, attempt: 2 },
+            },
+            Event {
+                t: SimTime::from_ns(10.0),
+                source: Source::Machine,
+                kind: EventKind::TxnFailover {
+                    vpn: 1,
+                    from_channel: 0,
+                    to_channel: 1,
+                },
+            },
+            Event {
+                t: SimTime::from_ns(20.0),
+                source: Source::Machine,
+                kind: EventKind::BatchCommit {
+                    pages: 8,
+                    cost_ns: 4000.0,
+                },
+            },
+        ];
+        let log = events_to_ndjson(&events);
+        assert_eq!(validate_ndjson(&log), Ok(3));
+        assert!(log.contains("\"event\":\"txn_dirty\""));
+        assert!(log.contains("\"event\":\"txn_failover\""));
+        assert!(log.contains("\"event\":\"batch_commit\""));
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub fn describe_event(ev: &Event) -> String {
             format!("vpn {vpn} -> tier {dst} ({})", reason.name())
         }
         EventKind::MigrationRetry { vpn, dst } => format!("vpn {vpn} -> tier {dst}"),
+        EventKind::TxnDirty { vpn, attempt } => {
+            format!("vpn {vpn} snapshot dirtied on pass {attempt}")
+        }
+        EventKind::TxnFailover {
+            vpn,
+            from_channel,
+            to_channel,
+        } => format!("vpn {vpn} channel {from_channel} -> {to_channel}"),
+        EventKind::BatchCommit { pages, cost_ns } => {
+            format!("{pages} pages under one shootdown ({cost_ns:.0} ns)")
+        }
         EventKind::RetryExhausted { vpn, dst } => format!("vpn {vpn} -> tier {dst} abandoned"),
         EventKind::WatermarkMove { p_lo, p_hi, reset } => {
             if *reset {
@@ -71,6 +82,7 @@ pub fn describe_event(ev: &Event) -> String {
             pebs_dropped,
             evacuated,
             outage_aborts,
+            storm_dirties,
         } => {
             let mut parts = Vec::new();
             for (label, n) in [
@@ -81,6 +93,7 @@ pub fn describe_event(ev: &Event) -> String {
                 ("pebs", *pebs_dropped),
                 ("evac", *evacuated),
                 ("outage", *outage_aborts),
+                ("storm", *storm_dirties),
             ] {
                 if n > 0 {
                     parts.push(format!("{label} {n}"));

@@ -205,7 +205,7 @@ impl HeMem {
                     if !self.budget.try_take_page() {
                         return false;
                     }
-                    if machine.enqueue_migration(vpn, down) {
+                    if machine.enqueue_migration(vpn, down).is_ok() {
                         self.bins.move_tier(vpn, down);
                         self.stats.demoted += 1;
                         return true;
@@ -289,10 +289,10 @@ impl TieringSystem for HeMem {
         // Migrations that aborted in flight never landed: re-sync the bins
         // with the page's actual tier and park the move for retry.
         self.retry.note_failures(report);
-        for &(vpn, _) in &report.failed_migrations {
-            if self.bins.tier_of(vpn).is_some() {
-                if let Some(actual) = machine.tier_of(vpn) {
-                    self.bins.move_tier(vpn, actual);
+        for f in &report.failed_migrations {
+            if self.bins.tier_of(f.vpn).is_some() {
+                if let Some(actual) = machine.tier_of(f.vpn) {
+                    self.bins.move_tier(f.vpn, actual);
                 }
             }
         }
@@ -445,7 +445,7 @@ mod tests {
         let mut m = small_machine();
         // Pre-fill default with cold pages so promotion must demote.
         for vpn in 200..256 {
-            m.enqueue_migration(vpn, TierId::DEFAULT);
+            let _ = m.enqueue_migration(vpn, TierId::DEFAULT);
         }
         m.run_tick(SimTime::from_ms(1.0));
         let mut h = HeMem::new(params(false));

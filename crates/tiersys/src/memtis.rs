@@ -588,7 +588,7 @@ mod tests {
         let mut m = small_machine();
         // Cold pages squat in the default tier.
         for vpn in 192..240 {
-            m.enqueue_migration(vpn, TierId::DEFAULT);
+            let _ = m.enqueue_migration(vpn, TierId::DEFAULT);
         }
         m.run_tick(SimTime::from_ms(2.0));
         let mut s = Memtis::new(params(false), MemtisConfig::default());

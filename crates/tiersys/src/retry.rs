@@ -26,7 +26,7 @@
 
 use std::collections::VecDeque;
 
-use memsim::{Machine, TickReport, TierId, Vpn};
+use memsim::{AbortReason, EnqueueError, Machine, TickReport, TierId, Vpn};
 
 /// Knobs for [`RetryQueue`].
 #[derive(Debug, Clone)]
@@ -81,6 +81,15 @@ pub struct RetryStats {
     pub uncaptured: u64,
     /// High-water mark of parked entries (queue-depth saturation signal).
     pub max_pending: u64,
+    /// Requests rejected because the destination tier had no free frame.
+    pub rejected_full: u64,
+    /// Requests rejected by the supervisor's admission freeze.
+    pub rejected_frozen: u64,
+    /// Requests rejected because the page already had a migration in
+    /// flight. Not parked: the in-flight transaction either commits (a
+    /// retry would be moot) or aborts (and re-enters via
+    /// [`RetryQueue::note_failures`]).
+    pub rejected_duplicate: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -145,16 +154,25 @@ impl RetryQueue {
     /// bookkeeping on `true` exactly as they would for a bare
     /// `enqueue_migration`.
     pub fn request(&mut self, machine: &mut Machine, vpn: Vpn, dst: TierId) -> bool {
-        if machine.enqueue_migration(vpn, dst) {
-            return true;
-        }
-        match machine.tier_of(vpn) {
+        let err = match machine.enqueue_migration(vpn, dst) {
+            Ok(()) => return true,
+            Err(e) => e,
+        };
+        match err {
             // Unmapped or already where it should be: nothing to retry.
-            None => self.stats.resolved_moot += 1,
-            Some(t) if t == dst => self.stats.resolved_moot += 1,
-            // Destination full (or page pinned): park for a backoff retry —
-            // but only under an active fault plan (see module docs).
-            Some(_) => {
+            EnqueueError::Moot => self.stats.resolved_moot += 1,
+            // A migration for this page is already in flight: it either
+            // commits (retry moot) or aborts and re-enters via
+            // `note_failures` — parking now would double-drive the page.
+            EnqueueError::DuplicateInFlight => self.stats.rejected_duplicate += 1,
+            // Transient rejections: park for a backoff retry — but only
+            // under an active fault plan (see module docs).
+            EnqueueError::Pinned | EnqueueError::DestinationFull | EnqueueError::EngineFrozen => {
+                match err {
+                    EnqueueError::DestinationFull => self.stats.rejected_full += 1,
+                    EnqueueError::EngineFrozen => self.stats.rejected_frozen += 1,
+                    _ => {}
+                }
                 if machine.config().faults.is_active() {
                     self.schedule(vpn, dst);
                 } else {
@@ -165,11 +183,20 @@ impl RetryQueue {
         false
     }
 
-    /// Ingests a tick's in-flight migration failures (fault injection):
-    /// each aborted page is parked for retry.
+    /// Ingests a tick's in-flight migration failures: each aborted page is
+    /// parked for retry, with the typed abort reason shaping the delay —
+    /// a write-conflict abort means the page is write-hot *right now*, so
+    /// it cools for four times the base delay before the next attempt;
+    /// outage, transient and watchdog aborts retry on the base schedule.
     pub fn note_failures(&mut self, report: &TickReport) {
-        for &(vpn, dst) in &report.failed_migrations {
-            self.schedule(vpn, dst);
+        for f in &report.failed_migrations {
+            let delay = match f.reason {
+                AbortReason::WriteConflict => self.policy.base_delay_ticks.saturating_mul(4),
+                AbortReason::Outage | AbortReason::Transient | AbortReason::Watchdog => {
+                    self.policy.base_delay_ticks
+                }
+            };
+            self.schedule_after(f.vpn, f.dst, delay);
         }
     }
 
@@ -215,7 +242,7 @@ impl RetryQueue {
                 Some(_) => {}
             }
             self.stats.attempts += 1;
-            if machine.enqueue_migration(e.vpn, e.dst) {
+            if machine.enqueue_migration(e.vpn, e.dst).is_ok() {
                 self.stats.recovered += 1;
                 self.sink.emit(telemetry::Source::System, || {
                     telemetry::EventKind::MigrationRetry {
@@ -261,6 +288,10 @@ impl RetryQueue {
     }
 
     fn schedule(&mut self, vpn: Vpn, dst: TierId) {
+        self.schedule_after(vpn, dst, self.policy.base_delay_ticks);
+    }
+
+    fn schedule_after(&mut self, vpn: Vpn, dst: TierId, delay: u64) {
         // Coalesce: a page already parked keeps its earlier slot (a second
         // rejection adds no information).
         if self.entries.iter().any(|e| e.vpn == vpn && e.dst == dst) {
@@ -275,7 +306,7 @@ impl RetryQueue {
             vpn,
             dst,
             attempts: 0,
-            due: self.tick + self.policy.base_delay_ticks,
+            due: self.tick + delay,
         });
         self.stats.max_pending = self.stats.max_pending.max(self.entries.len() as u64);
     }
@@ -319,7 +350,7 @@ mod tests {
         m.run_tick(SimTime::from_us(100.0));
         assert!(q.on_tick(&mut m).is_empty());
         // Free the frame by migrating page 0 back, then drain it.
-        assert!(m.enqueue_migration(0, TierId::DEFAULT));
+        m.enqueue_migration(0, TierId::DEFAULT).unwrap();
         m.run_tick(SimTime::from_ms(1.0));
         let mut recovered = Vec::new();
         for _ in 0..200 {
@@ -355,9 +386,9 @@ mod tests {
         assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
         // Page 0 leaves, page 1 gets migrated directly by someone else.
         m.run_tick(SimTime::from_ms(1.0));
-        assert!(m.enqueue_migration(0, TierId::DEFAULT));
+        m.enqueue_migration(0, TierId::DEFAULT).unwrap();
         m.run_tick(SimTime::from_ms(1.0));
-        assert!(m.enqueue_migration(1, TierId::ALTERNATE));
+        m.enqueue_migration(1, TierId::ALTERNATE).unwrap();
         m.run_tick(SimTime::from_ms(1.0));
         for _ in 0..10 {
             assert!(q.on_tick(&mut m).is_empty());
@@ -476,6 +507,80 @@ mod tests {
     }
 
     #[test]
+    fn typed_rejections_are_counted() {
+        let mut m = machine(1);
+        let mut q = RetryQueue::new(RetryPolicy::default());
+        assert!(q.request(&mut m, 0, TierId::ALTERNATE));
+        // Destination full: parked (fault plan is active) and counted.
+        assert!(!q.request(&mut m, 1, TierId::ALTERNATE));
+        assert_eq!(q.stats().rejected_full, 1);
+        // Duplicate in-flight (transactional engine): counted but NOT
+        // parked — the in-flight migration settles the page one way or the
+        // other.
+        let mut txn = {
+            let mut cfg = MachineConfig::icelake_two_tier();
+            cfg.engine = memsim::MigrationEngineConfig::transactional();
+            cfg.faults.pebs_loss_prob = 0.5;
+            let mut m = Machine::new(cfg);
+            m.place_range(0..64, TierId::DEFAULT);
+            m
+        };
+        assert!(q.request(&mut txn, 0, TierId::ALTERNATE));
+        assert!(!q.request(&mut txn, 0, TierId::ALTERNATE));
+        assert_eq!(q.stats().rejected_duplicate, 1);
+        assert_eq!(q.pending(), 1);
+        // Admission freeze (on a machine with room): parked and counted.
+        let mut frozen = machine(8);
+        frozen.set_migration_admission_limit(Some(0));
+        assert!(!q.request(&mut frozen, 2, TierId::ALTERNATE));
+        assert_eq!(q.stats().rejected_frozen, 1);
+        assert_eq!(q.pending(), 2);
+    }
+
+    #[test]
+    fn write_conflict_aborts_cool_longer_before_retry() {
+        let mut q = RetryQueue::new(RetryPolicy {
+            base_delay_ticks: 2,
+            ..RetryPolicy::default()
+        });
+        let report = |reason| memsim::TickReport {
+            failed_migrations: vec![memsim::FailedMigration {
+                vpn: 7,
+                dst: TierId::ALTERNATE,
+                reason,
+            }],
+            ..sample_report()
+        };
+        q.note_failures(&report(memsim::AbortReason::WriteConflict));
+        assert_eq!(q.entries[0].due, q.tick + 8, "4x base delay");
+        q.entries.clear();
+        q.note_failures(&report(memsim::AbortReason::Watchdog));
+        assert_eq!(q.entries[0].due, q.tick + 2, "base delay");
+        assert_eq!(q.stats().scheduled, 2);
+    }
+
+    /// An empty TickReport scaffold for synthesizing failure reports.
+    fn sample_report() -> memsim::TickReport {
+        memsim::TickReport {
+            t_start: SimTime::ZERO,
+            t_end: SimTime::from_ms(1.0),
+            tiers: Vec::new(),
+            pebs: Vec::new(),
+            faults: Vec::new(),
+            app_ops: 0,
+            migrated_bytes: 0,
+            migration_backlog: 0,
+            mig_copy_ns: None,
+            mig_copy_pair_ns: Vec::new(),
+            true_latency_ns: Vec::new(),
+            fault_stats: memsim::FaultStats::default(),
+            failed_migrations: Vec::new(),
+            txn: memsim::TxnTickStats::default(),
+            evacuated: Vec::new(),
+        }
+    }
+
+    #[test]
     fn backlog_defers_retries() {
         let mut m = machine(64);
         // Flood the migration queue well past the threshold.
@@ -484,7 +589,7 @@ mod tests {
             ..RetryPolicy::default()
         });
         for vpn in 0..32 {
-            m.enqueue_migration(vpn, TierId::ALTERNATE);
+            m.enqueue_migration(vpn, TierId::ALTERNATE).unwrap();
         }
         assert!(m.migration_backlog() > 4);
         // Park an entry (destination still has room, so force one in by

@@ -527,6 +527,42 @@ impl Supervisor {
         }
     }
 
+    /// Adapts the transactional engine to observed conflict pressure: when
+    /// aborts and dirty retries dominate the transactions begun this tick,
+    /// halve both the in-flight window (fewer concurrent snapshots racing
+    /// writers) and the shootdown batch (shorter commit linger, shorter
+    /// conflict exposure); when pressure subsides, step both back toward
+    /// the configured operating point one notch per tick. A no-op on the
+    /// exclusive legacy engine, so fault-free experiments are untouched.
+    fn tune_engine(&mut self, machine: &mut Machine, report: &TickReport) {
+        let e = &machine.config().engine;
+        let (transactional, cfg_batch, cfg_channels) =
+            (e.transactional, e.shootdown_batch, e.channels);
+        if !transactional || report.txn.begun == 0 {
+            return;
+        }
+        let t = &report.txn;
+        let aborts = t.aborted_write_conflict + t.aborted_watchdog;
+        let pressure = (aborts * 4 + t.dirty_retries) as f64 / t.begun as f64;
+        let (batch, inflight) = machine.engine_tuning();
+        if pressure > 1.0 {
+            let (nb, ni) = ((batch / 2).max(1), (inflight / 2).max(1));
+            if (nb, ni) != (batch, inflight) {
+                machine.set_shootdown_batch(Some(nb));
+                machine.set_max_inflight_txns(Some(ni));
+            }
+        } else if pressure < 0.25 && (batch, inflight) != (cfg_batch, cfg_channels) {
+            let (nb, ni) = ((batch + 1).min(cfg_batch), (inflight + 1).min(cfg_channels));
+            if (nb, ni) == (cfg_batch, cfg_channels) {
+                machine.set_shootdown_batch(None);
+                machine.set_max_inflight_txns(None);
+            } else {
+                machine.set_shootdown_batch(Some(nb));
+                machine.set_max_inflight_txns(Some(ni));
+            }
+        }
+    }
+
     /// Sends a one-page canary migration: the coldest managed page of the
     /// default tier is demoted (least harmful probe). Its fate — success
     /// or an entry in the next tick's `failed_migrations` — is the only
@@ -551,7 +587,7 @@ impl Supervisor {
             .span_decision(telemetry::Source::Supervisor, "supervisor.probe", "probe");
         for i in 0..n_tiers {
             let dst = TierId(i as u8);
-            if dst != TierId::DEFAULT && machine.enqueue_migration(vpn, dst) {
+            if dst != TierId::DEFAULT && machine.enqueue_migration(vpn, dst).is_ok() {
                 self.probes_sent += 1;
                 self.sink.emit(telemetry::Source::Supervisor, || {
                     telemetry::EventKind::ProbeSent { vpn }
@@ -595,7 +631,7 @@ impl Supervisor {
                 if dst == src || machine.free_pages(dst) == 0 {
                     continue;
                 }
-                if machine.enqueue_migration(vpn, dst) {
+                if machine.enqueue_migration(vpn, dst).is_ok() {
                     moved += 1;
                     continue 'outer;
                 }
@@ -653,6 +689,7 @@ impl TieringSystem for Supervisor {
         };
 
         self.apply_mode(machine, mode, probe_tick);
+        self.tune_engine(machine, report);
 
         // The inner system always ingests the tick — frozen systems keep
         // their counters and heat metadata current; the admission cap and
@@ -901,7 +938,14 @@ mod tests {
         // Drive three all-fail ticks by synthesizing reports.
         let mut rep = m.run_tick(SimTime::from_us(100.0));
         for _ in 0..3 {
-            rep.failed_migrations = vec![(0, TierId::ALTERNATE); 4];
+            rep.failed_migrations = vec![
+                memsim::FailedMigration {
+                    vpn: 0,
+                    dst: TierId::ALTERNATE,
+                    reason: memsim::AbortReason::Transient,
+                };
+                4
+            ];
             sup.on_tick(&mut m, &rep);
         }
         assert_eq!(sup.mode(), SupervisorMode::Frozen);

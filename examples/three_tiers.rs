@@ -47,7 +47,7 @@ impl ThreeTierColloid {
                 if !self.budget.try_take_page() {
                     return false;
                 }
-                if machine.enqueue_migration(vpn, below) {
+                if machine.enqueue_migration(vpn, below).is_ok() {
                     self.bins.move_tier(vpn, below);
                     return true;
                 }
@@ -94,7 +94,7 @@ impl ThreeTierColloid {
                     if !self.budget.try_take_page() {
                         return;
                     }
-                    if machine.enqueue_migration(vpn, to) {
+                    if machine.enqueue_migration(vpn, to).is_ok() {
                         self.bins.move_tier(vpn, to);
                         rem_p -= prob;
                         rem_bytes -= PAGE_SIZE;
