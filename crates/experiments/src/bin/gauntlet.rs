@@ -1,0 +1,153 @@
+//! Runs the adaptivity gauntlet: every tiering system (± Colloid,
+//! ± supervisor, both migration engines) against phase-shifting, diurnal,
+//! and adversarial traces plus the committed NDJSON fixture replay.
+//!
+//! Flags:
+//!
+//! - `--quick` / `COLLOID_QUICK=1` — shortened runs for CI;
+//! - `--smoke` — enforce the self-validation gates (replay bit-identity,
+//!   page conservation, supervised Colloid beating bare vanilla in the
+//!   adversarial column) with a non-zero exit on failure;
+//! - `--replay <path>` — replay a different NDJSON trace in the fixture
+//!   column (corrupt or empty files exit cleanly with a typed error);
+//! - `--gen-fixture` — regenerate the committed fixture trace and its
+//!   golden replay digest (EXPERIMENTS.md documents the workflow).
+//!
+//! The score tables are also written to `gauntlet_out/scores.txt` (the CI
+//! job uploads them as an artifact).
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use experiments::gauntlet::{self, GauntletScenario};
+use tiersys::SystemKind;
+use workloads::{trace_from_ndjson, Trace, TraceReplayer};
+
+/// Records in the committed fixture (quick-mode scale: the file stays
+/// small enough to commit, the replay still exercises wrap-around).
+const FIXTURE_RECORDS: usize = 1024;
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/gauntlet_phase_shift.ndjson")
+}
+
+fn golden_digest_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/gauntlet_fixture_digest.txt")
+}
+
+/// Loads and validates an NDJSON fixture, surfacing corrupt or empty
+/// files as clean errors (exit 2), never panics.
+fn load_fixture(path: &Path) -> Result<Arc<Trace>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let trace =
+        trace_from_ndjson(&text).map_err(|e| format!("invalid trace {}: {e}", path.display()))?;
+    let trace = Arc::new(trace);
+    // Reject empty traces here with the typed replay error so the matrix
+    // never panics on them.
+    TraceReplayer::try_new(Arc::clone(&trace))
+        .map_err(|e| format!("unusable trace {}: {e}", path.display()))?;
+    Ok(trace)
+}
+
+fn gen_fixture(sc: &GauntletScenario) {
+    let ndjson = gauntlet::capture_fixture_ndjson(sc, FIXTURE_RECORDS);
+    let fixture = fixture_path();
+    std::fs::create_dir_all(fixture.parent().unwrap()).expect("create fixtures dir");
+    std::fs::write(&fixture, &ndjson).expect("write fixture");
+    println!("wrote {} ({} bytes)", fixture.display(), ndjson.len());
+
+    // Golden digest: the fixture replayed through the capture-shape cell.
+    let trace = Arc::new(trace_from_ndjson(&ndjson).expect("fixture re-imports"));
+    let cell = gauntlet::run_fixture_cell(sc, &trace, SystemKind::Hemem, true, false, false)
+        .expect("fixture replays");
+    let digest = format!(
+        "{:.6} {} {}\n",
+        cell.ops_per_sec / 1e6,
+        cell.accounting.completed,
+        gauntlet::fixture_replay_digest(sc, &trace)
+    );
+    let golden = golden_digest_path();
+    std::fs::write(&golden, &digest).expect("write golden digest");
+    println!("wrote {}: {digest}", golden.display());
+}
+
+fn main() {
+    let quick = experiments::quick_requested();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let replay_arg = args
+        .iter()
+        .position(|a| a == "--replay")
+        .map(|i| PathBuf::from(args.get(i + 1).cloned().unwrap_or_default()));
+    let sc = GauntletScenario::paper_default(quick);
+
+    if args.iter().any(|a| a == "--gen-fixture") {
+        gen_fixture(&sc);
+        return;
+    }
+
+    println!(
+        "Adaptivity gauntlet: {} ws pages, hot {}, default tier {} pages, {} ticks/cell{}",
+        sc.ws_pages,
+        sc.hot_pages,
+        sc.default_pages,
+        sc.run_ticks,
+        if quick { " (quick)" } else { "" },
+    );
+
+    // Fixture column: the committed trace, or the user's --replay file.
+    let path = replay_arg.unwrap_or_else(fixture_path);
+    let fixture = match load_fixture(&path) {
+        Ok(t) => {
+            println!("fixture: {} ({} records)", path.display(), t.len());
+            Some(t)
+        }
+        Err(e) => {
+            eprintln!("fixture error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Replay-determinism proof (always reported; gated under --smoke).
+    let det = match gauntlet::determinism_check(&sc) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("determinism check failed to run: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "replay determinism: {} records, {} NDJSON bytes, original {} / replay {} / replay2 {}, events match: {}",
+        det.records,
+        det.ndjson_bytes,
+        det.original_digest,
+        det.replay_digest,
+        det.replay2_digest,
+        det.events_match
+    );
+
+    let outcomes = gauntlet::run_matrix(&sc, fixture.as_ref());
+    let mut report = String::new();
+    for outcome in &outcomes {
+        report.push_str(&gauntlet::render(&sc, outcome));
+        report.push('\n');
+    }
+    print!("{report}");
+
+    std::fs::create_dir_all("gauntlet_out").expect("create gauntlet_out");
+    std::fs::write("gauntlet_out/scores.txt", &report).expect("write score table");
+    println!("score tables written to gauntlet_out/scores.txt");
+
+    if smoke {
+        let fails = gauntlet::smoke_failures(&sc, &outcomes, &det);
+        if fails.is_empty() {
+            println!("smoke: ok");
+        } else {
+            for f in &fails {
+                eprintln!("smoke FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

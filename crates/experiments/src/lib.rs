@@ -32,6 +32,12 @@
 //! - [`degradation`] — the hard-fault matrix (binary `degradation`):
 //!   tier shrink, permanent bandwidth collapse, and engine outages, each
 //!   run with and without the [`tiersys::Supervisor`].
+//! - [`gauntlet`] — the adaptivity gauntlet (binary `gauntlet`): every
+//!   system ± Colloid ± supervisor, both migration engines, against
+//!   phase-shifting/diurnal/adversarial traces plus replayed NDJSON
+//!   fixtures, scored on time-to-equilibrium, wasted migration, and
+//!   worst-window tail latency, with a record → export → import → replay
+//!   bit-identity proof (DESIGN.md §14).
 //! - [`migration`] — the transactional-migration matrix (binary
 //!   `migration`): the exclusive legacy engine vs the multi-channel
 //!   transactional engine under write-conflict storms and channel
@@ -43,6 +49,7 @@
 
 pub mod degradation;
 pub mod figures;
+pub mod gauntlet;
 pub mod migration;
 pub mod multitier;
 pub mod oracle;

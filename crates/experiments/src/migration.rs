@@ -331,7 +331,7 @@ pub fn render(cells: &[MigrationCell]) -> String {
     t.render()
 }
 
-fn cell<'a>(cells: &'a [MigrationCell], engine: EngineKind, stress: Stress) -> &'a MigrationCell {
+fn cell(cells: &[MigrationCell], engine: EngineKind, stress: Stress) -> &MigrationCell {
     cells
         .iter()
         .find(|c| c.engine == engine && c.stress == stress)

@@ -1,0 +1,547 @@
+//! Adaptive traffic generators for the gauntlet (DESIGN.md §14).
+//!
+//! The paper-figure generators shift at most once; these streams *keep*
+//! shifting, producing the phase-shifting / diurnal / adversarial shapes
+//! that ARMS-style adaptivity scoring needs:
+//!
+//! - [`PhaseShiftStream`] — the hot set rotates through the working set on
+//!   a fixed schedule (MaxMem-style phase churn);
+//! - [`DiurnalStream`] — the active window breathes sinusoidally over a
+//!   simulated day (diurnal load);
+//! - [`AdversarialStream`] — the hot set flips between two anti-phase
+//!   regions on a period chosen near the controller's observation
+//!   quantum, maximising ping-pong and wasted migration.
+//!
+//! Every stream derives its schedule purely from simulated time and its
+//! config, and draws pages only from the per-core RNG the machine hands
+//! it — so a given (config, machine seed) pair is fully deterministic and
+//! recordable to NDJSON. Configs default `llc_hit_prob` to `0.0`: the
+//! machine's LLC-hit sampling draws from the *same* per-core RNG as the
+//! stream, so a recorded run replays bit-identically only when no LLC
+//! draws are taken (see DESIGN.md §14).
+
+use memsim::{AccessStream, ObjectAccess, Vpn, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use simkit::SimTime;
+
+/// Shift instants of a periodic schedule within `[0, horizon)`, excluding
+/// the trivial shift at `t = 0`. Used by the gauntlet to cut the run into
+/// per-shift scoring windows.
+fn periodic_shift_times(period: SimTime, horizon: SimTime) -> Vec<SimTime> {
+    let p = period.as_ps().max(1);
+    (1..)
+        .map(|k| SimTime::from_ps(k * p))
+        .take_while(|t| *t < horizon)
+        .collect()
+}
+
+fn draw_object(
+    rng: &mut SmallRng,
+    page: Vpn,
+    object_size: u32,
+    write_fraction: f64,
+    llc_hit_prob: f32,
+) -> ObjectAccess {
+    let objects_per_page = PAGE_SIZE / object_size.next_power_of_two().max(64) as u64;
+    let slot = rng.gen_range(0..objects_per_page);
+    let stride = PAGE_SIZE / objects_per_page;
+    ObjectAccess {
+        vaddr: page * PAGE_SIZE + slot * stride,
+        size: object_size,
+        is_write: rng.gen_bool(write_fraction),
+        dependent: false,
+        llc_hit_prob,
+    }
+}
+
+fn validate_common(
+    ws_pages: u64,
+    hot_pages: u64,
+    hot_prob: f64,
+    object_size: u32,
+    write_fraction: f64,
+    llc_hit_prob: f32,
+) -> Result<(), String> {
+    if hot_pages == 0 || hot_pages > ws_pages {
+        return Err("hot set must be non-empty and fit in the working set".into());
+    }
+    if !(0.0..=1.0).contains(&hot_prob) || !(0.0..=1.0).contains(&write_fraction) {
+        return Err("probabilities must be in [0,1]".into());
+    }
+    if !(0.0..=1.0).contains(&llc_hit_prob) {
+        return Err("llc_hit_prob must be in [0,1]".into());
+    }
+    if object_size == 0 || object_size as u64 > PAGE_SIZE {
+        return Err("object size must be in 1..=4096".into());
+    }
+    Ok(())
+}
+
+// --- phase shift ---------------------------------------------------------
+
+/// Configuration of a [`PhaseShiftStream`].
+#[derive(Debug, Clone)]
+pub struct PhaseShiftConfig {
+    /// First page of the working-set buffer.
+    pub base_vpn: Vpn,
+    /// Working-set size in pages.
+    pub ws_pages: u64,
+    /// Hot-set size in pages.
+    pub hot_pages: u64,
+    /// Probability of drawing from the current hot region.
+    pub hot_prob: f64,
+    /// How long each phase lasts before the hot set rotates.
+    pub period: SimTime,
+    /// Pages the hot region advances per rotation (wraps within the
+    /// working set). Defaults to `hot_pages` (fully disjoint phases).
+    pub stride_pages: u64,
+    /// Object size in bytes.
+    pub object_size: u32,
+    /// Fraction of operations that write.
+    pub write_fraction: f64,
+    /// Per-line LLC hit probability. Keep `0.0` for replayable captures.
+    pub llc_hit_prob: f32,
+}
+
+impl PhaseShiftConfig {
+    /// A gauntlet-scale default: 4096-page working set, 1024-page hot set
+    /// rotating by a full hot-set width each period.
+    pub fn gauntlet_default(base_vpn: Vpn, period: SimTime) -> Self {
+        PhaseShiftConfig {
+            base_vpn,
+            ws_pages: 4096,
+            hot_pages: 1024,
+            hot_prob: 0.9,
+            period,
+            stride_pages: 1024,
+            object_size: 64,
+            write_fraction: 0.5,
+            llc_hit_prob: 0.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_common(
+            self.ws_pages,
+            self.hot_pages,
+            self.hot_prob,
+            self.object_size,
+            self.write_fraction,
+            self.llc_hit_prob,
+        )?;
+        if self.period == SimTime::ZERO {
+            return Err("phase period must be positive".into());
+        }
+        if self.stride_pages == 0 {
+            return Err("stride must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Offset (pages within the working set) of the hot region at `now`.
+    pub fn offset_at(&self, now: SimTime) -> u64 {
+        let k = now.as_ps() / self.period.as_ps();
+        // Rotate within the positions where the hot region still fits.
+        (k * self.stride_pages) % (self.ws_pages - self.hot_pages + 1)
+    }
+
+    /// Shift instants within `[0, horizon)` (for per-shift scoring).
+    pub fn shift_times(&self, horizon: SimTime) -> Vec<SimTime> {
+        periodic_shift_times(self.period, horizon)
+    }
+}
+
+/// Hot-set rotation on a schedule: every `period` the hot region advances
+/// `stride_pages` through the working set.
+#[derive(Debug, Clone)]
+pub struct PhaseShiftStream {
+    cfg: PhaseShiftConfig,
+}
+
+impl PhaseShiftStream {
+    /// Creates a stream; fails if the configuration is inconsistent.
+    pub fn new(cfg: PhaseShiftConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(PhaseShiftStream { cfg })
+    }
+
+    /// Current hot region at `now`.
+    pub fn hot_range_at(&self, now: SimTime) -> std::ops::Range<Vpn> {
+        let off = self.cfg.offset_at(now);
+        self.cfg.base_vpn + off..self.cfg.base_vpn + off + self.cfg.hot_pages
+    }
+}
+
+impl AccessStream for PhaseShiftStream {
+    fn next(&mut self, now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        let page = if rng.gen_bool(self.cfg.hot_prob) {
+            self.cfg.base_vpn + self.cfg.offset_at(now) + rng.gen_range(0..self.cfg.hot_pages)
+        } else {
+            self.cfg.base_vpn + rng.gen_range(0..self.cfg.ws_pages)
+        };
+        draw_object(
+            rng,
+            page,
+            self.cfg.object_size,
+            self.cfg.write_fraction,
+            self.cfg.llc_hit_prob,
+        )
+    }
+}
+
+// --- diurnal -------------------------------------------------------------
+
+/// Configuration of a [`DiurnalStream`].
+#[derive(Debug, Clone)]
+pub struct DiurnalConfig {
+    /// First page of the working-set buffer.
+    pub base_vpn: Vpn,
+    /// Working-set size in pages.
+    pub ws_pages: u64,
+    /// Probability of drawing from the active window.
+    pub hot_prob: f64,
+    /// Length of one simulated day.
+    pub period: SimTime,
+    /// Smallest active window (pages, "night").
+    pub min_active_pages: u64,
+    /// Largest active window (pages, "peak").
+    pub max_active_pages: u64,
+    /// Object size in bytes.
+    pub object_size: u32,
+    /// Fraction of operations that write.
+    pub write_fraction: f64,
+    /// Per-line LLC hit probability. Keep `0.0` for replayable captures.
+    pub llc_hit_prob: f32,
+}
+
+impl DiurnalConfig {
+    /// A gauntlet-scale default: the active window breathes between 512
+    /// and 2048 pages of a 4096-page working set over one period.
+    pub fn gauntlet_default(base_vpn: Vpn, period: SimTime) -> Self {
+        DiurnalConfig {
+            base_vpn,
+            ws_pages: 4096,
+            hot_prob: 0.9,
+            period,
+            min_active_pages: 512,
+            max_active_pages: 2048,
+            object_size: 64,
+            write_fraction: 0.5,
+            llc_hit_prob: 0.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_common(
+            self.ws_pages,
+            self.max_active_pages,
+            self.hot_prob,
+            self.object_size,
+            self.write_fraction,
+            self.llc_hit_prob,
+        )?;
+        if self.min_active_pages == 0 || self.min_active_pages > self.max_active_pages {
+            return Err("need 0 < min_active_pages <= max_active_pages".into());
+        }
+        if self.period == SimTime::ZERO {
+            return Err("diurnal period must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Active-window size (pages) at `now`: sinusoidal between min and
+    /// max, starting at the minimum ("midnight") at `t = 0`.
+    pub fn active_pages_at(&self, now: SimTime) -> u64 {
+        let frac = (now.as_ps() % self.period.as_ps()) as f64 / self.period.as_ps() as f64;
+        let wave = 0.5 - 0.5 * (std::f64::consts::TAU * frac).cos(); // 0 at t=0, 1 at half period
+        let span = (self.max_active_pages - self.min_active_pages) as f64;
+        self.min_active_pages + (wave * span).round() as u64
+    }
+
+    /// Quarter-period instants within `[0, horizon)` — the steepest points
+    /// of the sinusoid, used as nominal "shift" markers for scoring.
+    pub fn shift_times(&self, horizon: SimTime) -> Vec<SimTime> {
+        periodic_shift_times(SimTime::from_ps(self.period.as_ps() / 4), horizon)
+    }
+}
+
+/// Sinusoidal intensity over simulated hours: the active window (always
+/// anchored at the start of the buffer) grows and shrinks smoothly, so
+/// tier pressure rises through the "day" and falls at "night".
+#[derive(Debug, Clone)]
+pub struct DiurnalStream {
+    cfg: DiurnalConfig,
+}
+
+impl DiurnalStream {
+    /// Creates a stream; fails if the configuration is inconsistent.
+    pub fn new(cfg: DiurnalConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(DiurnalStream { cfg })
+    }
+}
+
+impl AccessStream for DiurnalStream {
+    fn next(&mut self, now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        let active = self.cfg.active_pages_at(now);
+        let page = if rng.gen_bool(self.cfg.hot_prob) {
+            self.cfg.base_vpn + rng.gen_range(0..active)
+        } else {
+            self.cfg.base_vpn + rng.gen_range(0..self.cfg.ws_pages)
+        };
+        draw_object(
+            rng,
+            page,
+            self.cfg.object_size,
+            self.cfg.write_fraction,
+            self.cfg.llc_hit_prob,
+        )
+    }
+}
+
+// --- adversarial ---------------------------------------------------------
+
+/// Configuration of an [`AdversarialStream`].
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// First page of the working-set buffer.
+    pub base_vpn: Vpn,
+    /// Working-set size in pages.
+    pub ws_pages: u64,
+    /// Hot-set size in pages (each of the two regions).
+    pub hot_pages: u64,
+    /// Offset (pages) of region A.
+    pub offset_a: u64,
+    /// Offset (pages) of region B. Must not overlap region A.
+    pub offset_b: u64,
+    /// Probability of drawing from the currently-hot region.
+    pub hot_prob: f64,
+    /// Flip period. Chosen near the tiering controller's observation
+    /// quantum, each flip lands just as the controller has committed to
+    /// the previous region — the anti-phase worst case.
+    pub flip_period: SimTime,
+    /// Object size in bytes.
+    pub object_size: u32,
+    /// Fraction of operations that write.
+    pub write_fraction: f64,
+    /// Per-line LLC hit probability. Keep `0.0` for replayable captures.
+    pub llc_hit_prob: f32,
+}
+
+impl AdversarialConfig {
+    /// A gauntlet-scale default: two disjoint 1024-page regions at the
+    /// two ends of a 4096-page working set, flipping every `flip_period`.
+    pub fn gauntlet_default(base_vpn: Vpn, flip_period: SimTime) -> Self {
+        AdversarialConfig {
+            base_vpn,
+            ws_pages: 4096,
+            hot_pages: 1024,
+            offset_a: 0,
+            offset_b: 3072,
+            hot_prob: 0.95,
+            flip_period,
+            object_size: 64,
+            write_fraction: 0.5,
+            llc_hit_prob: 0.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        validate_common(
+            self.ws_pages,
+            self.hot_pages,
+            self.hot_prob,
+            self.object_size,
+            self.write_fraction,
+            self.llc_hit_prob,
+        )?;
+        for off in [self.offset_a, self.offset_b] {
+            if off + self.hot_pages > self.ws_pages {
+                return Err("hot region exceeds working set".into());
+            }
+        }
+        let (lo, hi) = if self.offset_a <= self.offset_b {
+            (self.offset_a, self.offset_b)
+        } else {
+            (self.offset_b, self.offset_a)
+        };
+        if lo + self.hot_pages > hi {
+            return Err("regions A and B overlap".into());
+        }
+        if self.flip_period == SimTime::ZERO {
+            return Err("flip period must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Offset of the hot region at `now` (A on even flips, B on odd).
+    pub fn offset_at(&self, now: SimTime) -> u64 {
+        if (now.as_ps() / self.flip_period.as_ps()).is_multiple_of(2) {
+            self.offset_a
+        } else {
+            self.offset_b
+        }
+    }
+
+    /// Flip instants within `[0, horizon)` (for per-shift scoring).
+    pub fn shift_times(&self, horizon: SimTime) -> Vec<SimTime> {
+        periodic_shift_times(self.flip_period, horizon)
+    }
+}
+
+/// Anti-phase hot-set flips: all heat concentrates on region A, then —
+/// just as the controller finishes pulling A into the default tier — the
+/// heat jumps to region B, and back again. Migration work done for the
+/// previous phase is wasted by construction.
+#[derive(Debug, Clone)]
+pub struct AdversarialStream {
+    cfg: AdversarialConfig,
+}
+
+impl AdversarialStream {
+    /// Creates a stream; fails if the configuration is inconsistent.
+    pub fn new(cfg: AdversarialConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        Ok(AdversarialStream { cfg })
+    }
+
+    /// Current hot region at `now`.
+    pub fn hot_range_at(&self, now: SimTime) -> std::ops::Range<Vpn> {
+        let off = self.cfg.offset_at(now);
+        self.cfg.base_vpn + off..self.cfg.base_vpn + off + self.cfg.hot_pages
+    }
+}
+
+impl AccessStream for AdversarialStream {
+    fn next(&mut self, now: SimTime, rng: &mut SmallRng) -> ObjectAccess {
+        let page = if rng.gen_bool(self.cfg.hot_prob) {
+            self.cfg.base_vpn + self.cfg.offset_at(now) + rng.gen_range(0..self.cfg.hot_pages)
+        } else {
+            self.cfg.base_vpn + rng.gen_range(0..self.cfg.ws_pages)
+        };
+        draw_object(
+            rng,
+            page,
+            self.cfg.object_size,
+            self.cfg.write_fraction,
+            self.cfg.llc_hit_prob,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::rng::seed_from;
+
+    #[test]
+    fn phase_shift_rotates_on_schedule() {
+        let period = SimTime::from_us(100.0);
+        let cfg = PhaseShiftConfig::gauntlet_default(0, period);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.offset_at(SimTime::ZERO), 0);
+        assert_eq!(cfg.offset_at(SimTime::from_us(99.0)), 0);
+        assert_eq!(cfg.offset_at(SimTime::from_us(101.0)), 1024);
+        // Rotation wraps within positions where the hot region fits.
+        let wrapped = cfg.offset_at(SimTime::from_us(100.0) * 4);
+        assert!(wrapped + cfg.hot_pages <= cfg.ws_pages);
+        let shifts = cfg.shift_times(SimTime::from_us(350.0));
+        assert_eq!(
+            shifts,
+            vec![
+                SimTime::from_us(100.0),
+                SimTime::from_us(200.0),
+                SimTime::from_us(300.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn phase_shift_draws_follow_current_region() {
+        let period = SimTime::from_us(100.0);
+        let mut s = PhaseShiftStream::new(PhaseShiftConfig::gauntlet_default(0, period)).unwrap();
+        let mut rng = seed_from(3, 0);
+        let late = SimTime::from_us(150.0); // phase 1 ⇒ offset 1024
+        let hot = s.hot_range_at(late);
+        assert_eq!(hot, 1024..2048);
+        let mut in_hot = 0;
+        for _ in 0..10_000 {
+            let a = s.next(late, &mut rng);
+            if hot.contains(&(a.vaddr / PAGE_SIZE)) {
+                in_hot += 1;
+            }
+        }
+        assert!(in_hot > 8_500, "hot draws {in_hot}/10000");
+    }
+
+    #[test]
+    fn diurnal_window_breathes() {
+        let period = SimTime::from_ms(1.0);
+        let cfg = DiurnalConfig::gauntlet_default(0, period);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.active_pages_at(SimTime::ZERO), 512);
+        assert_eq!(cfg.active_pages_at(SimTime::from_us(500.0)), 2048);
+        let quarter = cfg.active_pages_at(SimTime::from_us(250.0));
+        assert!((quarter as i64 - 1280).abs() <= 1, "quarter {quarter}");
+        // One full period later the window is back to the minimum.
+        assert_eq!(cfg.active_pages_at(period), 512);
+    }
+
+    #[test]
+    fn diurnal_draws_stay_in_working_set() {
+        let period = SimTime::from_ms(1.0);
+        let mut s = DiurnalStream::new(DiurnalConfig::gauntlet_default(64, period)).unwrap();
+        let mut rng = seed_from(4, 0);
+        for i in 0..5_000u64 {
+            let now = SimTime::from_ps(i * period.as_ps() / 1000);
+            let a = s.next(now, &mut rng);
+            let vpn = a.vaddr / PAGE_SIZE;
+            assert!((64..64 + 4096).contains(&vpn), "vpn {vpn}");
+        }
+    }
+
+    #[test]
+    fn adversarial_flips_anti_phase() {
+        let flip = SimTime::from_us(200.0);
+        let cfg = AdversarialConfig::gauntlet_default(0, flip);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.offset_at(SimTime::from_us(50.0)), 0);
+        assert_eq!(cfg.offset_at(SimTime::from_us(250.0)), 3072);
+        assert_eq!(cfg.offset_at(SimTime::from_us(450.0)), 0);
+        let s = AdversarialStream::new(cfg).unwrap();
+        assert_eq!(s.hot_range_at(SimTime::from_us(250.0)), 3072..4096);
+    }
+
+    #[test]
+    fn streams_are_deterministic_from_seed() {
+        let period = SimTime::from_us(100.0);
+        let run = |seed| {
+            let mut s =
+                PhaseShiftStream::new(PhaseShiftConfig::gauntlet_default(0, period)).unwrap();
+            let mut rng = seed_from(seed, 0);
+            (0..64u64)
+                .map(|i| s.next(SimTime::from_us(i as f64 * 10.0), &mut rng).vaddr)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let t = SimTime::from_us(100.0);
+        let mut c = PhaseShiftConfig::gauntlet_default(0, t);
+        c.period = SimTime::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = DiurnalConfig::gauntlet_default(0, t);
+        c.min_active_pages = 0;
+        assert!(c.validate().is_err());
+        let mut c = AdversarialConfig::gauntlet_default(0, t);
+        c.offset_b = 512; // overlaps region A
+        assert!(c.validate().is_err());
+    }
+}

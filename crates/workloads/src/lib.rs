@@ -21,17 +21,29 @@
 //! - [`trace`] — record the accesses any stream produces and replay them
 //!   verbatim (A/B comparisons with identical access sequences, imported
 //!   traces, debugging).
+//! - [`ndjson`] — the schema-versioned NDJSON on-disk trace format:
+//!   export captures, commit them as fixtures, re-import bit-identically.
+//! - [`adaptive`] — the gauntlet generators (phase-shifting, diurnal,
+//!   adversarial anti-phase) whose workloads keep changing under the
+//!   tiering system (DESIGN.md §14).
 
+pub mod adaptive;
 pub mod antagonist;
 pub mod graph;
 pub mod gups;
 pub mod kvcache;
+pub mod ndjson;
 pub mod silo;
 pub mod trace;
 
+pub use adaptive::{
+    AdversarialConfig, AdversarialStream, DiurnalConfig, DiurnalStream, PhaseShiftConfig,
+    PhaseShiftStream,
+};
 pub use antagonist::{AntagonistConfig, AntagonistStream};
 pub use graph::{PageRankConfig, PageRankStream};
 pub use gups::{GupsConfig, GupsStream};
 pub use kvcache::{KvCacheConfig, KvCacheStream};
+pub use ndjson::{trace_from_ndjson, trace_to_ndjson, validate_trace_ndjson, TraceParseError};
 pub use silo::{SiloConfig, SiloStream};
-pub use trace::{Trace, TraceRecord, TraceRecorder, TraceReplayer};
+pub use trace::{ReplayError, Trace, TraceRecord, TraceRecorder, TraceReplayer};

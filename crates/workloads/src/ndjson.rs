@@ -1,0 +1,601 @@
+//! On-disk NDJSON format for access traces.
+//!
+//! A serialized [`Trace`] is newline-delimited JSON: a schema-versioned
+//! header object on the first line, then exactly one object per recorded
+//! access. Everything is hand-rolled (no serde — the build is offline) in
+//! the style of `telemetry::export`: the writer emits a canonical byte
+//! form, and the parser is strict enough to double as a structural
+//! validator, so a trace can be exported, committed as a fixture, and
+//! re-imported bit-identically.
+//!
+//! ```text
+//! {"schema":"colloid-trace","version":1,"records":3}
+//! {"seq":0,"t_ps":0,"vaddr":4194304,"size":64,"is_write":true,"dependent":false,"llc_hit_prob":0.0}
+//! {"seq":1,"t_ps":100000,"vaddr":8388608,"size":64,"is_write":false,"dependent":false,"llc_hit_prob":0.0}
+//! {"seq":2,"t_ps":100000,"vaddr":4194368,"size":64,"is_write":true,"dependent":false,"llc_hit_prob":0.0}
+//! ```
+//!
+//! Guarantees enforced on import (each violation is a typed
+//! [`TraceParseError`], never a panic):
+//!
+//! - the header line names the `colloid-trace` schema at a supported
+//!   version and declares the exact record count (truncated files fail);
+//! - `seq` is dense and zero-based;
+//! - `t_ps` is non-decreasing (traces are recorded in request order);
+//! - every field of every record parses exactly (`t_ps`/`vaddr` as full
+//!   `u64` — no float round-trip).
+
+use simkit::SimTime;
+
+use crate::trace::{Trace, TraceRecord};
+use memsim::ObjectAccess;
+
+/// Schema name emitted in (and required of) the header line.
+pub const SCHEMA: &str = "colloid-trace";
+/// Current format version.
+pub const VERSION: u64 = 1;
+
+/// Why an NDJSON trace failed to import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The input is empty or the first line is not a valid header object.
+    MissingHeader,
+    /// The header parsed but is malformed (wrong fields or types).
+    BadHeader(String),
+    /// The header names a schema other than [`SCHEMA`].
+    BadSchema(String),
+    /// The header's version is newer than this parser understands.
+    UnsupportedVersion(u64),
+    /// A record line failed to parse (1-based line number + reason).
+    Record {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A record's `seq` broke the dense zero-based ordering.
+    SeqOutOfOrder {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Expected sequence number.
+        expected: u64,
+        /// Sequence number found.
+        found: u64,
+    },
+    /// A record's `t_ps` went backwards relative to its predecessor.
+    NonMonotoneTime {
+        /// 1-based line number of the offending line.
+        line: usize,
+    },
+    /// The file ended before the header's declared record count.
+    Truncated {
+        /// Records the header promised.
+        expected: u64,
+        /// Records actually present.
+        found: u64,
+    },
+    /// Extra non-empty lines follow the declared record count.
+    TrailingData {
+        /// 1-based line number of the first extra line.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::MissingHeader => write!(f, "missing or unparsable header line"),
+            TraceParseError::BadHeader(why) => write!(f, "bad header: {why}"),
+            TraceParseError::BadSchema(got) => {
+                write!(f, "schema {got:?} is not {SCHEMA:?}")
+            }
+            TraceParseError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "version {v} unsupported (parser understands <= {VERSION})"
+                )
+            }
+            TraceParseError::Record { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+            TraceParseError::SeqOutOfOrder {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: seq {found} out of order (expected {expected})"
+            ),
+            TraceParseError::NonMonotoneTime { line } => {
+                write!(
+                    f,
+                    "line {line}: t_ps decreased (trace times are non-decreasing)"
+                )
+            }
+            TraceParseError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "truncated: header declares {expected} records, found {found}"
+                )
+            }
+            TraceParseError::TrailingData { line } => {
+                write!(f, "line {line}: data after the declared record count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+// --- writer --------------------------------------------------------------
+
+/// Serializes a trace in the canonical NDJSON form. The output re-imports
+/// via [`trace_from_ndjson`] to a record-identical trace, and re-exporting
+/// that import reproduces the same bytes.
+pub fn trace_to_ndjson(trace: &Trace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + trace.len() * 96);
+    let _ = writeln!(
+        out,
+        "{{\"schema\":\"{SCHEMA}\",\"version\":{VERSION},\"records\":{}}}",
+        trace.len()
+    );
+    for (seq, r) in trace.records().iter().enumerate() {
+        let a = &r.access;
+        // f32 via `{:?}` keeps the shortest representation that parses
+        // back to the identical value.
+        let _ = writeln!(
+            out,
+            "{{\"seq\":{seq},\"t_ps\":{},\"vaddr\":{},\"size\":{},\"is_write\":{},\
+             \"dependent\":{},\"llc_hit_prob\":{:?}}}",
+            r.at.as_ps(),
+            a.vaddr,
+            a.size,
+            a.is_write,
+            a.dependent,
+            a.llc_hit_prob,
+        );
+    }
+    out
+}
+
+// --- parser --------------------------------------------------------------
+
+/// One parsed scalar of a flat record object. Integers keep full `u64`
+/// precision (a float round-trip would corrupt large `t_ps`/`vaddr`).
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    U64(u64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Scalar {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Scalar::U64(_) => "integer",
+            Scalar::F64(_) => "number",
+            Scalar::Bool(_) => "bool",
+            Scalar::Str(_) => "string",
+        }
+    }
+}
+
+/// Parses one flat JSON object (string/number/bool scalars only — trace
+/// lines never nest) into its fields, in order.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let b = line.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\r') {
+            *pos += 1;
+        }
+    };
+    let err = |pos: usize, msg: &str| format!("{msg} at byte {pos}");
+    skip_ws(&mut pos);
+    if pos >= b.len() || b[pos] != b'{' {
+        return Err(err(pos, "expected '{'"));
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut pos);
+    if pos < b.len() && b[pos] == b'}' {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(&mut pos);
+            let key = parse_string(b, &mut pos).map_err(|m| err(pos, &m))?;
+            skip_ws(&mut pos);
+            if pos >= b.len() || b[pos] != b':' {
+                return Err(err(pos, "expected ':'"));
+            }
+            pos += 1;
+            skip_ws(&mut pos);
+            let val = parse_scalar(b, &mut pos).map_err(|m| err(pos, &m))?;
+            fields.push((key, val));
+            skip_ws(&mut pos);
+            match b.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return Err(err(pos, "expected ',' or '}'")),
+            }
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != b.len() {
+        return Err(err(pos, "trailing characters after object"));
+    }
+    Ok(fields)
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err("expected '\"'".into());
+    }
+    *pos += 1;
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                // Trace strings (schema names) never contain escapes; the
+                // writer emits none, so a backslash is a format error.
+                let s = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?;
+                *pos += 1;
+                return Ok(s.to_string());
+            }
+            b'\\' => return Err("escape sequences are not part of the trace schema".into()),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_scalar(b: &[u8], pos: &mut usize) -> Result<Scalar, String> {
+    match b.get(*pos) {
+        Some(b'"') => Ok(Scalar::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Scalar::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Scalar::Bool(false))
+        }
+        Some(&c) if c == b'-' || c.is_ascii_digit() => {
+            let start = *pos;
+            let mut fractional = false;
+            if c == b'-' {
+                *pos += 1;
+            }
+            while let Some(&d) = b.get(*pos) {
+                match d {
+                    b'0'..=b'9' => *pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        fractional = true;
+                        *pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?;
+            if fractional || text.starts_with('-') {
+                text.parse::<f64>()
+                    .map(Scalar::F64)
+                    .map_err(|_| format!("bad number {text:?}"))
+            } else {
+                text.parse::<u64>()
+                    .map(Scalar::U64)
+                    .map_err(|_| format!("integer {text:?} out of range"))
+            }
+        }
+        _ => Err("expected a scalar value".into()),
+    }
+}
+
+/// Looks a field up and removes it, so leftovers can be flagged as unknown.
+fn take(fields: &mut Vec<(String, Scalar)>, key: &str) -> Option<Scalar> {
+    let i = fields.iter().position(|(k, _)| k == key)?;
+    Some(fields.remove(i).1)
+}
+
+fn want_u64(fields: &mut Vec<(String, Scalar)>, key: &str) -> Result<u64, String> {
+    match take(fields, key) {
+        Some(Scalar::U64(v)) => Ok(v),
+        Some(other) => Err(format!(
+            "field {key:?}: expected integer, got {}",
+            other.type_name()
+        )),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn want_bool(fields: &mut Vec<(String, Scalar)>, key: &str) -> Result<bool, String> {
+    match take(fields, key) {
+        Some(Scalar::Bool(v)) => Ok(v),
+        Some(other) => Err(format!(
+            "field {key:?}: expected bool, got {}",
+            other.type_name()
+        )),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn want_f64(fields: &mut Vec<(String, Scalar)>, key: &str) -> Result<f64, String> {
+    match take(fields, key) {
+        Some(Scalar::F64(v)) => Ok(v),
+        Some(Scalar::U64(v)) => Ok(v as f64),
+        Some(other) => Err(format!(
+            "field {key:?}: expected number, got {}",
+            other.type_name()
+        )),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+/// Imports a trace serialized by [`trace_to_ndjson`] (or written by another
+/// tool to the same schema). Strict: any structural violation is a typed
+/// error naming the offending line.
+pub fn trace_from_ndjson(input: &str) -> Result<Trace, TraceParseError> {
+    let mut lines = input.lines().enumerate();
+    // Header.
+    let (_, header_line) = lines
+        .by_ref()
+        .find(|(_, l)| !l.trim().is_empty())
+        .ok_or(TraceParseError::MissingHeader)?;
+    let mut header = parse_flat_object(header_line).map_err(|_| TraceParseError::MissingHeader)?;
+    let schema = match take(&mut header, "schema") {
+        Some(Scalar::Str(s)) => s,
+        Some(_) => {
+            return Err(TraceParseError::BadHeader(
+                "\"schema\" is not a string".into(),
+            ))
+        }
+        None => return Err(TraceParseError::BadHeader("missing \"schema\"".into())),
+    };
+    if schema != SCHEMA {
+        return Err(TraceParseError::BadSchema(schema));
+    }
+    let version = want_u64(&mut header, "version").map_err(TraceParseError::BadHeader)?;
+    if version == 0 || version > VERSION {
+        return Err(TraceParseError::UnsupportedVersion(version));
+    }
+    let expected = want_u64(&mut header, "records").map_err(TraceParseError::BadHeader)?;
+    if let Some((key, _)) = header.first() {
+        return Err(TraceParseError::BadHeader(format!("unknown field {key:?}")));
+    }
+
+    // Records.
+    let mut records = Vec::with_capacity(expected.min(1 << 20) as usize);
+    let mut last_t: u64 = 0;
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if records.len() as u64 == expected {
+            return Err(TraceParseError::TrailingData { line: lineno });
+        }
+        let record = |reason: String| TraceParseError::Record {
+            line: lineno,
+            reason,
+        };
+        let mut fields = parse_flat_object(line).map_err(&record)?;
+        let seq = want_u64(&mut fields, "seq").map_err(&record)?;
+        if seq != records.len() as u64 {
+            return Err(TraceParseError::SeqOutOfOrder {
+                line: lineno,
+                expected: records.len() as u64,
+                found: seq,
+            });
+        }
+        let t_ps = want_u64(&mut fields, "t_ps").map_err(&record)?;
+        if t_ps < last_t {
+            return Err(TraceParseError::NonMonotoneTime { line: lineno });
+        }
+        last_t = t_ps;
+        let vaddr = want_u64(&mut fields, "vaddr").map_err(&record)?;
+        let size = want_u64(&mut fields, "size").map_err(&record)?;
+        if size == 0 || size > u32::MAX as u64 {
+            return Err(record(format!("size {size} out of range")));
+        }
+        let is_write = want_bool(&mut fields, "is_write").map_err(&record)?;
+        let dependent = want_bool(&mut fields, "dependent").map_err(&record)?;
+        let llc = want_f64(&mut fields, "llc_hit_prob").map_err(&record)?;
+        if !(0.0..=1.0).contains(&llc) {
+            return Err(record(format!("llc_hit_prob {llc} not in [0,1]")));
+        }
+        if let Some((key, _)) = fields.first() {
+            return Err(record(format!("unknown field {key:?}")));
+        }
+        records.push(TraceRecord {
+            at: SimTime::from_ps(t_ps),
+            access: ObjectAccess {
+                vaddr,
+                size: size as u32,
+                is_write,
+                dependent,
+                llc_hit_prob: llc as f32,
+            },
+        });
+    }
+    if (records.len() as u64) < expected {
+        return Err(TraceParseError::Truncated {
+            expected,
+            found: records.len() as u64,
+        });
+    }
+    Ok(Trace::from_records(records))
+}
+
+/// Structural validator: parses the full document and returns the record
+/// count, in the style of `telemetry::validate_ndjson`.
+pub fn validate_trace_ndjson(input: &str) -> Result<usize, TraceParseError> {
+    trace_from_ndjson(input).map(|t| t.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let rec = |t_ns: f64, vaddr: u64, size: u32, w: bool| TraceRecord {
+            at: SimTime::from_ns(t_ns),
+            access: ObjectAccess {
+                vaddr,
+                size,
+                is_write: w,
+                dependent: false,
+                llc_hit_prob: 0.0,
+            },
+        };
+        Trace::from_records(vec![
+            rec(0.0, 4096 * 1024, 64, true),
+            rec(100.0, 4096 * 2048, 256, false),
+            rec(100.0, 4096 * 1024 + 64, 64, true),
+        ])
+    }
+
+    #[test]
+    fn round_trip_is_record_identical_and_byte_stable() {
+        let t = sample_trace();
+        let ndjson = trace_to_ndjson(&t);
+        assert!(ndjson.starts_with(&format!(
+            "{{\"schema\":\"{SCHEMA}\",\"version\":{VERSION},\"records\":3}}"
+        )));
+        let back = trace_from_ndjson(&ndjson).unwrap();
+        assert_eq!(back.records(), t.records());
+        // Export of the import reproduces the same bytes.
+        assert_eq!(trace_to_ndjson(&back), ndjson);
+        assert_eq!(validate_trace_ndjson(&ndjson), Ok(3));
+    }
+
+    #[test]
+    fn fractional_llc_hit_prob_survives() {
+        let t = Trace::from_records(vec![TraceRecord {
+            at: SimTime::ZERO,
+            access: ObjectAccess {
+                vaddr: 4096,
+                size: 64,
+                is_write: false,
+                dependent: true,
+                llc_hit_prob: 0.01,
+            },
+        }]);
+        let back = trace_from_ndjson(&trace_to_ndjson(&t)).unwrap();
+        assert_eq!(back.records()[0].access.llc_hit_prob, 0.01f32);
+        assert!(back.records()[0].access.dependent);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let ndjson = trace_to_ndjson(&Trace::default());
+        assert_eq!(ndjson.lines().count(), 1);
+        let back = trace_from_ndjson(&ndjson).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn missing_or_garbage_header() {
+        assert_eq!(trace_from_ndjson(""), Err(TraceParseError::MissingHeader));
+        assert_eq!(
+            trace_from_ndjson("not json\n"),
+            Err(TraceParseError::MissingHeader)
+        );
+        let e = trace_from_ndjson("{\"schema\":\"other\",\"version\":1,\"records\":0}\n");
+        assert_eq!(e, Err(TraceParseError::BadSchema("other".into())));
+        let e = trace_from_ndjson(&format!(
+            "{{\"schema\":\"{SCHEMA}\",\"version\":9,\"records\":0}}\n"
+        ));
+        assert_eq!(e, Err(TraceParseError::UnsupportedVersion(9)));
+        let e = trace_from_ndjson(&format!("{{\"schema\":\"{SCHEMA}\",\"records\":0}}\n"));
+        assert!(matches!(e, Err(TraceParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let full = trace_to_ndjson(&sample_trace());
+        // Drop the last record line.
+        let cut = full.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert_eq!(
+            trace_from_ndjson(&cut),
+            Err(TraceParseError::Truncated {
+                expected: 3,
+                found: 2
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_line_is_a_typed_error() {
+        let full = trace_to_ndjson(&sample_trace());
+        // Chop the final line mid-object (no trailing newline).
+        let cut = &full[..full.len() - 10];
+        assert!(matches!(
+            trace_from_ndjson(cut),
+            Err(TraceParseError::Record { .. })
+        ));
+    }
+
+    #[test]
+    fn non_monotone_time_is_a_typed_error() {
+        let mut t = sample_trace();
+        let mut records = t.records().to_vec();
+        records[2].at = SimTime::ZERO; // goes backwards
+        t = Trace::from_records(records);
+        assert_eq!(
+            trace_from_ndjson(&trace_to_ndjson(&t)),
+            Err(TraceParseError::NonMonotoneTime { line: 4 })
+        );
+    }
+
+    #[test]
+    fn seq_gap_and_trailing_data_are_typed_errors() {
+        let full = trace_to_ndjson(&sample_trace());
+        let swapped: Vec<&str> = {
+            let mut ls: Vec<&str> = full.lines().collect();
+            ls.swap(1, 2);
+            ls
+        };
+        assert!(matches!(
+            trace_from_ndjson(&swapped.join("\n")),
+            Err(TraceParseError::SeqOutOfOrder { .. })
+        ));
+        let mut extra = full.clone();
+        extra.push_str("{\"seq\":3,\"t_ps\":1,\"vaddr\":0,\"size\":64,\"is_write\":false,\"dependent\":false,\"llc_hit_prob\":0.0}\n");
+        assert!(matches!(
+            trace_from_ndjson(&extra),
+            Err(TraceParseError::TrailingData { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let mut bad = String::from("{\"schema\":\"colloid-trace\",\"version\":1,\"records\":1}\n");
+        bad.push_str("{\"seq\":0,\"t_ps\":0,\"vaddr\":0,\"size\":64,\"is_write\":false,\"dependent\":false,\"llc_hit_prob\":0.0,\"extra\":1}\n");
+        assert!(matches!(
+            trace_from_ndjson(&bad),
+            Err(TraceParseError::Record { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_context() {
+        let e = TraceParseError::SeqOutOfOrder {
+            line: 7,
+            expected: 5,
+            found: 9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 7") && s.contains('9') && s.contains('5'));
+        assert!(TraceParseError::Truncated {
+            expected: 10,
+            found: 3
+        }
+        .to_string()
+        .contains("10"));
+    }
+}

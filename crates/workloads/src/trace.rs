@@ -10,7 +10,7 @@
 //!   constructing a [`Trace`] from records;
 //! - **debugging**: capture the window around a misbehaviour and replay it.
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use memsim::{AccessStream, ObjectAccess};
 use rand::rngs::SmallRng;
@@ -30,12 +30,33 @@ pub struct TraceRecord {
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     records: Vec<TraceRecord>,
+    /// Lazily computed distinct-page count; reset whenever a record is
+    /// appended so [`Trace::touched_pages`] never re-sorts an unchanged
+    /// record set.
+    touched: OnceLock<usize>,
+}
+
+impl PartialEq for Trace {
+    /// Traces compare by their records; the lazily-computed cache is
+    /// derived state and does not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
 }
 
 impl Trace {
     /// Builds a trace from records (e.g. imported from another tool).
     pub fn from_records(records: Vec<TraceRecord>) -> Self {
-        Trace { records }
+        Trace {
+            records,
+            touched: OnceLock::new(),
+        }
+    }
+
+    /// Appends one record, invalidating the touched-pages cache.
+    pub(crate) fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+        self.touched = OnceLock::new();
     }
 
     /// The recorded accesses.
@@ -53,12 +74,15 @@ impl Trace {
         self.records.is_empty()
     }
 
-    /// Distinct pages touched by the trace.
+    /// Distinct pages touched by the trace. Computed once per record set
+    /// and cached; appending a record invalidates the cache.
     pub fn touched_pages(&self) -> usize {
-        let mut pages: Vec<u64> = self.records.iter().map(|r| r.access.first_vpn()).collect();
-        pages.sort_unstable();
-        pages.dedup();
-        pages.len()
+        *self.touched.get_or_init(|| {
+            let mut pages: Vec<u64> = self.records.iter().map(|r| r.access.first_vpn()).collect();
+            pages.sort_unstable();
+            pages.dedup();
+            pages.len()
+        })
     }
 }
 
@@ -94,29 +118,61 @@ impl<S: AccessStream> AccessStream for TraceRecorder<S> {
         let access = self.inner.next(now, rng);
         let mut trace = self.sink.lock().expect("trace sink poisoned");
         if trace.records.len() < self.limit {
-            trace.records.push(TraceRecord { at: now, access });
+            trace.push(TraceRecord { at: now, access });
         }
         access
     }
 }
 
+/// Why a [`TraceReplayer`] could not be constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace holds no records: an empty infinite stream cannot exist.
+    EmptyTrace,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::EmptyTrace => {
+                write!(f, "cannot replay an empty trace (streams are infinite)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Replays a captured trace in order; wraps around at the end (streams are
 /// infinite by contract).
-///
-/// # Panics
-///
-/// Constructing a replayer over an empty trace panics: an empty infinite
-/// stream cannot exist.
+#[derive(Debug, Clone)]
 pub struct TraceReplayer {
     trace: Arc<Trace>,
     cursor: usize,
 }
 
 impl TraceReplayer {
+    /// Creates a replayer over a captured trace, rejecting an empty one
+    /// with a typed error — the path for traces of untrusted provenance
+    /// (e.g. imported NDJSON fixtures).
+    pub fn try_new(trace: Arc<Trace>) -> Result<Self, ReplayError> {
+        if trace.is_empty() {
+            return Err(ReplayError::EmptyTrace);
+        }
+        Ok(TraceReplayer { trace, cursor: 0 })
+    }
+
     /// Creates a replayer over a captured trace.
+    ///
+    /// Deprecation note: prefer [`TraceReplayer::try_new`] — this wrapper
+    /// panics on an empty trace and is kept only for callers that already
+    /// hold a trace they know is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
     pub fn new(trace: Arc<Trace>) -> Self {
-        assert!(!trace.is_empty(), "cannot replay an empty trace");
-        TraceReplayer { trace, cursor: 0 }
+        Self::try_new(trace).expect("cannot replay an empty trace")
     }
 }
 
@@ -189,6 +245,48 @@ mod tests {
     #[should_panic]
     fn empty_trace_cannot_replay() {
         let _ = TraceReplayer::new(Arc::new(Trace::default()));
+    }
+
+    #[test]
+    fn try_new_rejects_empty_trace_with_typed_error() {
+        let err = TraceReplayer::try_new(Arc::new(Trace::default())).unwrap_err();
+        assert_eq!(err, ReplayError::EmptyTrace);
+        assert!(err.to_string().contains("empty trace"));
+        let t = Trace::from_records(vec![TraceRecord {
+            at: SimTime::ZERO,
+            access: memsim::ObjectAccess::read_line(0),
+        }]);
+        assert!(TraceReplayer::try_new(Arc::new(t)).is_ok());
+    }
+
+    #[test]
+    fn touched_pages_cache_matches_direct_recomputation() {
+        // Pin: the cached count equals a by-hand sort+dedup, both on the
+        // initial record set and after the recorder appends more (the
+        // append must invalidate the cache).
+        let (mut rec, handle) = TraceRecorder::new(gups(), 1000);
+        let mut rng = seed_from(11, 0);
+        for _ in 0..50 {
+            rec.next(SimTime::ZERO, &mut rng);
+        }
+        let by_hand = |t: &Trace| {
+            let mut pages: Vec<u64> = t.records().iter().map(|r| r.access.first_vpn()).collect();
+            pages.sort_unstable();
+            pages.dedup();
+            pages.len()
+        };
+        {
+            let t = handle.lock().unwrap();
+            let first = t.touched_pages();
+            assert_eq!(first, by_hand(&t));
+            // Second call hits the cache and must agree.
+            assert_eq!(t.touched_pages(), first);
+        }
+        for _ in 0..200 {
+            rec.next(SimTime::ZERO, &mut rng);
+        }
+        let t = handle.lock().unwrap();
+        assert_eq!(t.touched_pages(), by_hand(&t), "stale cache after append");
     }
 
     #[test]

@@ -1,0 +1,130 @@
+//! Property-based round-trip tests for the NDJSON trace format: any trace
+//! must survive export → import with byte-identical records and an
+//! identical replay access sequence, and structurally broken inputs must
+//! produce typed errors — never panics, never silently-wrong traces.
+
+use std::sync::Arc;
+
+use memsim::machine::AccessStream;
+use memsim::ObjectAccess;
+use proptest::prelude::*;
+use simkit::rng::seed_from;
+use simkit::SimTime;
+use workloads::{
+    trace_from_ndjson, trace_to_ndjson, Trace, TraceParseError, TraceRecord, TraceReplayer,
+};
+
+/// Strategy for one access record (everything the schema carries).
+fn access_strategy() -> impl Strategy<Value = ObjectAccess> {
+    (
+        (0u64..u64::MAX, 1u32..=4096),
+        (prop::bool::ANY, prop::bool::ANY),
+        0.0f32..=1.0,
+    )
+        .prop_map(
+            |((vaddr, size), (is_write, dependent), llc_hit_prob)| ObjectAccess {
+                vaddr,
+                size,
+                is_write,
+                dependent,
+                llc_hit_prob,
+            },
+        )
+}
+
+/// Strategy for a whole trace: per-record time *deltas* keep `t_ps`
+/// non-decreasing (the format's invariant) while still reaching huge
+/// timestamps that would corrupt under any float round-trip.
+fn trace_strategy(max_len: usize) -> impl Strategy<Value = Trace> {
+    prop::collection::vec((0u64..=(1u64 << 40), access_strategy()), 0..max_len).prop_map(|steps| {
+        let mut t = 0u64;
+        let records = steps
+            .into_iter()
+            .map(|(dt, access)| {
+                t = t.saturating_add(dt);
+                TraceRecord {
+                    at: SimTime::from_ps(t),
+                    access,
+                }
+            })
+            .collect();
+        Trace::from_records(records)
+    })
+}
+
+proptest! {
+    #[test]
+    fn export_import_round_trips_records_exactly(trace in trace_strategy(64)) {
+        let ndjson = trace_to_ndjson(&trace);
+        let back = trace_from_ndjson(&ndjson).expect("canonical export must import");
+        prop_assert_eq!(back.records(), trace.records());
+        // Canonical form: exporting the import reproduces the same bytes.
+        prop_assert_eq!(trace_to_ndjson(&back), ndjson);
+    }
+
+    #[test]
+    fn replay_of_imported_trace_reproduces_the_access_sequence(
+        trace in trace_strategy(64),
+        laps in 1usize..3,
+    ) {
+        prop_assume!(!trace.is_empty());
+        let ndjson = trace_to_ndjson(&trace);
+        let back = trace_from_ndjson(&ndjson).unwrap();
+        let mut a = TraceReplayer::try_new(Arc::new(trace.clone())).unwrap();
+        let mut b = TraceReplayer::try_new(Arc::new(back)).unwrap();
+        // Replayers ignore the RNG, so mismatched seeds must not matter.
+        let mut rng_a = seed_from(1, 0);
+        let mut rng_b = seed_from(999, 7);
+        for i in 0..trace.len() * laps {
+            let x = a.next(SimTime::ZERO, &mut rng_a);
+            let y = b.next(SimTime::ZERO, &mut rng_b);
+            prop_assert_eq!(x, y, "replay diverged at access {}: {:?} != {:?}", i, x, y);
+        }
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_never_panics(
+        trace in trace_strategy(32),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!(!trace.is_empty());
+        let ndjson = trace_to_ndjson(&trace);
+        let cut = (ndjson.len() as f64 * cut_frac) as usize;
+        // Any prefix must either import to a (shorter) valid document or
+        // fail with a typed error — never panic, never import wrong data.
+        if let Ok(t) = trace_from_ndjson(&ndjson[..cut]) {
+            prop_assert!(t.len() <= trace.len());
+            prop_assert_eq!(t.records(), &trace.records()[..t.len()]);
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_typed(trace in trace_strategy(8), v in 2u64..1000) {
+        let ndjson = trace_to_ndjson(&trace);
+        let bumped = ndjson.replacen("\"version\":1", &format!("\"version\":{v}"), 1);
+        prop_assert_eq!(
+            trace_from_ndjson(&bumped).unwrap_err(),
+            TraceParseError::UnsupportedVersion(v)
+        );
+    }
+
+    #[test]
+    fn non_monotone_time_is_typed(
+        trace in trace_strategy(32),
+        pos in 1usize..31,
+    ) {
+        prop_assume!(trace.len() >= 2);
+        let pos = pos.min(trace.len() - 1);
+        let mut records = trace.records().to_vec();
+        // Force a strict decrease at `pos` (skip if the prefix is all-zero).
+        let prev = records[pos - 1].at;
+        prop_assume!(prev > SimTime::ZERO);
+        records[pos].at = SimTime::from_ps(prev.as_ps() - 1);
+        let truncated = Trace::from_records(records[..=pos].to_vec());
+        let ndjson = trace_to_ndjson(&truncated);
+        prop_assert_eq!(
+            trace_from_ndjson(&ndjson).unwrap_err(),
+            TraceParseError::NonMonotoneTime { line: pos + 2 }
+        );
+    }
+}
